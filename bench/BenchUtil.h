@@ -1,0 +1,38 @@
+//===-- bench/BenchUtil.h - Shared harness helpers ---------------*- C++ -*-=//
+//
+// Part of the CUBA project, an implementation of the PLDI 2018 paper
+// "CUBA: Interprocedural Context-UnBounded Analysis of Concurrent Programs".
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small helpers shared by the table/figure regeneration harnesses.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CUBA_BENCH_BENCHUTIL_H
+#define CUBA_BENCH_BENCHUTIL_H
+
+#include <cstdio>
+#include <optional>
+#include <string>
+
+namespace cuba::benchutil {
+
+/// Formats an optional bound: the value, or ">=k" when the method was
+/// interrupted at bound k before concluding (Table 2's notation).
+inline std::string boundOrGe(std::optional<unsigned> Bound, unsigned KMax) {
+  if (Bound)
+    return std::to_string(*Bound);
+  return ">=" + std::to_string(KMax);
+}
+
+inline void rule(char C = '-', int Width = 78) {
+  for (int I = 0; I < Width; ++I)
+    std::fputc(C, stdout);
+  std::fputc('\n', stdout);
+}
+
+} // namespace cuba::benchutil
+
+#endif // CUBA_BENCH_BENCHUTIL_H

@@ -1,0 +1,101 @@
+//===-- bench/bench_fig3_generators.cpp - Regenerates Fig. 3 / Ex. 14 ------=//
+//
+// Part of the CUBA project, an implementation of the PLDI 2018 paper
+// "CUBA: Interprocedural Context-UnBounded Analysis of Concurrent Programs".
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Experiment E2: the static ingredients of Alg. 3 on the running
+/// example -- the finite abstraction's reachable set Z (Ex. 13 /
+/// Fig. 3), the generator set G (Ex. 14), their intersection, and the
+/// resulting Alg. 3 trace with the k=2 plateau rejected and the k=5
+/// plateau accepted.
+///
+//===----------------------------------------------------------------------===//
+
+#include <cstdio>
+
+#include "BenchUtil.h"
+#include "core/Algorithms.h"
+#include "core/CbaEngine.h"
+#include "core/Generators.h"
+#include "core/ZOverapprox.h"
+#include "models/Models.h"
+#include "pds/CpdsIO.h"
+
+using namespace cuba;
+using namespace cuba::benchutil;
+
+int main() {
+  CpdsFile F = models::buildFig1();
+  const Cpds &C = F.System;
+
+  std::printf("[E2] Z, G and the Alg. 3 trace on the Fig. 1 example\n");
+  rule('=');
+
+  std::vector<VisibleState> Z = computeZ(C);
+  std::printf("Z (reachable states of the Alg. 2 abstraction M_2), "
+              "%zu states\n  (paper, Ex. 13: 8 states):\n",
+              Z.size());
+  for (const VisibleState &V : Z)
+    std::printf("  %s\n", toString(C, V).c_str());
+
+  GeneratorSet G(C);
+  std::vector<VisibleState> GZ = G.intersect(Z);
+  std::printf("\nG cap Z (paper, Ex. 14: {<0|1,eps>, <0|1,6>}):\n");
+  for (const VisibleState &V : GZ)
+    std::printf("  %s\n", toString(C, V).c_str());
+
+  // The Ex. 14 membership facts for the full (unrestricted) G.
+  std::printf("\nEq. (2) membership spot checks (paper's G = {<0|1,eps>, "
+              "<0|1,6>, <0|2,eps>, <0|2,6>}):\n");
+  auto Check = [&](QState Q, const char *T1, const char *T2, bool Want) {
+    VisibleState V;
+    V.Q = Q;
+    V.Tops = {C.thread(0).symbolByName(T1),
+              std::string_view(T2) == "eps" ? EpsSym
+                                            : C.thread(1).symbolByName(T2)};
+    bool Got = G.contains(V);
+    std::printf("  %s in G: %s (expected %s)\n", toString(C, V).c_str(),
+                Got ? "yes" : "no", Want ? "yes" : "no");
+  };
+  Check(0, "1", "eps", true);
+  Check(0, "1", "6", true);
+  Check(0, "2", "eps", true);
+  Check(0, "2", "6", true);
+  Check(0, "1", "4", false);
+  Check(3, "2", "4", false);
+
+  // The Alg. 3 trace.
+  std::printf("\nAlg. 3 trace:\n");
+  CbaEngine E(C, ResourceLimits::unlimited());
+  std::vector<VisibleState> Pending = GZ;
+  size_t PrevSize = E.visibleSize(), PrevPrevSize = 0;
+  for (unsigned K = 1; K <= 8; ++K) {
+    E.advance();
+    size_t Size = E.visibleSize();
+    bool NewPlateau = Size == PrevSize && (K == 1 || PrevPrevSize < PrevSize);
+    if (NewPlateau) {
+      std::erase_if(Pending, [&](const VisibleState &V) {
+        return E.visibleReached(V);
+      });
+      std::printf("  k=%u: plateau |T|=%zu; unreached generators: %zu", K,
+                  Size, Pending.size());
+      for (const VisibleState &V : Pending)
+        std::printf(" %s", toString(C, V).c_str());
+      if (Pending.empty()) {
+        std::printf("  -> CONVERGED, T(R) = T(R_%u)\n", K - 1);
+        break;
+      }
+      std::printf("  -> stuttering, continue\n");
+    } else {
+      std::printf("  k=%u: |T|=%zu\n", K, Size);
+    }
+    PrevPrevSize = PrevSize;
+    PrevSize = Size;
+  }
+  std::printf("(paper: plateau at k=2 rejected because <0|1,6> was "
+              "unreached; collapse detected at k0=5)\n");
+  return 0;
+}

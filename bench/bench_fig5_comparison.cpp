@@ -1,0 +1,84 @@
+//===-- bench/bench_fig5_comparison.cpp - Regenerates Fig. 5 ---------------=//
+//
+// Part of the CUBA project, an implementation of the PLDI 2018 paper
+// "CUBA: Interprocedural Context-UnBounded Analysis of Concurrent Programs".
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Experiment E5: the Cuba-vs-JMoped comparison.  JMoped's role (pure
+/// context-bounded analysis, BDD-backed sets) is played by our
+/// cuba_baseline run to the same context bound at which Cuba
+/// terminates, exactly as the paper runs JMoped.  As in the paper the
+/// comparison covers suites 1-5 and 9 (the rows their converter could
+/// translate).  Expected shape: comparable time/memory on the unsafe
+/// rows (both stop at the bug), comparable resources on the safe rows
+/// -- but only Cuba's answer covers every context bound; the baseline
+/// only certifies "no bug within K".
+///
+//===----------------------------------------------------------------------===//
+
+#include <cstdio>
+
+#include "BenchUtil.h"
+#include "baseline/CbaBaseline.h"
+#include "core/CubaDriver.h"
+#include "models/Models.h"
+
+using namespace cuba;
+using namespace cuba::benchutil;
+
+int main() {
+  std::printf("[E5] Fig. 5: Cuba vs context-bounded baseline "
+              "(JMoped role)\n");
+  rule('=');
+  std::printf("%-12s %-5s | %9s %7s %-18s | %9s %7s %-16s\n", "Program",
+              "Thr", "cuba(ms)", "states", "cuba verdict", "cba(ms)",
+              "states", "cba verdict");
+  rule();
+
+  for (const auto &Row : models::table2Instances()) {
+    // The paper compares on suites 1-5 and 9 only.
+    if (Row.Suite == "K-Induction" || Row.Suite == "Proc-2" ||
+        Row.Suite == "Stefan-1")
+      continue;
+
+    DriverOptions Opts;
+    Opts.Run.Limits.MaxContexts = 24;
+    Opts.Run.Limits.MaxMillis = 60'000;
+    DriverResult Cuba = runCuba(Row.File.System, Row.File.Property, Opts);
+
+    // The baseline gets the bound at which Cuba terminated -- the same
+    // protocol the paper uses for JMoped ("we run it with the same
+    // context bound at which Cuba terminates").
+    unsigned K = Cuba.Run.KMax;
+    BaselineResult Cba =
+        runCbaBaseline(Row.File.System, Row.File.Property, K,
+                       Opts.Run.Limits, BaselineEngine::ExplicitBdd);
+
+    std::string CubaVerdict =
+        Cuba.Run.BugBound
+            ? "bug@" + std::to_string(*Cuba.Run.BugBound)
+            : (Cuba.Run.ConvergedAt
+                   ? "SAFE all k (k0=" + std::to_string(*Cuba.Run.ConvergedAt) +
+                         ")"
+                   : "undecided");
+    std::string CbaVerdict =
+        Cba.BugBound ? "bug@" + std::to_string(*Cba.BugBound)
+                     : "no bug for k<=" + std::to_string(K);
+
+    std::printf("%-12s %-5s | %9.2f %7llu %-18s | %9.2f %7llu %-16s\n",
+                Row.Suite.c_str(), Row.Config.c_str(), Cuba.Run.Millis,
+                static_cast<unsigned long long>(Cuba.Run.StatesStored),
+                CubaVerdict.c_str(), Cba.Millis,
+                static_cast<unsigned long long>(Cba.StatesStored),
+                CbaVerdict.c_str());
+  }
+  rule();
+  std::printf(
+      "Shape to compare with Fig. 5: resources are of the same order on\n"
+      "every row (the paper's scatter hugs the diagonal), and on the\n"
+      "safe rows Cuba upgrades \"no bug within K\" to \"safe for every\n"
+      "context bound\" at no extra cost -- the paper's headline claim.\n");
+  return 0;
+}

@@ -1,0 +1,113 @@
+//===-- bench/bench_micro_poststar.cpp - Microbenchmarks (A3) --------------=//
+//
+// Part of the CUBA project, an implementation of the PLDI 2018 paper
+// "CUBA: Interprocedural Context-UnBounded Analysis of Concurrent Programs".
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// google-benchmark microbenchmarks for the substrate hot paths: post*
+/// saturation on synthetic PDS families, NFA determinisation and
+/// canonicalisation, explicit context closures, and BDD set insertion.
+///
+//===----------------------------------------------------------------------===//
+
+#include <benchmark/benchmark.h>
+
+#include "bdd/BddSet.h"
+#include "core/CbaEngine.h"
+#include "fa/Dfa.h"
+#include "models/Models.h"
+#include "psa/PostStar.h"
+#include "support/Unreachable.h"
+
+using namespace cuba;
+
+namespace {
+
+/// A synthetic "counter tower": N shared states in a ring; state i
+/// pushes on one symbol and pops on another, producing saturation work
+/// that scales with N.
+Pds makeTowerPds(unsigned N) {
+  Pds P;
+  std::vector<Sym> A, B;
+  for (unsigned I = 0; I < N; ++I) {
+    A.push_back(P.addSymbol("a" + std::to_string(I)));
+    B.push_back(P.addSymbol("b" + std::to_string(I)));
+  }
+  for (unsigned I = 0; I < N; ++I) {
+    unsigned J = (I + 1) % N;
+    P.addAction({I, A[I], J, A[J], B[I], "push"});
+    P.addAction({J, A[J], I, EpsSym, EpsSym, "pop"});
+    P.addAction({I, B[I], J, A[J], EpsSym, "ovw"});
+  }
+  if (!P.freeze(N))
+    cuba_unreachable("tower PDS invalid");
+  return P;
+}
+
+void BM_PostStarTower(benchmark::State &State) {
+  unsigned N = static_cast<unsigned>(State.range(0));
+  Pds P = makeTowerPds(N);
+  for (auto _ : State) {
+    PAutomaton Init =
+        singleStateAutomaton(N, P.numSymbols(), 0, {P.symbolByName("a0")});
+    PostStarResult R = postStar(P, Init);
+    benchmark::DoNotOptimize(R.Automaton.nfa().numStates());
+  }
+}
+BENCHMARK(BM_PostStarTower)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_DeterminizeCanonicalize(benchmark::State &State) {
+  unsigned N = static_cast<unsigned>(State.range(0));
+  // A nondeterministic automaton with N states and 3 symbols.
+  Nfa A(3);
+  for (unsigned I = 0; I < N; ++I)
+    A.addState();
+  A.setInitial(0);
+  for (unsigned I = 0; I < N; ++I) {
+    A.addEdge(I, 1, (I + 1) % N);
+    A.addEdge(I, 2, (I * 7 + 3) % N);
+    A.addEdge(I, 2, (I + 1) % N); // Nondeterminism on symbol 2.
+    A.addEdge(I, 3, I);
+    if (I % 3 == 0)
+      A.setAccepting(I);
+  }
+  for (auto _ : State) {
+    CanonicalDfa D = A.determinize().canonicalize();
+    benchmark::DoNotOptimize(D.hash());
+  }
+}
+BENCHMARK(BM_DeterminizeCanonicalize)->Arg(8)->Arg(16)->Arg(24);
+
+void BM_ExplicitRounds(benchmark::State &State) {
+  CpdsFile F = models::buildBluetooth(3, 1, 1);
+  unsigned K = static_cast<unsigned>(State.range(0));
+  for (auto _ : State) {
+    CbaEngine E(F.System, ResourceLimits::unlimited());
+    for (unsigned I = 0; I < K; ++I)
+      if (E.advance() != CbaEngine::RoundStatus::Ok)
+        break;
+    benchmark::DoNotOptimize(E.reachedSize());
+  }
+}
+BENCHMARK(BM_ExplicitRounds)->Arg(4)->Arg(8)->Arg(12);
+
+void BM_BddSetInsert(benchmark::State &State) {
+  unsigned Width = 16;
+  for (auto _ : State) {
+    BddManager M;
+    BddSet S(M, Width);
+    uint64_t X = 12345;
+    for (int I = 0; I < 512; ++I) {
+      X = X * 6364136223846793005ull + 1442695040888963407ull;
+      S.insert((X >> 30) & 0xffff);
+    }
+    benchmark::DoNotOptimize(S.nodeCount());
+  }
+}
+BENCHMARK(BM_BddSetInsert);
+
+} // namespace
+
+BENCHMARK_MAIN();

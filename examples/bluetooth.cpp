@@ -1,0 +1,65 @@
+//===-- examples/bluetooth.cpp - Verifying the Bluetooth driver ------------=//
+//
+// Part of the CUBA project, an implementation of the PLDI 2018 paper
+// "CUBA: Interprocedural Context-UnBounded Analysis of Concurrent Programs".
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's motivating case study (benchmark suites 1-3): the
+/// Windows NT Bluetooth driver with stopper and adder threads and a
+/// recursion-encoded pendingIo counter.  Versions 1 and 2 contain the
+/// historical races; version 3 is the fixed driver.  CUBA refutes the
+/// buggy versions at a small context bound and -- unlike plain
+/// context-bounded analysis -- proves the fixed version safe for every
+/// bound.
+///
+//===----------------------------------------------------------------------===//
+
+#include <cstdio>
+
+#include "core/CubaDriver.h"
+#include "models/Models.h"
+
+using namespace cuba;
+
+static void verifyVersion(int Version, const char *Story) {
+  std::printf("=== Bluetooth-%d (1 stopper + 1 adder) ===\n", Version);
+  std::printf("%s\n", Story);
+
+  CpdsFile F = models::buildBluetooth(Version, /*Stoppers=*/1,
+                                      /*Adders=*/1);
+  DriverOptions Opts;
+  Opts.Run.Limits.MaxContexts = 24;
+  Opts.Run.ContinueAfterBug = true; // Also report the convergence bound.
+  DriverResult R = runCuba(F.System, F.Property, Opts);
+
+  if (R.Run.BugBound)
+    std::printf("  bug:        reachable within %u contexts (%s)\n",
+                *R.Run.BugBound, R.Run.Witness.c_str());
+  else
+    std::printf("  bug:        none found\n");
+  if (R.Run.ConvergedAt)
+    std::printf("  converged:  k0 = %u -- the verdict covers EVERY "
+                "context bound\n",
+                *R.Run.ConvergedAt);
+  std::printf("  cost:       k_max=%u, %llu states, %.2f ms\n\n", R.Run.KMax,
+              static_cast<unsigned long long>(R.Run.StatesStored),
+              R.Run.Millis);
+}
+
+int main() {
+  verifyVersion(
+      1, "The adder checks stoppingFlag and increments pendingIo\n"
+         "non-atomically; the stopper can complete in the window\n"
+         "(the original KISS bug).");
+  verifyVersion(
+      2, "The adder increments first, but releases its reference\n"
+         "before the I/O completion touch; the stopping event fires\n"
+         "too early.");
+  verifyVersion(
+      3, "The fixed driver: the assertion runs strictly inside the\n"
+         "increment/decrement window, so the stopper can never\n"
+         "complete while I/O is in flight.");
+  return 0;
+}

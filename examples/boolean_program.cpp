@@ -1,0 +1,111 @@
+//===-- examples/boolean_program.cpp - The frontend pipeline ---------------=//
+//
+// Part of the CUBA project, an implementation of the PLDI 2018 paper
+// "CUBA: Interprocedural Context-UnBounded Analysis of Concurrent Programs".
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tour of the Boolean-program frontend (App. B): parse a concurrent
+/// Boolean program, inspect the AST, translate it to a CPDS, print the
+/// textual .cpds form, and verify it.  The program is the paper's
+/// Fig. 2 example written in the source language.
+///
+//===----------------------------------------------------------------------===//
+
+#include <cstdio>
+
+#include "bp/Parser.h"
+#include "bp/Sema.h"
+#include "bp/Translate.h"
+#include "core/CubaDriver.h"
+#include "pds/CpdsIO.h"
+
+using namespace cuba;
+
+static const char *Fig2Source = R"(
+// Fig. 2 of the CUBA paper: foo and bar synchronise on the flag x.
+decl x;
+
+void foo() {
+  if (*) { call foo(); } else { skip; }
+  while (x) { }
+  assert(!x);
+  x := 1;
+}
+
+void bar() {
+  if (*) { call bar(); } else { skip; }
+  while (!x) { }
+  x := 0;
+}
+
+void main() {
+  thread_create(&foo);
+  thread_create(&bar);
+}
+)";
+
+int main() {
+  // Stage 1: parse.
+  auto Prog = bp::parseProgram(Fig2Source);
+  if (!Prog) {
+    std::fprintf(stderr, "parse error: %s\n", Prog.error().str().c_str());
+    return 1;
+  }
+  bp::Program P = Prog.take();
+  std::printf("parsed:  %zu shared variable(s), %zu function(s)\n",
+              P.SharedVars.size(), P.Functions.size());
+  for (const bp::Function &F : P.Functions)
+    std::printf("         %s %s(%zu params, %zu locals, %zu stmts)\n",
+                F.ReturnsBool ? "bool" : "void", F.Name.c_str(),
+                F.Params.size(), F.Locals.size(), F.Body.size());
+
+  // Stage 2: semantic analysis (resolves names, collects threads).
+  auto Info = bp::analyzeProgram(P);
+  if (!Info) {
+    std::fprintf(stderr, "sema error: %s\n", Info.error().str().c_str());
+    return 1;
+  }
+  std::printf("threads: ");
+  for (const std::string &E : P.ThreadEntries)
+    std::printf("%s ", E.c_str());
+  std::printf("\n");
+
+  // Stage 3: translate to a concurrent pushdown system.
+  auto File = bp::translateProgram(P, *Info);
+  if (!File) {
+    std::fprintf(stderr, "translate error: %s\n",
+                 File.error().str().c_str());
+    return 1;
+  }
+  std::printf("\n--- translated CPDS (%u shared states, %u threads) ---\n",
+              File->System.numSharedStates(), File->System.numThreads());
+  std::string Text = printCpds(*File);
+  // The full rule list is long; show the head of the file.
+  size_t Shown = 0, Lines = 0;
+  while (Shown < Text.size() && Lines < 18) {
+    if (Text[Shown] == '\n')
+      ++Lines;
+    ++Shown;
+  }
+  std::fwrite(Text.data(), 1, Shown, stdout);
+  std::printf("  ... (%zu more bytes)\n\n", Text.size() - Shown);
+
+  // Stage 4: verify.  The program is not FCR (solo-pumpable recursion),
+  // so the driver picks the symbolic engine.
+  DriverOptions Opts;
+  Opts.Run.Limits.MaxContexts = 24;
+  DriverResult R = runCuba(File->System, File->Property, Opts);
+  std::printf("FCR %s; %s engine; ",
+              R.Fcr.Holds ? "holds" : "does not hold",
+              R.Used == ApproachKind::Symbolic ? "symbolic" : "explicit");
+  if (R.Run.outcome() == Outcome::Proved)
+    std::printf("assertion PROVED for every context bound (k0 = %u)\n",
+                *R.Run.ConvergedAt);
+  else if (R.Run.outcome() == Outcome::BugFound)
+    std::printf("bug at k = %u\n", *R.Run.BugBound);
+  else
+    std::printf("undecided within budget\n");
+  return R.Run.outcome() == Outcome::Proved ? 0 : 1;
+}

@@ -1,0 +1,78 @@
+//===-- examples/observation_sequences.cpp - The Sec. 3 paradigm -----------=//
+//
+// Part of the CUBA project, an implementation of the PLDI 2018 paper
+// "CUBA: Interprocedural Context-UnBounded Analysis of Concurrent Programs".
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Demonstrates the observation-sequence paradigm on the Fig. 1 example:
+/// prints the per-bound growth of (R_k) and (T(R_k)), shows the k = 2..3
+/// stutter plateau that a naive convergence test would mistake for
+/// collapse, and how the generator test (G cap Z) tells them apart.
+///
+//===----------------------------------------------------------------------===//
+
+#include <cstdio>
+
+#include "core/CbaEngine.h"
+#include "core/Generators.h"
+#include "core/ZOverapprox.h"
+#include "models/Models.h"
+#include "pds/CpdsIO.h"
+
+using namespace cuba;
+
+int main() {
+  CpdsFile F = models::buildFig1();
+  const Cpds &C = F.System;
+
+  // The static ingredients of Alg. 3: the overapproximation Z (Alg. 2)
+  // and the generators among it (Eq. 2).
+  GeneratorSet G(C);
+  std::vector<VisibleState> Z = computeZ(C);
+  std::vector<VisibleState> GZ = G.intersect(Z);
+  std::printf("Z (Alg. 2 overapproximation), %zu states:\n", Z.size());
+  for (const VisibleState &V : Z)
+    std::printf("  %s%s\n", toString(C, V).c_str(),
+                G.contains(V) ? "   <- generator" : "");
+  std::printf("G cap Z has %zu element(s): every one must be reached "
+              "before a plateau counts as convergence.\n\n",
+              GZ.size());
+
+  // Replay the observation sequences round by round (Fig. 1, right).
+  CbaEngine E(C, ResourceLimits::unlimited());
+  std::printf(" k | |R_k| |T(R_k)| new visible states\n");
+  std::printf("---+------+--------+-------------------\n");
+  for (unsigned K = 0; K <= 7; ++K) {
+    if (K > 0 && E.advance() != CbaEngine::RoundStatus::Ok) {
+      std::printf("resource budget exhausted\n");
+      return 1;
+    }
+    std::printf("%2u | %4zu | %6zu | ", K, E.reachedSize(),
+                E.visibleSize());
+    auto New = E.newVisibleThisRound();
+    if (New.empty())
+      std::printf("(plateau)");
+    for (const VisibleState &V : New)
+      std::printf("%s ", toString(C, V).c_str());
+    // Evaluate the generator test at this bound.
+    size_t Missing = 0;
+    for (const VisibleState &V : GZ)
+      if (!E.visibleReached(V))
+        ++Missing;
+    if (New.empty())
+      std::printf("  [generator test: %s]",
+                  Missing == 0 ? "PASS -> converged"
+                               : "FAIL -> keep going");
+    std::printf("\n");
+  }
+  std::printf(
+      "\nReading the table: (R_k) grows forever (the stacks pump), so\n"
+      "Scheme 1 never terminates here.  (T(R_k)) plateaus at k = 2-3,\n"
+      "but the generator <0 | 1, 6> was still unreached -- stuttering,\n"
+      "not convergence.  At the k = 5-6 plateau every reachable\n"
+      "generator is covered, so T(R) = T(R_5): CUBA concludes for all\n"
+      "context bounds, matching Ex. 14 of the paper.\n");
+  return 0;
+}

@@ -1,0 +1,90 @@
+//===-- examples/quickstart.cpp - First steps with the CUBA API ------------=//
+//
+// Part of the CUBA project, an implementation of the PLDI 2018 paper
+// "CUBA: Interprocedural Context-UnBounded Analysis of Concurrent Programs".
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Builds the paper's Fig. 1 running example with the Cpds builder API,
+/// runs the full CUBA procedure, and prints the verdict.  Start here.
+///
+//===----------------------------------------------------------------------===//
+
+#include <cstdio>
+
+#include "core/CubaDriver.h"
+#include "pds/CpdsIO.h"
+
+using namespace cuba;
+
+int main() {
+  // A CPDS is built incrementally: shared states, threads, per-thread
+  // stack alphabets and rules, the initial state -- then frozen once.
+  Cpds C;
+  QState Q0 = C.addSharedState("0");
+  QState Q1 = C.addSharedState("1");
+  QState Q2 = C.addSharedState("2");
+  QState Q3 = C.addSharedState("3");
+  C.setInitialShared(Q0);
+
+  unsigned P1 = C.addThread("P1");
+  Sym S1 = C.thread(P1).addSymbol("1");
+  Sym S2 = C.thread(P1).addSymbol("2");
+  C.thread(P1).addAction({Q0, S1, Q1, S2, EpsSym, "f1"});
+  C.thread(P1).addAction({Q3, S2, Q0, S1, EpsSym, "f2"});
+  C.setInitialStack(P1, {S1});
+
+  unsigned P2 = C.addThread("P2");
+  Sym S4 = C.thread(P2).addSymbol("4");
+  Sym S5 = C.thread(P2).addSymbol("5");
+  Sym S6 = C.thread(P2).addSymbol("6");
+  C.thread(P2).addAction({Q0, S4, Q0, EpsSym, EpsSym, "b1"}); // pop
+  C.thread(P2).addAction({Q1, S4, Q2, S5, EpsSym, "b2"});     // overwrite
+  C.thread(P2).addAction({Q2, S5, Q3, S4, S6, "b3"});         // push
+  C.setInitialStack(P2, {S4});
+
+  if (auto R = C.freeze(); !R) {
+    std::fprintf(stderr, "invalid system: %s\n", R.error().str().c_str());
+    return 1;
+  }
+  std::printf("system: %u shared states, %u threads, initial %s\n",
+              C.numSharedStates(), C.numThreads(),
+              toString(C, C.initialState()).c_str());
+
+  // A safety property is a set of bad visible states.  This one is
+  // unreachable (P2's stack is never empty while the shared state is
+  // 3), so CUBA can prove it.
+  SafetyProperty Prop;
+  VisiblePattern Bad;
+  Bad.Q = Q3;
+  Bad.Tops = {std::nullopt, EpsSym};
+  Prop.addBadPattern(Bad);
+
+  // Run the Sec. 6 procedure: FCR test, then the appropriate engine.
+  DriverOptions Opts;
+  Opts.Run.Limits.MaxContexts = 32;
+  DriverResult R = runCuba(C, Prop, Opts);
+
+  std::printf("FCR:    %s\n", R.Fcr.Holds ? "holds" : "not established");
+  switch (R.Run.outcome()) {
+  case Outcome::Proved:
+    std::printf("result: safe for EVERY context bound; the visible-state\n"
+                "        sequence T(R_k) collapsed at k0 = %u (the paper\n"
+                "        derives exactly this bound in Ex. 14).\n",
+                *R.Run.ConvergedAt);
+    break;
+  case Outcome::BugFound:
+    std::printf("result: bug within %u contexts at %s\n", *R.Run.BugBound,
+                R.Run.Witness.c_str());
+    break;
+  case Outcome::ResourceLimit:
+    std::printf("result: undecided within the budget (k <= %u)\n",
+                R.Run.KMax);
+    break;
+  }
+  std::printf("cost:   %llu states, %.2f ms\n",
+              static_cast<unsigned long long>(R.Run.StatesStored),
+              R.Run.Millis);
+  return R.Run.outcome() == Outcome::Proved ? 0 : 1;
+}

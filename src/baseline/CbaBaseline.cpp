@@ -1,0 +1,90 @@
+//===-- baseline/CbaBaseline.cpp - Context-bounded baseline ---------------===//
+//
+// Part of the CUBA project, an implementation of the PLDI 2018 paper
+// "CUBA: Interprocedural Context-UnBounded Analysis of Concurrent Programs".
+//
+//===----------------------------------------------------------------------===//
+
+#include "baseline/CbaBaseline.h"
+
+#include "bdd/BddSet.h"
+#include "bdd/VisibleCodec.h"
+#include "core/CbaEngine.h"
+#include "core/SymbolicEngine.h"
+#include "support/Timer.h"
+
+using namespace cuba;
+
+namespace {
+
+/// Shared loop: advance an engine round by round to the bound, checking
+/// new visible states against the property.
+template <typename EngineT, typename OkT>
+BaselineResult
+runRounds(EngineT &Engine, OkT OkStatus, const SafetyProperty &Prop,
+          unsigned K, BddSet *Mirror, const VisibleCodec *Codec) {
+  BaselineResult R;
+  WallTimer Timer;
+
+  auto Check = [&]() {
+    for (const VisibleState &V : Engine.newVisibleThisRound()) {
+      // The BDD mirror, when present, is the store of record for the
+      // property check: states flow set -> pattern match.
+      if (Mirror)
+        Mirror->insert(Codec->encode(V));
+      if (!R.BugBound && Prop.violatedBy(V))
+        R.BugBound = Engine.bound();
+    }
+  };
+
+  Check();
+  bool Exhausted = false;
+  while (Engine.bound() < K && !R.BugBound) {
+    if (Engine.advance() != OkStatus) {
+      Exhausted = true;
+      break;
+    }
+    Check();
+  }
+  R.CompletedToBound = !Exhausted && (R.BugBound || Engine.bound() >= K);
+  R.KReached = Engine.bound();
+  R.VisibleStates = Engine.visibleSize();
+  R.Millis = Timer.millis();
+  if (Mirror)
+    R.BddNodes = Mirror->nodeCount();
+  return R;
+}
+
+} // namespace
+
+BaselineResult cuba::runCbaBaseline(const Cpds &C, const SafetyProperty &Prop,
+                                    unsigned K, const ResourceLimits &Limits,
+                                    BaselineEngine Engine) {
+  switch (Engine) {
+  case BaselineEngine::Explicit: {
+    CbaEngine E(C, Limits);
+    BaselineResult R =
+        runRounds(E, CbaEngine::RoundStatus::Ok, Prop, K, nullptr, nullptr);
+    R.StatesStored = E.reachedSize();
+    return R;
+  }
+  case BaselineEngine::ExplicitBdd: {
+    CbaEngine E(C, Limits);
+    BddManager M;
+    VisibleCodec Codec(C);
+    BddSet Mirror(M, Codec.width());
+    BaselineResult R =
+        runRounds(E, CbaEngine::RoundStatus::Ok, Prop, K, &Mirror, &Codec);
+    R.StatesStored = E.reachedSize();
+    return R;
+  }
+  case BaselineEngine::Symbolic: {
+    SymbolicEngine E(C, Limits);
+    BaselineResult R = runRounds(E, SymbolicEngine::RoundStatus::Ok, Prop, K,
+                                 nullptr, nullptr);
+    R.StatesStored = E.symbolicStateCount();
+    return R;
+  }
+  }
+  return {};
+}

@@ -1,0 +1,55 @@
+//===-- baseline/CbaBaseline.h - Context-bounded baseline -------*- C++ -*-===//
+//
+// Part of the CUBA project, an implementation of the PLDI 2018 paper
+// "CUBA: Interprocedural Context-UnBounded Analysis of Concurrent Programs".
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The comparison baseline of Fig. 5: classical context-bounded analysis
+/// in the JMoped role.  It runs the same reachability engines to a
+/// *fixed* context bound K and reports only "bug within K contexts" or
+/// "no bug within K contexts" -- per construction it can never prove
+/// unbounded safety, which is exactly the contrast the figure draws.
+///
+/// Engines: Explicit (R_k enumeration; needs FCR in practice),
+/// ExplicitBdd (same exploration with T(R_k) mirrored into a BDD-backed
+/// set, through which the property is checked -- the BDD-set code path
+/// JMoped's representation motivates), and Symbolic (PSA state sets).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CUBA_BASELINE_CBABASELINE_H
+#define CUBA_BASELINE_CBABASELINE_H
+
+#include <optional>
+
+#include "pds/Cpds.h"
+#include "support/Limits.h"
+
+namespace cuba {
+
+/// How the baseline stores state sets.
+enum class BaselineEngine { Explicit, ExplicitBdd, Symbolic };
+
+struct BaselineResult {
+  /// Smallest bound at which a violation was found, if any.
+  std::optional<unsigned> BugBound;
+  /// True when every k <= K was fully explored (no budget exhaustion).
+  bool CompletedToBound = false;
+  unsigned KReached = 0;
+  uint64_t StatesStored = 0;
+  uint64_t VisibleStates = 0;
+  /// BDD nodes of the visible-state set (ExplicitBdd only).
+  size_t BddNodes = 0;
+  double Millis = 0;
+};
+
+/// Runs CBA up to context bound \p K.
+BaselineResult runCbaBaseline(const Cpds &C, const SafetyProperty &Prop,
+                              unsigned K, const ResourceLimits &Limits,
+                              BaselineEngine Engine);
+
+} // namespace cuba
+
+#endif // CUBA_BASELINE_CBABASELINE_H

@@ -1,0 +1,151 @@
+//===-- bdd/Bdd.cpp - Reduced ordered binary decision diagrams ------------===//
+//
+// Part of the CUBA project, an implementation of the PLDI 2018 paper
+// "CUBA: Interprocedural Context-UnBounded Analysis of Concurrent Programs".
+//
+//===----------------------------------------------------------------------===//
+
+#include "bdd/Bdd.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <unordered_set>
+
+using namespace cuba;
+
+BddRef BddManager::mkNode(uint32_t Var, BddRef Low, BddRef High) {
+  if (Low == High) // Redundant-test elimination.
+    return Low;
+  assert(Var < (1u << 21) && Nodes.size() < (1u << 21) &&
+         "BDD too large for the packing scheme");
+  uint64_t Key = tripleKey(Var, Low, High);
+  auto It = Unique.find(Key);
+  if (It != Unique.end())
+    return It->second;
+  BddRef R = static_cast<BddRef>(Nodes.size());
+  Nodes.push_back({Var, Low, High});
+  Unique.emplace(Key, R);
+  return R;
+}
+
+BddRef BddManager::ite(BddRef F, BddRef G, BddRef H) {
+  // Terminal cases.
+  if (F == trueRef())
+    return G;
+  if (F == falseRef())
+    return H;
+  if (G == H)
+    return G;
+  if (G == trueRef() && H == falseRef())
+    return F;
+
+  uint64_t Key = tripleKey(F, G, H);
+  auto It = IteCache.find(Key);
+  if (It != IteCache.end())
+    return It->second;
+
+  // Split on the top variable of the three arguments.
+  uint32_t V = varOf(F);
+  V = std::min(V, varOf(G));
+  V = std::min(V, varOf(H));
+  auto Cof = [&](BddRef X, bool Value) -> BddRef {
+    if (isTerminal(X) || Nodes[X].Var != V)
+      return X;
+    return Value ? Nodes[X].High : Nodes[X].Low;
+  };
+  BddRef Low = ite(Cof(F, false), Cof(G, false), Cof(H, false));
+  BddRef High = ite(Cof(F, true), Cof(G, true), Cof(H, true));
+  BddRef R = mkNode(V, Low, High);
+  IteCache.emplace(Key, R);
+  return R;
+}
+
+BddRef BddManager::exists(BddRef F, unsigned Var) {
+  if (isTerminal(F))
+    return F;
+  uint64_t Key = tripleKey(F, Var, 0x1fffff);
+  auto It = ExistsCache.find(Key);
+  if (It != ExistsCache.end())
+    return It->second;
+  const Node &N = Nodes[F];
+  BddRef R;
+  if (N.Var == Var) {
+    R = bddOr(N.Low, N.High);
+  } else if (N.Var > Var) {
+    R = F; // Var does not occur below (ordered).
+  } else {
+    R = mkNode(N.Var, exists(N.Low, Var), exists(N.High, Var));
+  }
+  ExistsCache.emplace(Key, R);
+  return R;
+}
+
+BddRef BddManager::restrict(BddRef F, unsigned Var, bool Value) {
+  if (isTerminal(F))
+    return F;
+  const Node &N = Nodes[F];
+  if (N.Var == Var)
+    return Value ? N.High : N.Low;
+  if (N.Var > Var)
+    return F;
+  return mkNode(N.Var, restrict(N.Low, Var, Value),
+                restrict(N.High, Var, Value));
+}
+
+BddRef BddManager::cube(uint64_t Bits, unsigned FirstVar, unsigned Width) {
+  growVars(FirstVar + Width);
+  // Build bottom-up (highest variable first) to avoid rebuilding.
+  BddRef R = trueRef();
+  for (unsigned I = Width; I-- > 0;) {
+    bool B = (Bits >> I) & 1;
+    unsigned V = FirstVar + I;
+    R = B ? mkNode(V, falseRef(), R) : mkNode(V, R, falseRef());
+  }
+  return R;
+}
+
+bool BddManager::evaluate(BddRef F, const std::vector<bool> &A) const {
+  while (!isTerminal(F)) {
+    const Node &N = Nodes[F];
+    assert(N.Var < A.size() && "assignment too short");
+    F = A[N.Var] ? N.High : N.Low;
+  }
+  return F == trueRef();
+}
+
+double BddManager::satCount(BddRef F) const {
+  // Density D(X) = fraction of assignments to *all* variables under
+  // which X evaluates true.  Skipped levels need no correction: the
+  // function is independent of them, so the fraction is unaffected, and
+  // D(node) = (D(low) + D(high)) / 2 holds at every node.
+  std::unordered_map<BddRef, double> Memo;
+  auto Density = [&](auto &&Self, BddRef X) -> double {
+    if (X == falseRef())
+      return 0.0;
+    if (X == trueRef())
+      return 1.0;
+    auto It = Memo.find(X);
+    if (It != Memo.end())
+      return It->second;
+    const Node &N = Nodes[X];
+    double D = 0.5 * Self(Self, N.Low) + 0.5 * Self(Self, N.High);
+    Memo.emplace(X, D);
+    return D;
+  };
+  return Density(Density, F) * std::pow(2.0, static_cast<double>(NumVars));
+}
+
+size_t BddManager::nodeCount(BddRef F) const {
+  std::unordered_set<BddRef> Seen;
+  std::vector<BddRef> Work = {F};
+  while (!Work.empty()) {
+    BddRef X = Work.back();
+    Work.pop_back();
+    if (!Seen.insert(X).second || isTerminal(X))
+      continue;
+    Work.push_back(Nodes[X].Low);
+    Work.push_back(Nodes[X].High);
+  }
+  return Seen.size();
+}

@@ -1,0 +1,130 @@
+//===-- bdd/Bdd.h - Reduced ordered binary decision diagrams ----*- C++ -*-===//
+//
+// Part of the CUBA project, an implementation of the PLDI 2018 paper
+// "CUBA: Interprocedural Context-UnBounded Analysis of Concurrent Programs".
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A compact ROBDD package: hash-consed nodes, an ite-based apply with a
+/// computed-table cache, existential quantification and satisfying-
+/// assignment counting.  Sec. 5 of the paper names BDDs as one of the
+/// "compact data structures for finite sets" enabled by FCR, and JMoped
+/// (the Fig. 5 comparison tool) is BDD-based; this package backs the
+/// BddSet state-set container and the baseline's set store.
+///
+/// Nodes are indices into a manager-owned table; 0 and 1 are the
+/// terminal false and true.  No complement edges -- simplicity over the
+/// last factor of two.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CUBA_BDD_BDD_H
+#define CUBA_BDD_BDD_H
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace cuba {
+
+/// A BDD node reference (index into the manager's node table).
+using BddRef = uint32_t;
+
+/// Owns the node table and caches; all BddRefs are relative to one
+/// manager.  Variables are dense indices 0..numVars()-1 ordered by
+/// index (lower index = closer to the root).
+class BddManager {
+public:
+  explicit BddManager(unsigned NumVars = 0) : NumVars(NumVars) {
+    // Terminals: node 0 = false, node 1 = true.
+    Nodes.push_back({UINT32_MAX, 0, 0});
+    Nodes.push_back({UINT32_MAX, 1, 1});
+  }
+
+  BddRef falseRef() const { return 0; }
+  BddRef trueRef() const { return 1; }
+
+  unsigned numVars() const { return NumVars; }
+
+  /// Ensures variables [0, N) exist.
+  void growVars(unsigned N) {
+    if (N > NumVars)
+      NumVars = N;
+  }
+
+  /// The function of the single variable \p Var.
+  BddRef var(unsigned Var) {
+    growVars(Var + 1);
+    return mkNode(Var, falseRef(), trueRef());
+  }
+
+  /// The negation of variable \p Var.
+  BddRef nvar(unsigned Var) {
+    growVars(Var + 1);
+    return mkNode(Var, trueRef(), falseRef());
+  }
+
+  BddRef bddNot(BddRef F) { return ite(F, falseRef(), trueRef()); }
+  BddRef bddAnd(BddRef F, BddRef G) { return ite(F, G, falseRef()); }
+  BddRef bddOr(BddRef F, BddRef G) { return ite(F, trueRef(), G); }
+  BddRef bddXor(BddRef F, BddRef G) { return ite(F, bddNot(G), G); }
+
+  /// if-then-else: F ? G : H (the universal connective).
+  BddRef ite(BddRef F, BddRef G, BddRef H);
+
+  /// Existential quantification of \p Var.
+  BddRef exists(BddRef F, unsigned Var);
+
+  /// The cofactor of F with \p Var fixed to \p Value.
+  BddRef restrict(BddRef F, unsigned Var, bool Value);
+
+  /// The conjunction of literals encoding \p Bits over variables
+  /// [FirstVar, FirstVar+Width): a "minterm" cube.
+  BddRef cube(uint64_t Bits, unsigned FirstVar, unsigned Width);
+
+  /// Evaluates F under a full assignment (indexed by variable).
+  bool evaluate(BddRef F, const std::vector<bool> &Assignment) const;
+
+  /// Number of satisfying assignments of F over all numVars() variables.
+  double satCount(BddRef F) const;
+
+  /// Number of live nodes (including the two terminals).
+  size_t nodeCount() const { return Nodes.size(); }
+
+  /// Nodes reachable from \p F (size of the DAG rooted there).
+  size_t nodeCount(BddRef F) const;
+
+private:
+  struct Node {
+    uint32_t Var; // UINT32_MAX for terminals.
+    BddRef Low;   // Var = 0 branch.
+    BddRef High;  // Var = 1 branch.
+  };
+
+  bool isTerminal(BddRef F) const { return F <= 1; }
+  uint32_t varOf(BddRef F) const {
+    return isTerminal(F) ? UINT32_MAX : Nodes[F].Var;
+  }
+
+  /// Hash-consing constructor with the two ROBDD reduction rules.
+  BddRef mkNode(uint32_t Var, BddRef Low, BddRef High);
+
+  static uint64_t tripleKey(uint32_t A, uint32_t B, uint32_t C) {
+    // 21 bits each is ample for this project's node counts (asserted in
+    // mkNode).
+    return (static_cast<uint64_t>(A) << 42) |
+           (static_cast<uint64_t>(B) << 21) | C;
+  }
+
+  unsigned NumVars;
+  std::vector<Node> Nodes;
+  std::unordered_map<uint64_t, BddRef> Unique;
+  std::unordered_map<uint64_t, BddRef> IteCache;
+  std::unordered_map<uint64_t, BddRef> ExistsCache;
+};
+
+} // namespace cuba
+
+#endif // CUBA_BDD_BDD_H

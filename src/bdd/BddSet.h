@@ -1,0 +1,74 @@
+//===-- bdd/BddSet.h - BDD-backed bitvector sets -----------------*- C++ -*-=//
+//
+// Part of the CUBA project, an implementation of the PLDI 2018 paper
+// "CUBA: Interprocedural Context-UnBounded Analysis of Concurrent Programs".
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A set of fixed-width bitvectors represented as a BDD (one Boolean
+/// variable per bit).  This is the "BDDs" option for storing the finite
+/// sets T(R_k) that Sec. 5 mentions alongside extensional containers;
+/// the baseline and the state-store ablation use it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CUBA_BDD_BDDSET_H
+#define CUBA_BDD_BDDSET_H
+
+#include <cassert>
+#include <cmath>
+
+#include "bdd/Bdd.h"
+
+namespace cuba {
+
+/// A set of Width-bit vectors, characteristic-function encoded.
+class BddSet {
+public:
+  BddSet(BddManager &M, unsigned Width) : M(M), Width(Width),
+                                          Set(M.falseRef()) {
+    assert(Width <= 63 && "bitvector too wide");
+    M.growVars(Width);
+  }
+
+  /// Inserts \p Bits; returns true when it was not already present.
+  bool insert(uint64_t Bits) {
+    BddRef Cube = M.cube(Bits, 0, Width);
+    BddRef NewSet = M.bddOr(Set, Cube);
+    if (NewSet == Set)
+      return false;
+    Set = NewSet;
+    return true;
+  }
+
+  bool contains(uint64_t Bits) const {
+    std::vector<bool> A(M.numVars(), false);
+    for (unsigned I = 0; I < Width; ++I)
+      A[I] = (Bits >> I) & 1;
+    return M.evaluate(Set, A);
+  }
+
+  /// Number of elements (exact while below 2^53).
+  uint64_t size() const {
+    double Count = M.satCount(Set) /
+                   std::pow(2.0, static_cast<double>(M.numVars() - Width));
+    return static_cast<uint64_t>(Count + 0.5);
+  }
+
+  /// Nodes in the characteristic function (the "compactness" metric the
+  /// ablation bench reports).
+  size_t nodeCount() const { return M.nodeCount(Set); }
+
+  BddRef function() const { return Set; }
+  unsigned width() const { return Width; }
+
+private:
+  BddManager &M;
+  unsigned Width;
+  BddRef Set;
+};
+
+} // namespace cuba
+
+#endif // CUBA_BDD_BDDSET_H

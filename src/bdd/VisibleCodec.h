@@ -1,0 +1,73 @@
+//===-- bdd/VisibleCodec.h - Visible states as bitvectors -------*- C++ -*-===//
+//
+// Part of the CUBA project, an implementation of the PLDI 2018 paper
+// "CUBA: Interprocedural Context-UnBounded Analysis of Concurrent Programs".
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Packs visible states <q | s1..sn> into fixed-width bitvectors so
+/// BddSet can store T(R_k): ceil(log2) bits for the shared state plus
+/// one field per thread (symbol ids including EpsSym = 0).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CUBA_BDD_VISIBLECODEC_H
+#define CUBA_BDD_VISIBLECODEC_H
+
+#include <cassert>
+
+#include "pds/Cpds.h"
+
+namespace cuba {
+
+/// Bit layout for the visible states of one CPDS.
+class VisibleCodec {
+public:
+  explicit VisibleCodec(const Cpds &C) {
+    SharedBits = bitsFor(C.numSharedStates());
+    TotalBits = SharedBits;
+    for (unsigned I = 0; I < C.numThreads(); ++I) {
+      FieldOffset.push_back(TotalBits);
+      unsigned B = bitsFor(C.thread(I).numSymbols() + 1);
+      FieldBits.push_back(B);
+      TotalBits += B;
+    }
+    assert(TotalBits <= 63 && "CPDS too large for the bitvector codec");
+  }
+
+  unsigned width() const { return TotalBits; }
+
+  uint64_t encode(const VisibleState &V) const {
+    uint64_t Bits = V.Q;
+    for (size_t I = 0; I < V.Tops.size(); ++I)
+      Bits |= static_cast<uint64_t>(V.Tops[I]) << FieldOffset[I];
+    return Bits;
+  }
+
+  VisibleState decode(uint64_t Bits, unsigned NumThreads) const {
+    VisibleState V;
+    V.Q = static_cast<QState>(Bits & ((1ull << SharedBits) - 1));
+    for (unsigned I = 0; I < NumThreads; ++I)
+      V.Tops.push_back(static_cast<Sym>(
+          (Bits >> FieldOffset[I]) & ((1ull << FieldBits[I]) - 1)));
+    return V;
+  }
+
+private:
+  static unsigned bitsFor(uint64_t Count) {
+    unsigned B = 1;
+    while ((1ull << B) < Count)
+      ++B;
+    return B;
+  }
+
+  unsigned SharedBits = 0;
+  unsigned TotalBits = 0;
+  std::vector<unsigned> FieldOffset;
+  std::vector<unsigned> FieldBits;
+};
+
+} // namespace cuba
+
+#endif // CUBA_BDD_VISIBLECODEC_H

@@ -1,0 +1,138 @@
+//===-- bp/Ast.h - Boolean-program AST ----------------------------*- C++ -*-=//
+//
+// Part of the CUBA project, an implementation of the PLDI 2018 paper
+// "CUBA: Interprocedural Context-UnBounded Analysis of Concurrent Programs".
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// AST for the concurrent Boolean-program language (App. B, Fig. 6).
+/// Plain tagged structs (no RTTI); ownership via unique_ptr trees.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CUBA_BP_AST_H
+#define CUBA_BP_AST_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace cuba::bp {
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+enum class ExprKind : uint8_t {
+  Const,  ///< 0 or 1.
+  Var,    ///< A shared variable, local, or parameter reference.
+  Nondet, ///< `*`: nondeterministic choice.
+  Not,    ///< !e
+  And,    ///< e & e   (also `&&`)
+  Or,     ///< e | e   (also `||`)
+  Xor,    ///< e ^ e
+  Eq,     ///< e = e
+  Neq,    ///< e != e
+};
+
+struct Expr {
+  ExprKind Kind;
+  bool ConstValue = false;       // Const
+  std::string Name;              // Var (resolved by Sema)
+  std::unique_ptr<Expr> Lhs, Rhs; // Not uses Lhs only.
+  unsigned Line = 0, Column = 0;
+
+  /// Filled by Sema: the variable's slot (see VarRef).
+  int VarSlot = -1;
+  bool VarIsShared = false;
+};
+
+using ExprPtr = std::unique_ptr<Expr>;
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+enum class StmtKind : uint8_t {
+  Skip,
+  Goto,         ///< goto l1 [l2 ...]: nondeterministic multi-target jump.
+  Assume,
+  Assert,
+  Assign,       ///< x1, ..., xn := e1, ..., en [constrain e]
+  Call,         ///< [x :=] call f(e*)
+  Return,       ///< return [e]
+  ThreadCreate, ///< thread_create(f)  (only in main)
+  Atomic,       ///< atomic { stmts }  == lock; stmts; unlock
+  Lock,
+  Unlock,
+  While,        ///< while (e) { stmts }
+  If,           ///< if (e) { stmts } else { stmts }
+};
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+struct Stmt {
+  StmtKind Kind;
+  std::string Label; // Optional statement label.
+  unsigned Line = 0, Column = 0;
+
+  // Goto.
+  std::vector<std::string> GotoTargets;
+  // Assume / Assert / While / If condition; Assign constrain clause.
+  ExprPtr Cond;
+  // Assign.
+  std::vector<std::string> AssignTargets;
+  std::vector<ExprPtr> AssignValues;
+  ExprPtr Constrain;
+  // Call (and Assign-from-call).
+  std::string Callee;
+  std::vector<ExprPtr> CallArgs;
+  std::string CallResult; // Empty when the result is discarded.
+  // Return.
+  ExprPtr RetValue; // Null for plain `return`.
+  // ThreadCreate.
+  std::string ThreadFunc;
+  // Structured bodies (Atomic / While / If).
+  std::vector<StmtPtr> Body;
+  std::vector<StmtPtr> ElseBody;
+
+  // Filled by Sema for Assign targets: parallel to AssignTargets.
+  std::vector<int> TargetSlots;
+  std::vector<bool> TargetIsShared;
+};
+
+//===----------------------------------------------------------------------===//
+// Declarations
+//===----------------------------------------------------------------------===//
+
+struct Function {
+  std::string Name;
+  bool ReturnsBool = false;
+  std::vector<std::string> Params;
+  std::vector<std::string> Locals; // `decl` inside the body.
+  std::vector<StmtPtr> Body;
+  unsigned Line = 0, Column = 0;
+
+  /// Filled by Sema: Params followed by Locals (slot order).
+  std::vector<std::string> AllLocals;
+};
+
+struct Program {
+  std::vector<std::string> SharedVars; // Top-level `decl`s.
+  std::vector<Function> Functions;
+  /// Thread entry functions, in thread_create order (from main).
+  std::vector<std::string> ThreadEntries;
+
+  const Function *findFunction(std::string_view Name) const {
+    for (const Function &F : Functions)
+      if (F.Name == Name)
+        return &F;
+    return nullptr;
+  }
+};
+
+} // namespace cuba::bp
+
+#endif // CUBA_BP_AST_H

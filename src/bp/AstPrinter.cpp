@@ -1,0 +1,165 @@
+//===-- bp/AstPrinter.cpp - Boolean-program AST printer --------------------=//
+//
+// Part of the CUBA project, an implementation of the PLDI 2018 paper
+// "CUBA: Interprocedural Context-UnBounded Analysis of Concurrent Programs".
+//
+//===----------------------------------------------------------------------===//
+
+#include "bp/AstPrinter.h"
+
+#include "support/Unreachable.h"
+
+using namespace cuba;
+using namespace cuba::bp;
+
+std::string cuba::bp::printExpr(const Expr &E) {
+  switch (E.Kind) {
+  case ExprKind::Const:
+    return E.ConstValue ? "1" : "0";
+  case ExprKind::Var:
+    return E.Name;
+  case ExprKind::Nondet:
+    return "*";
+  case ExprKind::Not:
+    return "!" + printExpr(*E.Lhs);
+  case ExprKind::And:
+    return "(" + printExpr(*E.Lhs) + " & " + printExpr(*E.Rhs) + ")";
+  case ExprKind::Or:
+    return "(" + printExpr(*E.Lhs) + " | " + printExpr(*E.Rhs) + ")";
+  case ExprKind::Xor:
+    return "(" + printExpr(*E.Lhs) + " ^ " + printExpr(*E.Rhs) + ")";
+  case ExprKind::Eq:
+    return "(" + printExpr(*E.Lhs) + " = " + printExpr(*E.Rhs) + ")";
+  case ExprKind::Neq:
+    return "(" + printExpr(*E.Lhs) + " != " + printExpr(*E.Rhs) + ")";
+  }
+  cuba_unreachable("covered switch over ExprKind");
+}
+
+namespace {
+
+/// Statement printer with indentation.
+class StmtPrinter {
+public:
+  explicit StmtPrinter(std::string &Out) : Out(Out) {}
+
+  void printBody(const std::vector<StmtPtr> &Body, unsigned Depth) {
+    for (const StmtPtr &S : Body)
+      printStmt(*S, Depth);
+  }
+
+private:
+  void indent(unsigned Depth) { Out.append(2 * Depth, ' '); }
+
+  void printStmt(const Stmt &S, unsigned Depth) {
+    indent(Depth);
+    if (!S.Label.empty())
+      Out += S.Label + ": ";
+    switch (S.Kind) {
+    case StmtKind::Skip:
+      Out += "skip;\n";
+      return;
+    case StmtKind::Goto: {
+      Out += "goto ";
+      for (size_t I = 0; I < S.GotoTargets.size(); ++I)
+        Out += (I ? ", " : "") + S.GotoTargets[I];
+      Out += ";\n";
+      return;
+    }
+    case StmtKind::Assume:
+      Out += "assume(" + printExpr(*S.Cond) + ");\n";
+      return;
+    case StmtKind::Assert:
+      Out += "assert(" + printExpr(*S.Cond) + ");\n";
+      return;
+    case StmtKind::Assign: {
+      for (size_t I = 0; I < S.AssignTargets.size(); ++I)
+        Out += (I ? ", " : "") + S.AssignTargets[I];
+      Out += " := ";
+      for (size_t I = 0; I < S.AssignValues.size(); ++I)
+        Out += (I ? ", " : "") + printExpr(*S.AssignValues[I]);
+      if (S.Constrain)
+        Out += " constrain " + printExpr(*S.Constrain);
+      Out += ";\n";
+      return;
+    }
+    case StmtKind::Call: {
+      if (!S.CallResult.empty())
+        Out += S.CallResult + " := ";
+      Out += "call " + S.Callee + "(";
+      for (size_t I = 0; I < S.CallArgs.size(); ++I)
+        Out += (I ? ", " : "") + printExpr(*S.CallArgs[I]);
+      Out += ");\n";
+      return;
+    }
+    case StmtKind::Return:
+      Out += S.RetValue ? "return " + printExpr(*S.RetValue) + ";\n"
+                        : "return;\n";
+      return;
+    case StmtKind::ThreadCreate:
+      Out += "thread_create(&" + S.ThreadFunc + ");\n";
+      return;
+    case StmtKind::Lock:
+      Out += "lock;\n";
+      return;
+    case StmtKind::Unlock:
+      Out += "unlock;\n";
+      return;
+    case StmtKind::Atomic:
+      Out += "atomic {\n";
+      printBody(S.Body, Depth + 1);
+      indent(Depth);
+      Out += "}\n";
+      return;
+    case StmtKind::While:
+      Out += "while (" + printExpr(*S.Cond) + ") {\n";
+      printBody(S.Body, Depth + 1);
+      indent(Depth);
+      Out += "}\n";
+      return;
+    case StmtKind::If:
+      Out += "if (" + printExpr(*S.Cond) + ") {\n";
+      printBody(S.Body, Depth + 1);
+      indent(Depth);
+      if (S.ElseBody.empty()) {
+        Out += "}\n";
+        return;
+      }
+      Out += "} else {\n";
+      printBody(S.ElseBody, Depth + 1);
+      indent(Depth);
+      Out += "}\n";
+      return;
+    }
+  }
+
+  std::string &Out;
+};
+
+} // namespace
+
+std::string cuba::bp::printProgram(const Program &P) {
+  std::string Out;
+  if (!P.SharedVars.empty()) {
+    Out += "decl ";
+    for (size_t I = 0; I < P.SharedVars.size(); ++I)
+      Out += (I ? ", " : "") + P.SharedVars[I];
+    Out += ";\n\n";
+  }
+  for (const Function &F : P.Functions) {
+    Out += std::string(F.ReturnsBool ? "bool " : "void ") + F.Name + "(";
+    for (size_t I = 0; I < F.Params.size(); ++I)
+      Out += (I ? ", " : "") + F.Params[I];
+    Out += ") {\n";
+    if (!F.Locals.empty()) {
+      Out += "  decl ";
+      for (size_t I = 0; I < F.Locals.size(); ++I)
+        Out += (I ? ", " : "") + F.Locals[I];
+      Out += ";\n";
+    }
+    StmtPrinter Printer(Out);
+    Printer.printBody(F.Body, 1);
+    Out += "}\n\n";
+  }
+  return Out;
+}

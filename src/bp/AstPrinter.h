@@ -1,0 +1,33 @@
+//===-- bp/AstPrinter.h - Boolean-program AST printer -----------*- C++ -*-===//
+//
+// Part of the CUBA project, an implementation of the PLDI 2018 paper
+// "CUBA: Interprocedural Context-UnBounded Analysis of Concurrent Programs".
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders a Boolean-program AST back to source text.  The output
+/// re-parses to an equivalent program (print/parse round-trips), which
+/// the tests exercise; the CLI exposes it as --dump-ast.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CUBA_BP_ASTPRINTER_H
+#define CUBA_BP_ASTPRINTER_H
+
+#include <string>
+
+#include "bp/Ast.h"
+
+namespace cuba::bp {
+
+/// Renders one expression (fully parenthesised, so precedence never
+/// changes meaning on re-parse).
+std::string printExpr(const Expr &E);
+
+/// Renders a whole program.
+std::string printProgram(const Program &P);
+
+} // namespace cuba::bp
+
+#endif // CUBA_BP_ASTPRINTER_H

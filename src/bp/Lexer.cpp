@@ -1,0 +1,113 @@
+//===-- bp/Lexer.cpp - Boolean-program lexer -------------------------------=//
+//
+// Part of the CUBA project, an implementation of the PLDI 2018 paper
+// "CUBA: Interprocedural Context-UnBounded Analysis of Concurrent Programs".
+//
+//===----------------------------------------------------------------------===//
+
+#include "bp/Lexer.h"
+
+#include <cctype>
+
+using namespace cuba;
+using namespace cuba::bp;
+
+static bool isIdentStart(char C) {
+  return std::isalpha(static_cast<unsigned char>(C)) || C == '_';
+}
+
+static bool isIdentChar(char C) {
+  return std::isalnum(static_cast<unsigned char>(C)) || C == '_';
+}
+
+ErrorOr<std::vector<Token>> cuba::bp::lex(std::string_view Source) {
+  std::vector<Token> Toks;
+  size_t Pos = 0;
+  unsigned Line = 1, Col = 1;
+
+  auto Advance = [&](size_t N = 1) {
+    for (size_t I = 0; I < N; ++I) {
+      if (Source[Pos] == '\n') {
+        ++Line;
+        Col = 1;
+      } else {
+        ++Col;
+      }
+      ++Pos;
+    }
+  };
+  auto Emit = [&](TokKind K, size_t Len) {
+    Toks.push_back({K, Source.substr(Pos, Len), Line, Col});
+    Advance(Len);
+  };
+  auto Starts = [&](std::string_view S) {
+    return Source.substr(Pos, S.size()) == S;
+  };
+
+  while (Pos < Source.size()) {
+    char C = Source[Pos];
+    if (std::isspace(static_cast<unsigned char>(C))) {
+      Advance();
+      continue;
+    }
+    if (Starts("//")) {
+      while (Pos < Source.size() && Source[Pos] != '\n')
+        Advance();
+      continue;
+    }
+    if (isIdentStart(C)) {
+      size_t Len = 1;
+      while (Pos + Len < Source.size() && isIdentChar(Source[Pos + Len]))
+        ++Len;
+      Emit(TokKind::Ident, Len);
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(C))) {
+      size_t Len = 1;
+      while (Pos + Len < Source.size() &&
+             std::isdigit(static_cast<unsigned char>(Source[Pos + Len])))
+        ++Len;
+      Emit(TokKind::Number, Len);
+      continue;
+    }
+    switch (C) {
+    case '(': Emit(TokKind::LParen, 1); continue;
+    case ')': Emit(TokKind::RParen, 1); continue;
+    case '{': Emit(TokKind::LBrace, 1); continue;
+    case '}': Emit(TokKind::RBrace, 1); continue;
+    case ',': Emit(TokKind::Comma, 1); continue;
+    case ';': Emit(TokKind::Semi, 1); continue;
+    case '^': Emit(TokKind::Caret, 1); continue;
+    case '*': Emit(TokKind::Star, 1); continue;
+    case '=': Emit(TokKind::Eq, 1); continue;
+    case ':':
+      if (Starts(":="))
+        Emit(TokKind::Assign, 2);
+      else
+        Emit(TokKind::Colon, 1);
+      continue;
+    case '!':
+      if (Starts("!="))
+        Emit(TokKind::Neq, 2);
+      else
+        Emit(TokKind::Not, 1);
+      continue;
+    case '&':
+      if (Starts("&&"))
+        Emit(TokKind::Ampersand, 2);
+      else
+        Emit(TokKind::Amp, 1);
+      continue;
+    case '|':
+      if (Starts("||"))
+        Emit(TokKind::PipePipe, 2);
+      else
+        Emit(TokKind::Pipe, 1);
+      continue;
+    default:
+      return Error(std::string("illegal character '") + C + "'", Line, Col);
+    }
+  }
+  Toks.push_back({TokKind::End, "", Line, Col});
+  return Toks;
+}

@@ -1,0 +1,66 @@
+//===-- bp/Lexer.h - Boolean-program lexer ------------------------*- C++ -*-=//
+//
+// Part of the CUBA project, an implementation of the PLDI 2018 paper
+// "CUBA: Interprocedural Context-UnBounded Analysis of Concurrent Programs".
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tokenizer for the concurrent Boolean-program language of App. B.
+/// Comments run from `//` to end of line; `*` is the nondeterministic
+/// choice expression.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CUBA_BP_LEXER_H
+#define CUBA_BP_LEXER_H
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "support/ErrorOr.h"
+
+namespace cuba::bp {
+
+enum class TokKind : uint8_t {
+  Ident,      // identifiers and keywords
+  Number,     // 0 or 1
+  LParen,     // (
+  RParen,     // )
+  LBrace,     // {
+  RBrace,     // }
+  Comma,      // ,
+  Semi,       // ;
+  Colon,      // :
+  Assign,     // :=
+  Amp,        // &
+  Pipe,       // |
+  Caret,      // ^
+  Eq,         // =
+  Neq,        // !=
+  Not,        // !
+  Star,       // *
+  Ampersand,  // &&  (lazily folded to Amp in the parser)
+  PipePipe,   // ||
+  End,
+};
+
+struct Token {
+  TokKind Kind;
+  std::string_view Text;
+  unsigned Line;
+  unsigned Column;
+
+  bool is(TokKind K) const { return Kind == K; }
+  bool isIdent(std::string_view S) const {
+    return Kind == TokKind::Ident && Text == S;
+  }
+};
+
+/// Tokenizes \p Source; fails on the first illegal character.
+ErrorOr<std::vector<Token>> lex(std::string_view Source);
+
+} // namespace cuba::bp
+
+#endif // CUBA_BP_LEXER_H

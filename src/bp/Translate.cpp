@@ -1,0 +1,538 @@
+//===-- bp/Translate.cpp - Boolean program to CPDS -------------------------=//
+//
+// Part of the CUBA project, an implementation of the PLDI 2018 paper
+// "CUBA: Interprocedural Context-UnBounded Analysis of Concurrent Programs".
+//
+//===----------------------------------------------------------------------===//
+
+#include "bp/Translate.h"
+
+#include <unordered_map>
+
+#include "bp/Parser.h"
+#include "support/Unreachable.h"
+
+using namespace cuba;
+using namespace cuba::bp;
+
+namespace {
+
+/// The set of values an expression can take in one (shared, local)
+/// valuation; nondeterminism makes this a set.
+struct BoolSet {
+  bool Can0 = false;
+  bool Can1 = false;
+
+  static BoolSet of(bool V) { return V ? BoolSet{false, true}
+                                       : BoolSet{true, false}; }
+  static BoolSet both() { return {true, true}; }
+
+  std::vector<bool> values() const {
+    std::vector<bool> V;
+    if (Can0)
+      V.push_back(false);
+    if (Can1)
+      V.push_back(true);
+    return V;
+  }
+};
+
+/// Applies a binary Boolean operator pointwise over two value sets.
+template <typename FnT>
+static BoolSet combine(BoolSet A, BoolSet B, FnT Fn) {
+  BoolSet R;
+  for (bool X : A.values())
+    for (bool Y : B.values()) {
+      if (Fn(X, Y))
+        R.Can1 = true;
+      else
+        R.Can0 = true;
+    }
+  return R;
+}
+
+/// One flattened operation of a function body.
+struct FlatOp {
+  enum class K {
+    Skip,
+    Goto,   ///< Targets: all jump destinations.
+    Branch, ///< Cond; Targets[0] on true, Targets[1] on false.
+    Assume, ///< Cond must possibly hold.
+    Assert, ///< !Cond possibly holding enters err.
+    Assign,
+    Call,   ///< Targets[0] is the return-site pc.
+    Bind,   ///< x := $ret at a call's return site.
+    Return,
+    Lock,
+    Unlock,
+  };
+  K Kind = K::Skip;
+  std::vector<unsigned> Targets;
+  const Stmt *S = nullptr; // Source statement for expressions/slots.
+};
+
+struct FlatFunction {
+  const Function *F = nullptr;
+  std::vector<FlatOp> Ops;
+};
+
+/// Flattens structured statements into a pc-indexed op list.
+class Flattener {
+public:
+  explicit Flattener(const Function &F) { Flat.F = &F; }
+
+  ErrorOr<FlatFunction> run() {
+    if (auto R = emitBody(Flat.F->Body); !R)
+      return R.error();
+    // Implicit return at the end of the body (void-style pop; Sema
+    // guarantees bool functions return explicitly on used paths).
+    append(FlatOp::K::Return, nullptr);
+    // Resolve gotos now that every label has a pc.  Synthetic gotos
+    // (loop back-edges, if-skips) carry no statement and already have
+    // their targets.
+    for (FlatOp &Op : Flat.Ops) {
+      if (Op.Kind != FlatOp::K::Goto || !Op.S || !Op.Targets.empty())
+        continue;
+      for (const std::string &L : Op.S->GotoTargets) {
+        auto It = LabelPc.find(L);
+        if (It == LabelPc.end())
+          return Error("unknown label '" + L + "'", Op.S->Line,
+                       Op.S->Column);
+        Op.Targets.push_back(It->second);
+      }
+    }
+    return std::move(Flat);
+  }
+
+private:
+  unsigned pc() const { return static_cast<unsigned>(Flat.Ops.size()); }
+
+  FlatOp &append(FlatOp::K K, const Stmt *S) {
+    FlatOp Op;
+    Op.Kind = K;
+    Op.S = S;
+    Flat.Ops.push_back(std::move(Op));
+    return Flat.Ops.back();
+  }
+
+  ErrorOr<void> emitBody(const std::vector<StmtPtr> &Body) {
+    for (const StmtPtr &SP : Body)
+      if (auto R = emitStmt(*SP); !R)
+        return R.error();
+    return {};
+  }
+
+  ErrorOr<void> emitStmt(const Stmt &S) {
+    if (!S.Label.empty())
+      LabelPc[S.Label] = pc();
+    switch (S.Kind) {
+    case StmtKind::Skip:
+      append(FlatOp::K::Skip, &S);
+      return {};
+    case StmtKind::Goto:
+      append(FlatOp::K::Goto, &S); // Targets resolved at the end.
+      return {};
+    case StmtKind::Assume:
+      append(FlatOp::K::Assume, &S);
+      return {};
+    case StmtKind::Assert:
+      append(FlatOp::K::Assert, &S);
+      return {};
+    case StmtKind::Assign:
+      append(FlatOp::K::Assign, &S);
+      return {};
+    case StmtKind::Call: {
+      FlatOp &Op = append(FlatOp::K::Call, &S);
+      if (!S.CallResult.empty()) {
+        Op.Targets = {pc()};
+        append(FlatOp::K::Bind, &S);
+      } else {
+        Op.Targets = {pc()};
+        // Return site is simply the next op.
+      }
+      return {};
+    }
+    case StmtKind::Return:
+      append(FlatOp::K::Return, &S);
+      return {};
+    case StmtKind::Lock:
+      append(FlatOp::K::Lock, &S);
+      return {};
+    case StmtKind::Unlock:
+      append(FlatOp::K::Unlock, &S);
+      return {};
+    case StmtKind::Atomic: {
+      append(FlatOp::K::Lock, &S);
+      if (auto R = emitBody(S.Body); !R)
+        return R.error();
+      append(FlatOp::K::Unlock, &S);
+      return {};
+    }
+    case StmtKind::While: {
+      unsigned CondPc = pc();
+      FlatOp &Br = append(FlatOp::K::Branch, &S);
+      (void)Br;
+      if (auto R = emitBody(S.Body); !R)
+        return R.error();
+      FlatOp &Back = append(FlatOp::K::Goto, nullptr);
+      Back.Targets = {CondPc};
+      Flat.Ops[CondPc].Targets = {CondPc + 1, pc()};
+      return {};
+    }
+    case StmtKind::If: {
+      unsigned CondPc = pc();
+      append(FlatOp::K::Branch, &S);
+      if (auto R = emitBody(S.Body); !R)
+        return R.error();
+      if (S.ElseBody.empty()) {
+        Flat.Ops[CondPc].Targets = {CondPc + 1, pc()};
+        return {};
+      }
+      FlatOp &Skip = append(FlatOp::K::Goto, nullptr);
+      unsigned SkipPc = pc() - 1;
+      Flat.Ops[CondPc].Targets = {CondPc + 1, pc()};
+      if (auto R = emitBody(S.ElseBody); !R)
+        return R.error();
+      Flat.Ops[SkipPc].Targets = {pc()};
+      (void)Skip;
+      return {};
+    }
+    case StmtKind::ThreadCreate:
+      // Only occurs in main, which is never flattened.
+      cuba_unreachable("thread_create survived Sema outside main");
+    }
+    return {};
+  }
+
+  FlatFunction Flat;
+  std::unordered_map<std::string, unsigned> LabelPc;
+};
+
+/// The CPDS emission context.
+class Emitter {
+public:
+  Emitter(const Program &P, const SemaInfo &Info) : P(P), Info(Info) {}
+
+  ErrorOr<CpdsFile> run() {
+    // Hidden shared bits follow the declared variables.
+    SharedBitCount = static_cast<unsigned>(P.SharedVars.size());
+    RetBit = Info.UsesReturnValue ? static_cast<int>(SharedBitCount++) : -1;
+    LockBit = Info.UsesLock ? static_cast<int>(SharedBitCount++) : -1;
+
+    for (const Function &F : P.Functions) {
+      if (F.Name == "main")
+        continue;
+      Flattener Fl(F);
+      auto R = Fl.run();
+      if (!R)
+        return R.error();
+      Flats.emplace(F.Name, R.take());
+    }
+
+    if (auto R = checkSize(); !R)
+      return R.error();
+    buildSharedStates();
+    for (size_t T = 0; T < P.ThreadEntries.size(); ++T)
+      if (auto R = buildThread(static_cast<unsigned>(T)); !R)
+        return R.error();
+
+    File.System.setInitialShared(0); // All bits zero.
+    VisiblePattern Bad;
+    Bad.Q = ErrState;
+    Bad.Tops.assign(P.ThreadEntries.size(), std::nullopt);
+    File.Property.addBadPattern(std::move(Bad));
+    if (auto R = File.System.freeze(); !R)
+      return R.error();
+    return std::move(File);
+  }
+
+private:
+  ErrorOr<void> checkSize() {
+    uint64_t NumShared = 1ull << SharedBitCount;
+    uint64_t Rules = 0;
+    for (auto &[Name, Flat] : Flats) {
+      uint64_t Locals = 1ull << Flat.F->AllLocals.size();
+      Rules += Flat.Ops.size() * Locals * NumShared;
+    }
+    Rules *= P.ThreadEntries.size();
+    if (Rules > 4'000'000)
+      return Error("translated system would be too large (" +
+                   std::to_string(Rules) + " rule slots); reduce the "
+                   "number of variables");
+    return {};
+  }
+
+  void buildSharedStates() {
+    unsigned N = 1u << SharedBitCount;
+    for (unsigned V = 0; V < N; ++V) {
+      std::string Name = "b";
+      for (unsigned B = 0; B < SharedBitCount; ++B)
+        Name += (V >> B) & 1 ? '1' : '0';
+      if (SharedBitCount == 0)
+        Name = "b.";
+      File.System.addSharedState(Name);
+    }
+    ErrState = File.System.addSharedState("err");
+  }
+
+  static bool bit(uint32_t Bits, int Slot) {
+    return (Bits >> Slot) & 1;
+  }
+  static uint32_t setBit(uint32_t Bits, int Slot, bool V) {
+    return V ? Bits | (1u << Slot) : Bits & ~(1u << Slot);
+  }
+
+  BoolSet evalExpr(const Expr &E, uint32_t Q, uint32_t L) const {
+    switch (E.Kind) {
+    case ExprKind::Const:
+      return BoolSet::of(E.ConstValue);
+    case ExprKind::Nondet:
+      return BoolSet::both();
+    case ExprKind::Var:
+      return BoolSet::of(E.VarIsShared ? bit(Q, E.VarSlot)
+                                       : bit(L, E.VarSlot));
+    case ExprKind::Not: {
+      BoolSet A = evalExpr(*E.Lhs, Q, L);
+      return {A.Can1, A.Can0};
+    }
+    case ExprKind::And:
+      return combine(evalExpr(*E.Lhs, Q, L), evalExpr(*E.Rhs, Q, L),
+                     [](bool A, bool B) { return A && B; });
+    case ExprKind::Or:
+      return combine(evalExpr(*E.Lhs, Q, L), evalExpr(*E.Rhs, Q, L),
+                     [](bool A, bool B) { return A || B; });
+    case ExprKind::Xor:
+      return combine(evalExpr(*E.Lhs, Q, L), evalExpr(*E.Rhs, Q, L),
+                     [](bool A, bool B) { return A != B; });
+    case ExprKind::Eq:
+      return combine(evalExpr(*E.Lhs, Q, L), evalExpr(*E.Rhs, Q, L),
+                     [](bool A, bool B) { return A == B; });
+    case ExprKind::Neq:
+      return combine(evalExpr(*E.Lhs, Q, L), evalExpr(*E.Rhs, Q, L),
+                     [](bool A, bool B) { return A != B; });
+    }
+    cuba_unreachable("covered switch over ExprKind");
+  }
+
+  /// Stack symbol of (function, pc, locals) in thread \p T's alphabet.
+  Sym frameSym(unsigned T, const std::string &Func, unsigned Pc,
+               uint32_t Locals) {
+    auto &Map = FrameSyms[T];
+    uint64_t Key = (static_cast<uint64_t>(FuncIndex.at(Func)) << 40) |
+                   (static_cast<uint64_t>(Pc) << 16) | Locals;
+    auto It = Map.find(Key);
+    if (It != Map.end())
+      return It->second;
+    std::string Name = Func + "." + std::to_string(Pc);
+    const FlatFunction &Flat = Flats.at(Func);
+    if (!Flat.F->AllLocals.empty()) {
+      Name += ".";
+      for (size_t B = 0; B < Flat.F->AllLocals.size(); ++B)
+        Name += (Locals >> B) & 1 ? '1' : '0';
+    }
+    Sym S = File.System.thread(T).addSymbol(std::move(Name));
+    Map.emplace(Key, S);
+    return S;
+  }
+
+  ErrorOr<void> buildThread(unsigned T) {
+    const std::string &Entry = P.ThreadEntries[T];
+    unsigned Idx = File.System.addThread(Entry + "#" + std::to_string(T + 1));
+    assert(Idx == T && "thread indices must align with entries");
+    (void)Idx;
+    FrameSyms.emplace(T, std::unordered_map<uint64_t, Sym>());
+    FuncIndex.clear();
+    unsigned FI = 0;
+    for (auto &[Name, Flat] : Flats)
+      FuncIndex.emplace(Name, FI++);
+
+    unsigned NumShared = 1u << SharedBitCount;
+    for (auto &[Name, Flat] : Flats) {
+      unsigned LocalBits = static_cast<unsigned>(Flat.F->AllLocals.size());
+      for (unsigned Pc = 0; Pc < Flat.Ops.size(); ++Pc)
+        for (uint32_t L = 0; L < (1u << LocalBits); ++L)
+          for (uint32_t Q = 0; Q < NumShared; ++Q)
+            emitOp(T, Name, Flat, Pc, Q, L);
+    }
+    File.System.setInitialStack(T, {frameSym(T, Entry, 0, 0)});
+    return {};
+  }
+
+  void addRule(unsigned T, uint32_t Q, Sym Src, uint32_t Q2, Sym Dst0,
+               Sym Dst1, const char *Label) {
+    Action A;
+    A.SrcQ = Q;
+    A.SrcSym = Src;
+    A.DstQ = Q2;
+    A.Dst0 = Dst0;
+    A.Dst1 = Dst1;
+    A.Label = Label;
+    File.System.thread(T).addAction(std::move(A));
+  }
+
+  void emitOp(unsigned T, const std::string &Func, const FlatFunction &Flat,
+              unsigned Pc, uint32_t Q, uint32_t L) {
+    const FlatOp &Op = Flat.Ops[Pc];
+    Sym Here = frameSym(T, Func, Pc, L);
+    auto Next = [&](unsigned ToPc, uint32_t L2) {
+      return frameSym(T, Func, ToPc, L2);
+    };
+
+    switch (Op.Kind) {
+    case FlatOp::K::Skip:
+      addRule(T, Q, Here, Q, Next(Pc + 1, L), EpsSym, "skip");
+      return;
+    case FlatOp::K::Goto:
+      for (unsigned To : Op.Targets)
+        addRule(T, Q, Here, Q, Next(To, L), EpsSym, "goto");
+      return;
+    case FlatOp::K::Branch: {
+      BoolSet V = evalExpr(*Op.S->Cond, Q, L);
+      if (V.Can1)
+        addRule(T, Q, Here, Q, Next(Op.Targets[0], L), EpsSym, "br1");
+      if (V.Can0)
+        addRule(T, Q, Here, Q, Next(Op.Targets[1], L), EpsSym, "br0");
+      return;
+    }
+    case FlatOp::K::Assume: {
+      if (evalExpr(*Op.S->Cond, Q, L).Can1)
+        addRule(T, Q, Here, Q, Next(Pc + 1, L), EpsSym, "assume");
+      return;
+    }
+    case FlatOp::K::Assert: {
+      BoolSet V = evalExpr(*Op.S->Cond, Q, L);
+      if (V.Can1)
+        addRule(T, Q, Here, Q, Next(Pc + 1, L), EpsSym, "assert-ok");
+      if (V.Can0)
+        addRule(T, Q, Here, ErrState, Here, EpsSym, "assert-fail");
+      return;
+    }
+    case FlatOp::K::Assign:
+      emitAssign(T, Func, Op, Pc, Q, L, Here);
+      return;
+    case FlatOp::K::Call:
+      emitCall(T, Func, Op, Q, L, Here);
+      return;
+    case FlatOp::K::Bind: {
+      // x := $ret at the return site of `x := call f(...)`.
+      bool Ret = RetBit >= 0 && bit(Q, RetBit);
+      bool IsShared = Op.S->TargetIsShared[0];
+      int Slot = Op.S->TargetSlots[0];
+      uint32_t Q2 = IsShared ? setBit(Q, Slot, Ret) : Q;
+      uint32_t L2 = IsShared ? L : setBit(L, Slot, Ret);
+      addRule(T, Q, Here, Q2, Next(Pc + 1, L2), EpsSym, "bind");
+      return;
+    }
+    case FlatOp::K::Return: {
+      if (Op.S && Op.S->RetValue) {
+        for (bool V : evalExpr(*Op.S->RetValue, Q, L).values())
+          addRule(T, Q, Here, setBit(Q, RetBit, V), EpsSym, EpsSym, "ret");
+      } else {
+        addRule(T, Q, Here, Q, EpsSym, EpsSym, "ret");
+      }
+      return;
+    }
+    case FlatOp::K::Lock:
+      if (LockBit >= 0 && !bit(Q, LockBit))
+        addRule(T, Q, Here, setBit(Q, LockBit, true), Next(Pc + 1, L),
+                EpsSym, "lock");
+      return;
+    case FlatOp::K::Unlock:
+      addRule(T, Q, Here, setBit(Q, LockBit, false), Next(Pc + 1, L),
+              EpsSym, "unlock");
+      return;
+    }
+  }
+
+  void emitAssign(unsigned T, const std::string &Func, const FlatOp &Op,
+                  unsigned Pc, uint32_t Q, uint32_t L, Sym Here) {
+    const Stmt &S = *Op.S;
+    size_t N = S.AssignTargets.size();
+    // Enumerate one chosen value per target (nondeterministic
+    // expressions contribute both); the parallel assignment applies all
+    // of them to the pre-state at once.
+    std::vector<std::vector<bool>> Choices(N);
+    for (size_t I = 0; I < N; ++I)
+      Choices[I] = evalExpr(*S.AssignValues[I], Q, L).values();
+    std::vector<size_t> Idx(N, 0);
+    while (true) {
+      uint32_t Q2 = Q, L2 = L;
+      for (size_t I = 0; I < N; ++I) {
+        bool V = Choices[I][Idx[I]];
+        if (S.TargetIsShared[I])
+          Q2 = setBit(Q2, S.TargetSlots[I], V);
+        else
+          L2 = setBit(L2, S.TargetSlots[I], V);
+      }
+      // `constrain e` filters on the post state.
+      if (!S.Constrain || evalExpr(*S.Constrain, Q2, L2).Can1)
+        addRule(T, Q, Here, Q2, frameSym(T, Func, Pc + 1, L2), EpsSym,
+                "assign");
+      size_t I = 0;
+      while (I < N && ++Idx[I] == Choices[I].size()) {
+        Idx[I] = 0;
+        ++I;
+      }
+      if (I == N)
+        break;
+    }
+  }
+
+  void emitCall(unsigned T, const std::string &Func, const FlatOp &Op,
+                uint32_t Q, uint32_t L, Sym Here) {
+    const Stmt &S = *Op.S;
+    const FlatFunction &Callee = Flats.at(S.Callee);
+    size_t N = S.CallArgs.size();
+    std::vector<std::vector<bool>> Choices(N);
+    for (size_t I = 0; I < N; ++I)
+      Choices[I] = evalExpr(*S.CallArgs[I], Q, L).values();
+    std::vector<size_t> Idx(N, 0);
+    while (true) {
+      uint32_t CalleeLocals = 0;
+      for (size_t I = 0; I < N; ++I)
+        CalleeLocals =
+            setBit(CalleeLocals, static_cast<int>(I), Choices[I][Idx[I]]);
+      Sym EntrySym = frameSym(T, S.Callee, 0, CalleeLocals);
+      Sym RetSym = frameSym(T, Func, Op.Targets[0], L);
+      addRule(T, Q, Here, Q, EntrySym, RetSym, "call");
+      size_t I = 0;
+      while (I < N && ++Idx[I] == Choices[I].size()) {
+        Idx[I] = 0;
+        ++I;
+      }
+      if (I == N || N == 0)
+        break;
+    }
+    (void)Callee;
+  }
+
+  const Program &P;
+  const SemaInfo &Info;
+  CpdsFile File;
+  unsigned SharedBitCount = 0;
+  int RetBit = -1;
+  int LockBit = -1;
+  QState ErrState = 0;
+  std::unordered_map<std::string, FlatFunction> Flats;
+  std::unordered_map<std::string, unsigned> FuncIndex;
+  std::unordered_map<unsigned, std::unordered_map<uint64_t, Sym>> FrameSyms;
+};
+
+} // namespace
+
+ErrorOr<CpdsFile> cuba::bp::translateProgram(const Program &P,
+                                             const SemaInfo &Info) {
+  Emitter E(P, Info);
+  return E.run();
+}
+
+ErrorOr<CpdsFile> cuba::bp::compileBooleanProgram(std::string_view Source) {
+  auto Prog = parseProgram(Source);
+  if (!Prog)
+    return Prog.error();
+  Program P = Prog.take();
+  auto Info = analyzeProgram(P);
+  if (!Info)
+    return Info.error();
+  return translateProgram(P, *Info);
+}

@@ -1,0 +1,55 @@
+//===-- bp/Translate.h - Boolean program to CPDS ------------------*- C++ -*-=//
+//
+// Part of the CUBA project, an implementation of the PLDI 2018 paper
+// "CUBA: Interprocedural Context-UnBounded Analysis of Concurrent Programs".
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Compiles an analyzed Boolean program into a CPDS (the App. B
+/// semantics).  Encoding:
+///
+/// * Shared state = valuation of the shared variables, plus the hidden
+///   bits $ret (return-value register, present when any function returns
+///   bool) and $lock (global mutex for lock/unlock/atomic), plus a
+///   dedicated `err` state entered on assertion failure.  The safety
+///   property of the result is "err is unreachable".
+/// * Stack symbol = (function, program point, valuation of the
+///   function's parameters and locals); one PDS per created thread.
+/// * Calls push the callee's entry frame over the caller's return-site
+///   frame (arguments are copied into the callee's parameter slots);
+///   returns pop, with `return e` latching e into $ret, which a
+///   `x := call f(...)` statement reads at its return site.
+/// * `atomic { ... }` is sugar for lock; ...; unlock -- mutual exclusion
+///   against other atomic sections, the usual Boolean-program reading.
+/// * Shared variables and locals start at 0; nondeterministic initial
+///   values are written explicitly (`x := *;`), as in the paper's
+///   examples.
+/// * `constrain e` filters assignments by evaluating e over the *post*
+///   state (a simplification of primed-variable constraints; documented
+///   in DESIGN.md).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CUBA_BP_TRANSLATE_H
+#define CUBA_BP_TRANSLATE_H
+
+#include <string_view>
+
+#include "bp/Ast.h"
+#include "bp/Sema.h"
+#include "pds/CpdsIO.h"
+#include "support/ErrorOr.h"
+
+namespace cuba::bp {
+
+/// Translates the analyzed program \p P; the returned system is frozen
+/// and carries the assertion property.
+ErrorOr<CpdsFile> translateProgram(const Program &P, const SemaInfo &Info);
+
+/// Convenience pipeline: lex, parse, analyze, translate.
+ErrorOr<CpdsFile> compileBooleanProgram(std::string_view Source);
+
+} // namespace cuba::bp
+
+#endif // CUBA_BP_TRANSLATE_H

@@ -1,0 +1,168 @@
+//===-- core/Algorithms.cpp - Scheme 1 and Alg. 3 (explicit) --------------===//
+//
+// Part of the CUBA project, an implementation of the PLDI 2018 paper
+// "CUBA: Interprocedural Context-UnBounded Analysis of Concurrent Programs".
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Algorithms.h"
+
+#include <algorithm>
+
+#include "core/CbaEngine.h"
+#include "core/Generators.h"
+#include "core/ObservationSequence.h"
+#include "core/ZOverapprox.h"
+#include "pds/CpdsIO.h"
+#include "support/Timer.h"
+
+using namespace cuba;
+
+namespace {
+
+/// Shared loop for the explicit procedures; each test can be enabled
+/// independently, and the combined driver enables both.
+class ExplicitRunner {
+public:
+  ExplicitRunner(const Cpds &C, const SafetyProperty &Prop,
+                 const RunOptions &Opts, bool UseScheme1, bool UseAlg3)
+      : C(C), Prop(Prop), Opts(Opts), UseScheme1(UseScheme1),
+        UseAlg3(UseAlg3), Engine(C, Opts.Limits), Gen(C) {
+    Engine.setExpandAll(Opts.ExpandAll);
+    if (UseAlg3) {
+      // The generator test compares against G cap Z, an overapproximation
+      // of the reachable generators (Sec. 4.1.3).  Entries are removed as
+      // they are reached; the test passes when none remain.
+      std::vector<VisibleState> Z = computeZ(C);
+      PendingGenerators = Gen.intersect(Z);
+    }
+  }
+
+  ExplicitCombinedResult run() {
+    WallTimer Timer;
+    ExplicitCombinedResult R;
+
+    RkSizes.record(Engine.reachedSize());   // |R_0|
+    TkSizes.record(Engine.visibleSize());   // |T(R_0)|
+    checkViolations(R.Run);
+
+    unsigned MaxK = Opts.Limits.MaxContexts ? Opts.Limits.MaxContexts
+                                            : UINT32_MAX;
+    while (Engine.bound() < MaxK) {
+      if (R.Run.BugBound && !Opts.ContinueAfterBug)
+        break;
+      if (Engine.advance() == CbaEngine::RoundStatus::Exhausted) {
+        R.Run.Exhausted = true;
+        break;
+      }
+      RkSizes.record(Engine.reachedSize());
+      TkSizes.record(Engine.visibleSize());
+      checkViolations(R.Run);
+
+      // Scheme 1, line 4: a plateau of the stutter-free (R_k) is a
+      // collapse (Lemma 7 + Prop. 4).
+      if (UseScheme1 && !R.RkCollapse && RkSizes.plateauAtLatest())
+        R.RkCollapse = Engine.bound() - 1;
+
+      // Alg. 3, line 4: a new plateau of (T(R_k)) plus the generator
+      // test G cap Z <= T(R_k).
+      if (UseAlg3 && !R.TkCollapse && TkSizes.newPlateauAtLatest() &&
+          generatorsCovered())
+        R.TkCollapse = Engine.bound() - 1;
+
+      if (concluded(R))
+        break;
+    }
+    if (Engine.bound() >= MaxK && !concluded(R) && !R.Run.BugBound)
+      R.Run.Exhausted = true;
+
+    if (R.RkCollapse && R.TkCollapse)
+      R.Run.ConvergedAt = std::min(*R.RkCollapse, *R.TkCollapse);
+    else if (R.RkCollapse)
+      R.Run.ConvergedAt = R.RkCollapse;
+    else if (R.TkCollapse)
+      R.Run.ConvergedAt = R.TkCollapse;
+
+    R.Run.KMax = Engine.bound();
+    R.Run.StatesStored = Engine.reachedSize();
+    R.Run.VisibleStates = Engine.visibleSize();
+    R.Run.Millis = Timer.millis();
+    return R;
+  }
+
+private:
+  /// One procedure concluding ends the run ("return the answer of
+  /// whichever terminates first").  ContinueAfterBug only delays the
+  /// bug-found exit, not the convergence exit.
+  bool concluded(const ExplicitCombinedResult &R) const {
+    return (UseScheme1 && R.RkCollapse.has_value()) ||
+           (UseAlg3 && R.TkCollapse.has_value());
+  }
+
+  void checkViolations(RunResult &Run) {
+    if (Run.BugBound || Prop.trivial())
+      return;
+    for (const VisibleState &V : Engine.newVisibleThisRound()) {
+      if (!Prop.violatedBy(V))
+        continue;
+      Run.BugBound = Engine.bound();
+      Run.Witness = toString(C, V);
+      if (Opts.BuildTrace)
+        Run.Trace = formatTrace(Engine.traceToVisible(V));
+      return;
+    }
+  }
+
+  /// Renders a counterexample, one "thread/action: state" line per step.
+  std::string formatTrace(const std::vector<TraceStep> &Steps) const {
+    std::string Out;
+    for (const TraceStep &S : Steps) {
+      if (Out.empty()) {
+        Out += "  initial:  " + toString(C, S.State) + "\n";
+        continue;
+      }
+      Out += "  " + C.threadName(S.Thread) + "/" + S.Label + ": " +
+             toString(C, S.State) + "\n";
+    }
+    return Out;
+  }
+
+  bool generatorsCovered() {
+    // Monotone: reached entries stay reached, so satisfied entries are
+    // dropped and only the remainder is retested at later plateaus.
+    std::erase_if(PendingGenerators, [&](const VisibleState &V) {
+      return Engine.visibleReached(V);
+    });
+    return PendingGenerators.empty();
+  }
+
+  const Cpds &C;
+  const SafetyProperty &Prop;
+  const RunOptions &Opts;
+  bool UseScheme1, UseAlg3;
+  CbaEngine Engine;
+  GeneratorSet Gen;
+  std::vector<VisibleState> PendingGenerators;
+  ObservationTracker RkSizes, TkSizes;
+};
+
+} // namespace
+
+RunResult cuba::runScheme1Explicit(const Cpds &C, const SafetyProperty &Prop,
+                                   const RunOptions &Opts) {
+  ExplicitRunner R(C, Prop, Opts, /*UseScheme1=*/true, /*UseAlg3=*/false);
+  return R.run().Run;
+}
+
+RunResult cuba::runAlg3Explicit(const Cpds &C, const SafetyProperty &Prop,
+                                const RunOptions &Opts) {
+  ExplicitRunner R(C, Prop, Opts, /*UseScheme1=*/false, /*UseAlg3=*/true);
+  return R.run().Run;
+}
+
+ExplicitCombinedResult cuba::runExplicitCombined(const Cpds &C,
+                                                 const SafetyProperty &Prop,
+                                                 const RunOptions &Opts) {
+  ExplicitRunner R(C, Prop, Opts, /*UseScheme1=*/true, /*UseAlg3=*/true);
+  return R.run();
+}

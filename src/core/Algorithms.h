@@ -1,0 +1,76 @@
+//===-- core/Algorithms.h - Scheme 1 and Alg. 3 (explicit) ------*- C++ -*-===//
+//
+// Part of the CUBA project, an implementation of the PLDI 2018 paper
+// "CUBA: Interprocedural Context-UnBounded Analysis of Concurrent Programs".
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The two explicit-state CUBA procedures:
+///
+/// * Scheme 1(R_k) (Sec. 4): the global-state observation sequence is
+///   stutter-free (Lemma 7), so a plateau R_{k-1} = R_k proves collapse
+///   and hence safety for every context bound.
+///
+/// * Alg. 3(T(R_k)) (Sec. 4.1): the visible-state sequence always
+///   converges but may stutter; a new plateau counts as convergence only
+///   when every potentially reachable generator (G cap Z) has been
+///   reached.
+///
+/// Both observe the same underlying CbaEngine rounds, which is also how
+/// the combined run implements the paper's "fork two computational
+/// threads, return whichever terminates first" (Sec. 6): one engine, both
+/// convergence tests per round, first conclusion wins.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CUBA_CORE_ALGORITHMS_H
+#define CUBA_CORE_ALGORITHMS_H
+
+#include "core/Verdict.h"
+#include "pds/Cpds.h"
+#include "support/Limits.h"
+
+namespace cuba {
+
+/// Options shared by the CUBA procedures.
+struct RunOptions {
+  ResourceLimits Limits;
+  /// Keep exploring after a bug to also report the convergence bound
+  /// (Table 2 reports both for the unsafe benchmarks).
+  bool ContinueAfterBug = false;
+  /// Disable the frontier optimisation (ablation A2).
+  bool ExpandAll = false;
+  /// On a bug, reconstruct a concrete interleaving into
+  /// RunResult::Trace (explicit engines only).
+  bool BuildTrace = false;
+};
+
+/// Result of running both explicit procedures over one engine.
+struct ExplicitCombinedResult {
+  /// Merged outcome; ConvergedAt is the earliest conclusion of the two.
+  RunResult Run;
+  /// Collapse bound k0 of (R_k) when Scheme 1 concluded.
+  std::optional<unsigned> RkCollapse;
+  /// Collapse bound k0 of (T(R_k)) when Alg. 3 concluded.
+  std::optional<unsigned> TkCollapse;
+};
+
+/// Scheme 1 instantiated with (R_k); requires FCR in practice.
+RunResult runScheme1Explicit(const Cpds &C, const SafetyProperty &Prop,
+                             const RunOptions &Opts);
+
+/// Alg. 3 instantiated with (T(R_k)) computed by projection from the
+/// explicit R_k; requires FCR in practice.
+RunResult runAlg3Explicit(const Cpds &C, const SafetyProperty &Prop,
+                          const RunOptions &Opts);
+
+/// Runs both procedures in lockstep on a single engine (the Sec. 6
+/// driver's parallel composition).
+ExplicitCombinedResult runExplicitCombined(const Cpds &C,
+                                           const SafetyProperty &Prop,
+                                           const RunOptions &Opts);
+
+} // namespace cuba
+
+#endif // CUBA_CORE_ALGORITHMS_H

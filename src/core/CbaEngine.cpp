@@ -1,0 +1,157 @@
+//===-- core/CbaEngine.cpp - Explicit context-bounded engine --------------===//
+//
+// Part of the CUBA project, an implementation of the PLDI 2018 paper
+// "CUBA: Interprocedural Context-UnBounded Analysis of Concurrent Programs".
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/CbaEngine.h"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_set>
+
+#include "support/Statistic.h"
+
+using namespace cuba;
+
+CbaEngine::CbaEngine(const Cpds &C, const ResourceLimits &Limits)
+    : C(C), Limits(Limits) {
+  assert(C.frozen() && "CbaEngine requires a frozen CPDS");
+  GlobalState Init = C.initialState();
+  addState(Init, 0, UINT32_MAX, 0, 0);
+  Frontier.push_back(std::move(Init));
+}
+
+bool CbaEngine::addState(const GlobalState &S, unsigned Round,
+                         uint32_t Parent, unsigned Thread,
+                         uint32_t ActionIdx) {
+  StateInfo Info;
+  Info.Id = static_cast<uint32_t>(StateById.size());
+  Info.Round = Round;
+  Info.Parent = Parent;
+  Info.Thread = Thread;
+  Info.ActionIdx = ActionIdx;
+  auto [It, New] = Reached.emplace(S, Info);
+  assert(New && "addState() requires a fresh state");
+  (void)New;
+  StateById.push_back(&It->first);
+  VisibleState V = project(S);
+  VisibleSeen.emplace(V, Round); // Keeps the earliest round if present.
+  return Limits.chargeState();
+}
+
+CbaEngine::RoundStatus
+CbaEngine::closeUnderThread(unsigned I, const std::vector<GlobalState> &Seeds,
+                            std::vector<GlobalState> &NewFrontier) {
+  // Merged BFS over thread-I steps from all expansion seeds.  A local
+  // visited set (rather than pruning against R alone) is what makes the
+  // frontier optimisation exact: a state first added this round by a
+  // different thread's closure must still be traversed here if it also
+  // lies inside a thread-I closure of a frontier state.
+  std::unordered_set<GlobalState, GlobalStateHash> Local;
+  std::deque<GlobalState> Queue;
+  for (const GlobalState &S : Seeds) {
+    Local.insert(S);
+    Queue.push_back(S);
+  }
+
+  std::vector<std::pair<GlobalState, uint32_t>> Succs;
+  while (!Queue.empty()) {
+    GlobalState S = std::move(Queue.front());
+    Queue.pop_front();
+    uint32_t ParentId = Reached.find(S)->second.Id;
+    Succs.clear();
+    C.threadSuccessorsWithActions(S, I, Succs);
+    if (!Limits.chargeStep(Succs.size() + 1))
+      return RoundStatus::Exhausted;
+    for (auto &[V, ActionIdx] : Succs) {
+      if (!Local.insert(V).second)
+        continue;
+      auto It = Reached.find(V);
+      if (It == Reached.end()) {
+        // Genuinely new: first reached with Bound+1 contexts.
+        if (!addState(V, Bound + 1, ParentId, I, ActionIdx))
+          return RoundStatus::Exhausted;
+        NewFrontier.push_back(V);
+        Queue.push_back(std::move(V));
+      } else if (It->second.Round > Bound) {
+        // Added earlier this round by another thread's closure; continue
+        // through it, but it is already stored.
+        Queue.push_back(std::move(V));
+      }
+      // Otherwise V is an older state: its thread-I closure was fully
+      // expanded in the round after its discovery, so prune here.
+    }
+  }
+  return RoundStatus::Ok;
+}
+
+CbaEngine::RoundStatus CbaEngine::advance() {
+  ++Statistics::counter("cba.rounds");
+  // Seeds are snapshotted before the round: states discovered during
+  // this round must not become seeds of a later thread's closure, or
+  // the round would mix multiple context switches.
+  std::vector<GlobalState> Seeds;
+  if (ExpandAll) {
+    Seeds.reserve(Reached.size());
+    for (const auto &[S, Info] : Reached)
+      Seeds.push_back(S);
+  } else {
+    Seeds = Frontier;
+  }
+  std::vector<GlobalState> NewFrontier;
+  for (unsigned I = 0; I < C.numThreads(); ++I)
+    if (closeUnderThread(I, Seeds, NewFrontier) == RoundStatus::Exhausted)
+      return RoundStatus::Exhausted;
+  ++Bound;
+  Frontier = std::move(NewFrontier);
+  return RoundStatus::Ok;
+}
+
+std::vector<VisibleState> CbaEngine::newVisibleThisRound() const {
+  std::vector<VisibleState> New;
+  for (const auto &[V, Round] : VisibleSeen)
+    if (Round == Bound)
+      New.push_back(V);
+  return New;
+}
+
+std::vector<TraceStep>
+CbaEngine::traceToVisible(const VisibleState &V) const {
+  // Find the earliest-discovered state projecting to V.
+  const StateInfo *Best = nullptr;
+  const GlobalState *BestState = nullptr;
+  for (const auto &[S, Info] : Reached) {
+    if (project(S) != V)
+      continue;
+    if (!Best || Info.Round < Best->Round ||
+        (Info.Round == Best->Round && Info.Id < Best->Id)) {
+      Best = &Info;
+      BestState = &S;
+    }
+  }
+  if (!Best)
+    return {};
+
+  // Walk the first-discovery parent chain back to the initial state.
+  std::vector<TraceStep> Trace;
+  const StateInfo *Cur = Best;
+  const GlobalState *CurState = BestState;
+  while (true) {
+    TraceStep Step;
+    Step.State = *CurState;
+    if (Cur->Parent == UINT32_MAX) {
+      Trace.push_back(std::move(Step)); // The initial state, no label.
+      break;
+    }
+    Step.Thread = Cur->Thread;
+    const Action &A = C.thread(Cur->Thread).actions()[Cur->ActionIdx];
+    Step.Label = A.Label.empty() ? "step" : A.Label;
+    Trace.push_back(std::move(Step));
+    CurState = StateById[Cur->Parent];
+    Cur = &Reached.find(*CurState)->second;
+  }
+  std::reverse(Trace.begin(), Trace.end());
+  return Trace;
+}

@@ -1,0 +1,150 @@
+//===-- core/CbaEngine.h - Explicit context-bounded engine -------*- C++ -*-=//
+//
+// Part of the CUBA project, an implementation of the PLDI 2018 paper
+// "CUBA: Interprocedural Context-UnBounded Analysis of Concurrent Programs".
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Explicit-state computation of the sets R_k of global states reachable
+/// within k contexts (Sec. 2.3), one context bound per round:
+///
+///   R_0     = { initial state }
+///   R_{k+1} = union over s in R_k and threads i of closure_i(s),
+///
+/// where closure_i(s) is the set of states reachable from s by letting
+/// thread i run alone (this is the union in the proof of Thm. 17; a
+/// context is a maximal single-thread block, and closures include their
+/// start state, so "at most k contexts" is preserved exactly).
+///
+/// Explicit storage is feasible exactly when the system satisfies finite
+/// context reachability (Sec. 5); for other systems the per-context
+/// closure can diverge, which the resource budget turns into an
+/// "exhausted" result.
+///
+/// Frontier optimisation: only states first reached in round k are
+/// expanded in round k+1; closures of older states were already expanded
+/// in their discovery round (their closure is idempotent and monotone),
+/// so R_k is computed exactly.  bench_ablation_frontier measures the
+/// effect; setExpandAll(true) disables it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CUBA_CORE_CBAENGINE_H
+#define CUBA_CORE_CBAENGINE_H
+
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "pds/Cpds.h"
+#include "support/Limits.h"
+
+namespace cuba {
+
+/// One step of a reconstructed counterexample: thread \p Thread fired
+/// the action labelled \p Label, reaching \p State.
+struct TraceStep {
+  unsigned Thread = 0;
+  std::string Label;
+  GlobalState State;
+};
+
+/// Round-by-round explicit CBA exploration.
+class CbaEngine {
+public:
+  enum class RoundStatus {
+    Ok,        ///< The round completed; R_{k+1} is exact.
+    Exhausted, ///< The resource budget ran out mid-round.
+  };
+
+  CbaEngine(const Cpds &C, const ResourceLimits &Limits);
+
+  /// The bound k whose set R_k is currently complete.
+  unsigned bound() const { return Bound; }
+
+  /// Advances from R_k to R_{k+1}.
+  RoundStatus advance();
+
+  /// |R_k| for the current bound.
+  size_t reachedSize() const { return Reached.size(); }
+
+  /// |T(R_k)| for the current bound.
+  size_t visibleSize() const { return VisibleSeen.size(); }
+
+  /// The frontier R_k \ R_{k-1}: states first reached in the current
+  /// round (the initial state for k = 0).
+  const std::vector<GlobalState> &frontier() const { return Frontier; }
+
+  /// Visible states first reached in the current round, sorted (the
+  /// T(R_k) \ T(R_{k-1}) column of Fig. 1).
+  std::vector<VisibleState> newVisibleThisRound() const;
+
+  /// All reachable visible states so far with the round each was first
+  /// seen in; iteration order is the VisibleState ordering.
+  const std::map<VisibleState, unsigned> &visibleFirstSeen() const {
+    return VisibleSeen;
+  }
+
+  /// True when \p V has been reached within the current bound.
+  bool visibleReached(const VisibleState &V) const {
+    return VisibleSeen.count(V) != 0;
+  }
+
+  /// True when \p S has been reached within the current bound.
+  bool stateReached(const GlobalState &S) const {
+    return Reached.count(S) != 0;
+  }
+
+  /// When true, every known state is re-expanded each round instead of
+  /// only the frontier (the ablation baseline; results are identical).
+  void setExpandAll(bool B) { ExpandAll = B; }
+
+  const LimitTracker &limits() const { return Limits; }
+
+  /// Reconstructs a run from the initial state to the earliest-found
+  /// state whose projection equals \p V: the initial state as step 0
+  /// (with an empty label), then one step per fired action.  Empty when
+  /// \p V was never reached.  First-discovery parent edges guarantee a
+  /// run within the state's discovery bound.
+  std::vector<TraceStep> traceToVisible(const VisibleState &V) const;
+
+private:
+  /// Discovery metadata per stored state: round, BFS parent and the
+  /// (thread, action) edge that first reached it.
+  struct StateInfo {
+    uint32_t Id = 0;
+    unsigned Round = 0;
+    uint32_t Parent = UINT32_MAX; // Id of the predecessor state.
+    unsigned Thread = 0;
+    uint32_t ActionIdx = 0;
+  };
+
+  RoundStatus closeUnderThread(unsigned I,
+                               const std::vector<GlobalState> &Seeds,
+                               std::vector<GlobalState> &NewFrontier);
+
+  /// Inserts \p S into R if new; records visibility; returns true if
+  /// the budget allows continuing.
+  bool addState(const GlobalState &S, unsigned Round, uint32_t Parent,
+                unsigned Thread, uint32_t ActionIdx);
+
+  const Cpds &C;
+  LimitTracker Limits;
+  unsigned Bound = 0;
+  bool ExpandAll = false;
+
+  /// R_k with discovery metadata (rounds drive the frontier pruning
+  /// rule; parent edges drive trace reconstruction).
+  std::unordered_map<GlobalState, StateInfo, GlobalStateHash> Reached;
+  /// Id -> map entry, for walking parent chains (map pointers are
+  /// stable under rehashing).
+  std::vector<const GlobalState *> StateById;
+  std::vector<GlobalState> Frontier;
+  /// T(R_k) with first-seen rounds; ordered for deterministic output.
+  std::map<VisibleState, unsigned> VisibleSeen;
+};
+
+} // namespace cuba
+
+#endif // CUBA_CORE_CBAENGINE_H

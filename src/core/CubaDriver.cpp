@@ -1,0 +1,40 @@
+//===-- core/CubaDriver.cpp - The overall CUBA procedure ------------------===//
+//
+// Part of the CUBA project, an implementation of the PLDI 2018 paper
+// "CUBA: Interprocedural Context-UnBounded Analysis of Concurrent Programs".
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/CubaDriver.h"
+
+#include "support/Timer.h"
+
+using namespace cuba;
+
+DriverResult cuba::runCuba(const Cpds &C, const SafetyProperty &Prop,
+                           const DriverOptions &Opts) {
+  DriverResult R;
+  if (Opts.Force) {
+    R.Used = *Opts.Force;
+    // The FCR answer is still reported for the record.
+    R.Fcr = checkFcr(C);
+  } else {
+    R.Fcr = checkFcr(C);
+    R.Used = R.Fcr.Holds ? ApproachKind::ExplicitCombined
+                         : ApproachKind::Symbolic;
+  }
+
+  if (R.Used == ApproachKind::ExplicitCombined) {
+    ExplicitCombinedResult E = runExplicitCombined(C, Prop, Opts.Run);
+    R.Run = E.Run;
+    R.RkCollapse = E.RkCollapse;
+    R.TkCollapse = E.TkCollapse;
+  } else {
+    SymbolicRunResult S = runAlg3Symbolic(C, Prop, Opts.Run);
+    R.Run = S.Run;
+    R.RkCollapse = S.SFixpoint;
+    R.TkCollapse = S.TkCollapse;
+  }
+  R.PeakMemMB = peakRSSMegabytes();
+  return R;
+}

@@ -1,0 +1,60 @@
+//===-- core/FcrCheck.cpp - Finite context reachability (Sec. 5) ----------===//
+//
+// Part of the CUBA project, an implementation of the PLDI 2018 paper
+// "CUBA: Interprocedural Context-UnBounded Analysis of Concurrent Programs".
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/FcrCheck.h"
+
+#include "psa/BottomTransform.h"
+#include "psa/PostStar.h"
+
+using namespace cuba;
+
+std::pair<bool, bool>
+cuba::threadShortStackReachabilityFinite(const Pds &P, uint32_t NumShared,
+                                         LimitTracker *Limits) {
+  // Work in the bottom-transformed system: original stacks w correspond
+  // to w _bot, which both removes empty-stack rules (a post*
+  // prerequisite) and preserves language finiteness (words only grow by
+  // the one trailing marker).
+  BottomedPds B = eliminateEmptyStackRules(P, NumShared);
+
+  // Start set Q x Sigma^{<=1}, lifted: <q | _bot> and <q | s _bot>.
+  PAutomaton Start(NumShared, B.P.numSymbols());
+  uint32_t Mid = Start.addState();
+  uint32_t Fin = Start.addState();
+  Start.setAccepting(Fin);
+  for (QState Q = 0; Q < NumShared; ++Q) {
+    Start.addEdge(Q, B.Bottom, Fin);
+    for (Sym S = 1; S <= P.numSymbols(); ++S)
+      Start.addEdge(Q, S, Mid);
+  }
+  Start.addEdge(Mid, B.Bottom, Fin);
+
+  PostStarResult R = postStar(B.P, Start, Limits);
+  if (!R.Complete)
+    return {false, false};
+
+  // R(Q x Sigma^{<=1}) is the union over all shared roots.
+  std::vector<QState> Roots;
+  for (QState Q = 0; Q < NumShared; ++Q)
+    Roots.push_back(Q);
+  Nfa Lang = R.Automaton.rootedNfa(Roots);
+  return {Lang.isLanguageFinite(), true};
+}
+
+FcrResult cuba::checkFcr(const Cpds &C, LimitTracker *Limits) {
+  assert(C.frozen() && "checkFcr requires a frozen CPDS");
+  FcrResult Result;
+  Result.Holds = true;
+  for (unsigned I = 0; I < C.numThreads(); ++I) {
+    auto [Finite, Complete] = threadShortStackReachabilityFinite(
+        C.thread(I), C.numSharedStates(), Limits);
+    Result.ThreadFinite.push_back(Finite);
+    Result.Holds = Result.Holds && Finite;
+    Result.Complete = Result.Complete && Complete;
+  }
+  return Result;
+}

@@ -1,0 +1,56 @@
+//===-- core/FcrCheck.h - Finite context reachability (Sec. 5) --*- C++ -*-===//
+//
+// Part of the CUBA project, an implementation of the PLDI 2018 paper
+// "CUBA: Interprocedural Context-UnBounded Analysis of Concurrent Programs".
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The FCR semi-decision test of Sec. 5.  A CPDS satisfies finite context
+/// reachability when every R_k is finite; Thm. 17 reduces this to a
+/// per-thread check: if R(Q x Sigma_i^{<=1}) is finite for every thread
+/// i, all R_k are finite.  Each per-thread set is computed exactly as a
+/// pushdown store automaton (post* from the short-stack start set), and
+/// its finiteness is the loop-freeness of that automaton's useful part
+/// (Fig. 4); epsilon-only cycles are correctly ignored by the precise
+/// test in Nfa::isLanguageFinite.
+///
+/// The check is sufficient, not necessary (the paper leaves decidability
+/// of FCR open), so a negative answer routes the driver to the symbolic
+/// engine rather than declaring the system non-FCR.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CUBA_CORE_FCRCHECK_H
+#define CUBA_CORE_FCRCHECK_H
+
+#include <vector>
+
+#include "pds/Cpds.h"
+#include "support/Limits.h"
+
+namespace cuba {
+
+/// Outcome of the FCR test.
+struct FcrResult {
+  /// True when every thread passed the finiteness test.
+  bool Holds = false;
+  /// Per-thread verdicts (aligned with the CPDS threads).
+  std::vector<bool> ThreadFinite;
+  /// False when a saturation ran out of budget; Holds is then false and
+  /// the answer is "unknown" rather than "no".
+  bool Complete = true;
+};
+
+/// Runs the per-thread test of Thm. 17 on \p C.
+FcrResult checkFcr(const Cpds &C, LimitTracker *Limits = nullptr);
+
+/// The single-thread test: is R(Q x Sigma^{<=1}) of \p P finite?
+/// \p NumShared is the shared-state count of the enclosing CPDS.
+/// Returns {finite?, complete?}.
+std::pair<bool, bool> threadShortStackReachabilityFinite(
+    const Pds &P, uint32_t NumShared, LimitTracker *Limits = nullptr);
+
+} // namespace cuba
+
+#endif // CUBA_CORE_FCRCHECK_H

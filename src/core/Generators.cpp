@@ -1,0 +1,40 @@
+//===-- core/Generators.cpp - Generator sets (Sec. 4.1.2) -----------------===//
+//
+// Part of the CUBA project, an implementation of the PLDI 2018 paper
+// "CUBA: Interprocedural Context-UnBounded Analysis of Concurrent Programs".
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Generators.h"
+
+#include <algorithm>
+
+using namespace cuba;
+
+bool GeneratorSet::contains(const VisibleState &V) const {
+  for (unsigned I = 0; I < C.numThreads(); ++I) {
+    const Pds &P = C.thread(I);
+    // (q, eps) must be the target of a pop edge of Delta_i ...
+    const std::vector<QState> &Pops = P.popTargets();
+    if (!std::binary_search(Pops.begin(), Pops.end(), V.Q))
+      continue;
+    // ... and s_i is eps or a symbol some push writes underneath its new
+    // top (the emerging candidates E of Alg. 2).
+    Sym S = V.Tops[I];
+    if (S == EpsSym)
+      return true;
+    const std::vector<Sym> &E = P.emergingSymbols();
+    if (std::binary_search(E.begin(), E.end(), S))
+      return true;
+  }
+  return false;
+}
+
+std::vector<VisibleState>
+GeneratorSet::intersect(const std::vector<VisibleState> &Candidates) const {
+  std::vector<VisibleState> Result;
+  for (const VisibleState &V : Candidates)
+    if (contains(V))
+      Result.push_back(V);
+  return Result;
+}

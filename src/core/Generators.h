@@ -1,0 +1,53 @@
+//===-- core/Generators.h - Generator sets (Sec. 4.1.2) ---------*- C++ -*-===//
+//
+// Part of the CUBA project, an implementation of the PLDI 2018 paper
+// "CUBA: Interprocedural Context-UnBounded Analysis of Concurrent Programs".
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The generator set G of Eq. (2): visible states <q | s1..sn> where, for
+/// some thread i, (q, si) can be the thread-visible state emerging from a
+/// pop -- q is the target of a pop edge of Delta_i and si is either eps
+/// or a symbol overwritten-under by some push of Delta_i.  Thm. 11 shows
+/// G is a generator set in the sense of Def. 10: at a plateau, if all
+/// reachable generators have been reached, the visible-state observation
+/// sequence has converged.
+///
+/// G is purely syntactic and can be huge (all other threads' entries are
+/// unconstrained), so it is never materialised; membership is evaluated
+/// as a predicate, and G cap Z is obtained by filtering the finite set Z.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CUBA_CORE_GENERATORS_H
+#define CUBA_CORE_GENERATORS_H
+
+#include <vector>
+
+#include "pds/Cpds.h"
+
+namespace cuba {
+
+/// Membership oracle for the generator set G of a CPDS.
+class GeneratorSet {
+public:
+  explicit GeneratorSet(const Cpds &C) : C(C) {
+    assert(C.frozen() && "GeneratorSet requires a frozen CPDS");
+  }
+
+  /// True iff \p V is a generator (Eq. 2).
+  bool contains(const VisibleState &V) const;
+
+  /// Filters \p Candidates (e.g. the overapproximation Z) down to the
+  /// generators among them; the relative order is preserved.
+  std::vector<VisibleState>
+  intersect(const std::vector<VisibleState> &Candidates) const;
+
+private:
+  const Cpds &C;
+};
+
+} // namespace cuba
+
+#endif // CUBA_CORE_GENERATORS_H

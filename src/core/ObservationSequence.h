@@ -1,0 +1,79 @@
+//===-- core/ObservationSequence.h - The OS paradigm -------------*- C++ -*-=//
+//
+// Part of the CUBA project, an implementation of the PLDI 2018 paper
+// "CUBA: Interprocedural Context-UnBounded Analysis of Concurrent Programs".
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The observation-sequence paradigm of Sec. 3.  An observation sequence
+/// (O_k) is monotone by construction (Def. 1), so O_{k-1} = O_k is
+/// equivalent to |O_{k-1}| = |O_k|; this tracker records the sizes and
+/// answers the Table 1 queries (plateau, new plateau) that Scheme 1 and
+/// Alg. 3 are built from.  Stuttering cannot be observed from a prefix --
+/// distinguishing it from convergence is exactly the generator-set
+/// machinery of Sec. 4.1 -- so the tracker only reports plateau facts.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CUBA_CORE_OBSERVATIONSEQUENCE_H
+#define CUBA_CORE_OBSERVATIONSEQUENCE_H
+
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+namespace cuba {
+
+/// Tracks |O_0|, |O_1|, ... of a monotone observation sequence.
+class ObservationTracker {
+public:
+  /// Records |O_k| for the next k; sizes must be non-decreasing.
+  void record(size_t Size) {
+    assert((Sizes.empty() || Size >= Sizes.back()) &&
+           "observation sequences are monotone");
+    Sizes.push_back(Size);
+  }
+
+  /// Number of recorded observations (indices 0..count()-1).
+  size_t count() const { return Sizes.size(); }
+
+  size_t size(unsigned K) const {
+    assert(K < Sizes.size() && "observation not yet recorded");
+    return Sizes[K];
+  }
+
+  /// "(O_k) plateaus at k0": O_{k0} = O_{k0+1} (Table 1).  By
+  /// monotonicity this is a size comparison.
+  bool plateausAt(unsigned K0) const {
+    assert(K0 + 1 < Sizes.size() && "observations not yet recorded");
+    return Sizes[K0] == Sizes[K0 + 1];
+  }
+
+  /// The Alg. 3 line-4 trigger for the latest recorded k: the plateau at
+  /// k-1 is new, i.e. |O_{k-2}| < |O_{k-1}| = |O_k|.  For k = 1 the
+  /// (nonexistent) O_{-1} counts as the empty observation, so a plateau
+  /// O_0 = O_1 is always "new".
+  bool newPlateauAtLatest() const {
+    if (Sizes.size() < 2)
+      return false;
+    unsigned K = static_cast<unsigned>(Sizes.size()) - 1;
+    if (Sizes[K - 1] != Sizes[K])
+      return false;
+    if (K == 1)
+      return Sizes[0] > 0;
+    return Sizes[K - 2] < Sizes[K - 1];
+  }
+
+  /// Plateau at the latest k (not necessarily new): O_{k-1} = O_k.
+  bool plateauAtLatest() const {
+    return Sizes.size() >= 2 && Sizes[Sizes.size() - 2] == Sizes.back();
+  }
+
+private:
+  std::vector<size_t> Sizes;
+};
+
+} // namespace cuba
+
+#endif // CUBA_CORE_OBSERVATIONSEQUENCE_H

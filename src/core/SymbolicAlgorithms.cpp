@@ -1,0 +1,92 @@
+//===-- core/SymbolicAlgorithms.cpp - Alg. 3 over T(S_k) ------------------===//
+//
+// Part of the CUBA project, an implementation of the PLDI 2018 paper
+// "CUBA: Interprocedural Context-UnBounded Analysis of Concurrent Programs".
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/SymbolicAlgorithms.h"
+
+#include "core/Generators.h"
+#include "core/ObservationSequence.h"
+#include "core/SymbolicEngine.h"
+#include "core/ZOverapprox.h"
+#include "pds/CpdsIO.h"
+#include "support/Timer.h"
+
+using namespace cuba;
+
+SymbolicRunResult cuba::runAlg3Symbolic(const Cpds &C,
+                                        const SafetyProperty &Prop,
+                                        const RunOptions &Opts) {
+  WallTimer Timer;
+  SymbolicRunResult R;
+  SymbolicEngine Engine(C, Opts.Limits);
+  GeneratorSet Gen(C);
+  std::vector<VisibleState> Pending = Gen.intersect(computeZ(C));
+  ObservationTracker TkSizes;
+
+  auto CheckViolations = [&]() {
+    if (R.Run.BugBound || Prop.trivial())
+      return;
+    for (const VisibleState &V : Engine.newVisibleThisRound()) {
+      if (Prop.violatedBy(V)) {
+        R.Run.BugBound = Engine.bound();
+        R.Run.Witness = toString(C, V);
+        return;
+      }
+    }
+  };
+  auto GeneratorsCovered = [&]() {
+    std::erase_if(Pending, [&](const VisibleState &V) {
+      return Engine.visibleReached(V);
+    });
+    return Pending.empty();
+  };
+
+  TkSizes.record(Engine.visibleSize()); // |T(S_0)|
+  CheckViolations();
+
+  unsigned MaxK =
+      Opts.Limits.MaxContexts ? Opts.Limits.MaxContexts : UINT32_MAX;
+  while (Engine.bound() < MaxK) {
+    if (R.Run.BugBound && !Opts.ContinueAfterBug)
+      break;
+    if (Engine.advance() == SymbolicEngine::RoundStatus::Exhausted) {
+      R.Run.Exhausted = true;
+      break;
+    }
+    TkSizes.record(Engine.visibleSize());
+    CheckViolations();
+
+    // Fixpoint of the symbolic state set: nothing new can ever appear
+    // (post* transactions of known states only re-derive known states),
+    // so (R_k) collapses at the previous bound.
+    if (!R.SFixpoint && Engine.frontierEmpty())
+      R.SFixpoint = Engine.bound() - 1;
+
+    // Alg. 3 line 4 over T(S_k).
+    if (!R.TkCollapse && TkSizes.newPlateauAtLatest() && GeneratorsCovered())
+      R.TkCollapse = Engine.bound() - 1;
+
+    if (R.SFixpoint || R.TkCollapse)
+      break;
+  }
+  if (Engine.bound() >= MaxK && !R.SFixpoint && !R.TkCollapse &&
+      !R.Run.BugBound)
+    R.Run.Exhausted = true;
+
+  if (R.TkCollapse && R.SFixpoint)
+    R.Run.ConvergedAt = std::min(*R.TkCollapse, *R.SFixpoint);
+  else if (R.TkCollapse)
+    R.Run.ConvergedAt = R.TkCollapse;
+  else if (R.SFixpoint)
+    R.Run.ConvergedAt = R.SFixpoint;
+
+  R.Run.KMax = Engine.bound();
+  R.Run.StatesStored = Engine.symbolicStateCount();
+  R.Run.VisibleStates = Engine.visibleSize();
+  R.Run.Millis = Timer.millis();
+  R.SymbolicStates = Engine.symbolicStateCount();
+  return R;
+}

@@ -1,0 +1,211 @@
+//===-- core/SymbolicEngine.cpp - PSA-based symbolic engine ---------------===//
+//
+// Part of the CUBA project, an implementation of the PLDI 2018 paper
+// "CUBA: Interprocedural Context-UnBounded Analysis of Concurrent Programs".
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/SymbolicEngine.h"
+
+#include <algorithm>
+
+#include "psa/PAutomaton.h"
+#include "psa/PostStar.h"
+#include "support/Statistic.h"
+
+using namespace cuba;
+
+/// Builds the canonical DFA accepting exactly the single word \p Word.
+static CanonicalDfa singleWordLanguage(uint32_t NumSymbols,
+                                       const std::vector<Sym> &Word) {
+  Nfa A(NumSymbols);
+  uint32_t Cur = A.addState();
+  A.setInitial(Cur);
+  for (Sym S : Word) {
+    uint32_t Next = A.addState();
+    A.addEdge(Cur, S, Next);
+    Cur = Next;
+  }
+  A.setAccepting(Cur);
+  return A.determinize().canonicalize();
+}
+
+SymbolicEngine::SymbolicEngine(const Cpds &C, const ResourceLimits &Limits)
+    : C(C), Limits(Limits), TopsCache(C.numThreads()) {
+  assert(C.frozen() && "SymbolicEngine requires a frozen CPDS");
+  for (unsigned I = 0; I < C.numThreads(); ++I)
+    Bottomed.push_back(
+        eliminateEmptyStackRules(C.thread(I), C.numSharedStates()));
+
+  // The initial symbolic state: each thread's language is the lifted
+  // initial stack (one word, ending in the bottom marker).
+  GlobalState Init = C.initialState();
+  SymbolicState S;
+  S.Q = Init.Q;
+  for (unsigned I = 0; I < C.numThreads(); ++I) {
+    // Stacks are stored bottom-first; automata read top-first.
+    std::vector<Sym> Word(Init.Stacks[I].rbegin(), Init.Stacks[I].rend());
+    Word.push_back(Bottomed[I].Bottom);
+    S.Langs.push_back(
+        singleWordLanguage(Bottomed[I].P.numSymbols(), Word));
+  }
+  addState(std::move(S), 0, UINT32_MAX, &Frontier);
+}
+
+const std::vector<Sym> &SymbolicEngine::topsOf(unsigned Thread,
+                                               const CanonicalDfa &D) {
+  auto &Cache = TopsCache[Thread];
+  auto It = Cache.find(D);
+  if (It != Cache.end())
+    return It->second;
+
+  // All canonical states are useful, so every edge leaving the start
+  // lies on an accepting path; its label is a reachable top.  The
+  // bottom marker on top encodes the empty original stack.
+  std::vector<Sym> Tops;
+  Sym Bottom = Bottomed[Thread].Bottom;
+  if (D.Start != CanonicalDfa::NoState) {
+    if (D.Accepting[D.Start])
+      Tops.push_back(EpsSym); // Unreachable with lifted words; general.
+    for (Sym X = 1; X <= D.NumSymbols; ++X) {
+      if (D.Table[static_cast<size_t>(D.Start) * D.NumSymbols + (X - 1)] ==
+          CanonicalDfa::NoState)
+        continue;
+      Tops.push_back(X == Bottom ? EpsSym : X);
+    }
+  }
+  std::sort(Tops.begin(), Tops.end());
+  Tops.erase(std::unique(Tops.begin(), Tops.end()), Tops.end());
+  return Cache.emplace(D, std::move(Tops)).first->second;
+}
+
+void SymbolicEngine::recordVisible(const SymbolicState &S, unsigned Round) {
+  // T(tau) = {q} x T(A_1) x ... x T(A_n)  (App. E, formula (4)).
+  unsigned N = C.numThreads();
+  VisibleState V;
+  V.Q = S.Q;
+  V.Tops.assign(N, EpsSym);
+  // Iterative odometer over the per-thread top sets.
+  std::vector<const std::vector<Sym> *> Sets;
+  Sets.reserve(N);
+  for (unsigned I = 0; I < N; ++I) {
+    Sets.push_back(&topsOf(I, S.Langs[I]));
+    if (Sets.back()->empty())
+      return; // Empty language row: no visible states (cannot happen).
+  }
+  std::vector<size_t> Idx(N, 0);
+  while (true) {
+    for (unsigned I = 0; I < N; ++I)
+      V.Tops[I] = (*Sets[I])[Idx[I]];
+    VisibleSeen.emplace(V, Round);
+    unsigned I = 0;
+    while (I < N && ++Idx[I] == Sets[I]->size()) {
+      Idx[I] = 0;
+      ++I;
+    }
+    if (I == N)
+      break;
+  }
+}
+
+std::pair<bool, bool>
+SymbolicEngine::addState(SymbolicState S, unsigned Round, uint32_t Producer,
+                         std::vector<SymbolicState> *NewFrontier) {
+  uint32_t Mask = Producer == UINT32_MAX ? 0u : (1u << Producer);
+  auto [It, New] = States.emplace(std::move(S), Mask);
+  if (!New) {
+    It->second |= Mask;
+    return {false, true};
+  }
+  ++Statistics::counter("symbolic.states");
+  recordVisible(It->first, Round);
+  if (NewFrontier)
+    NewFrontier->push_back(It->first);
+  return {true, Limits.chargeState()};
+}
+
+/// Renders a canonical DFA as a P-automaton rooted at \p Root.  The
+/// start state's row is duplicated onto the root so that no edge enters
+/// a shared state (a post* precondition) even when the language's DFA
+/// has transitions back into its start.
+static PAutomaton rootedInput(uint32_t NumShared, const CanonicalDfa &D,
+                              QState Root) {
+  PAutomaton A(NumShared, D.NumSymbols);
+  assert(D.Start != CanonicalDfa::NoState && "empty language row");
+  std::vector<uint32_t> Map(D.numStates());
+  for (uint32_t U = 0; U < D.numStates(); ++U)
+    Map[U] = A.addState();
+  for (uint32_t U = 0; U < D.numStates(); ++U) {
+    if (D.Accepting[U])
+      A.setAccepting(Map[U]);
+    for (Sym X = 1; X <= D.NumSymbols; ++X) {
+      uint32_t V = D.Table[static_cast<size_t>(U) * D.NumSymbols + (X - 1)];
+      if (V != CanonicalDfa::NoState)
+        A.addEdge(Map[U], X, Map[V]);
+    }
+  }
+  // The root mirrors the start state.
+  if (D.Accepting[D.Start])
+    A.setAccepting(Root);
+  for (Sym X = 1; X <= D.NumSymbols; ++X) {
+    uint32_t V =
+        D.Table[static_cast<size_t>(D.Start) * D.NumSymbols + (X - 1)];
+    if (V != CanonicalDfa::NoState)
+      A.addEdge(Root, X, Map[V]);
+  }
+  return A;
+}
+
+bool SymbolicEngine::expand(const SymbolicState &S, unsigned I,
+                            std::vector<SymbolicState> &NewFrontier) {
+  ++Statistics::counter("symbolic.transactions");
+  PAutomaton In = rootedInput(C.numSharedStates(), S.Langs[I], S.Q);
+  PostStarResult R = postStar(Bottomed[I].P, In, &Limits);
+  if (!R.Complete)
+    return false;
+
+  for (QState Q2 = 0; Q2 < C.numSharedStates(); ++Q2) {
+    Nfa Rooted = R.Automaton.rootedNfa({Q2});
+    if (Rooted.isLanguageEmpty())
+      continue;
+    if (!Limits.chargeStep(Rooted.numStates()))
+      return false;
+    CanonicalDfa Lang = Rooted.determinize().canonicalize();
+    SymbolicState Succ;
+    Succ.Q = Q2;
+    Succ.Langs = S.Langs;
+    Succ.Langs[I] = std::move(Lang);
+    auto [New, Ok] = addState(std::move(Succ), Bound + 1, I, &NewFrontier);
+    (void)New;
+    if (!Ok)
+      return false;
+  }
+  return true;
+}
+
+SymbolicEngine::RoundStatus SymbolicEngine::advance() {
+  ++Statistics::counter("symbolic.rounds");
+  std::vector<SymbolicState> NewFrontier;
+  for (const SymbolicState &S : Frontier) {
+    uint32_t Produced = States.find(S)->second;
+    for (unsigned I = 0; I < C.numThreads(); ++I) {
+      // Skip the producer thread: its post* is transitively closed, so
+      // re-expanding yields only language-subsumed rows.
+      if (Produced & (1u << I))
+        continue;
+      if (!expand(S, I, NewFrontier))
+        return RoundStatus::Exhausted;
+    }
+  }
+  ++Bound;
+  Frontier = std::move(NewFrontier);
+  return RoundStatus::Ok;
+}
+
+std::vector<VisibleState> SymbolicEngine::newVisibleThisRound() const {
+  std::vector<VisibleState> New;
+  for (const auto &[V, Round] : VisibleSeen)
+    if (Round == Bound)
+      New.push_back(V);
+  return New;
+}

@@ -1,0 +1,145 @@
+//===-- core/SymbolicEngine.h - PSA-based symbolic engine -------*- C++ -*-===//
+//
+// Part of the CUBA project, an implementation of the PLDI 2018 paper
+// "CUBA: Interprocedural Context-UnBounded Analysis of Concurrent Programs".
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The symbolic context-bounded engine of Sec. 6 / App. E, used when the
+/// system does not satisfy FCR and the sets R_k can be infinite.  State
+/// sets S_k are sets of *symbolic states* <q | A_1..A_n>: a shared state
+/// plus one regular stack language per thread (the Qadeer-Rehof
+/// aggregate).  One round expands each frontier symbolic state by each
+/// thread i: a post* saturation of thread i's (bottom-transformed) PDS
+/// from the rooted language yields, for every shared state q' reachable
+/// in that transaction, a successor symbolic state.
+///
+/// Stack languages are stored as canonical minimal DFAs over the
+/// bottom-extended alphabets, so symbolic states are deduplicated by
+/// exact language equality (a cheap sufficient alternative to the
+/// doubly-exponential automata-equivalence convergence test the paper
+/// rules out for Scheme 1).  Expansion by a thread that produced the
+/// state is skipped: the production was itself a post* closure, so
+/// re-running the same thread adds only subsumed rows.
+///
+/// The visible projections T(S_k) are computed per App. E, formula (4):
+/// the product of per-thread top-symbol sets extracted from the
+/// automata, with the bottom marker reported as the empty stack.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CUBA_CORE_SYMBOLICENGINE_H
+#define CUBA_CORE_SYMBOLICENGINE_H
+
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "fa/Dfa.h"
+#include "pds/Cpds.h"
+#include "psa/BottomTransform.h"
+#include "support/Limits.h"
+
+namespace cuba {
+
+/// A symbolic state <q | A_1..A_n> with canonical per-thread stack
+/// languages (over the bottom-extended alphabets).
+struct SymbolicState {
+  QState Q = 0;
+  std::vector<CanonicalDfa> Langs;
+
+  bool operator==(const SymbolicState &) const = default;
+};
+
+struct SymbolicStateHash {
+  size_t operator()(const SymbolicState &S) const {
+    uint64_t H = hashCombine(0x517, S.Q);
+    for (const CanonicalDfa &D : S.Langs)
+      H = hashCombine(H, D.hash());
+    return static_cast<size_t>(H);
+  }
+};
+
+/// Round-by-round symbolic CBA exploration; the interface mirrors
+/// CbaEngine so the Alg. 3 driver can run over either engine.
+class SymbolicEngine {
+public:
+  enum class RoundStatus { Ok, Exhausted };
+
+  SymbolicEngine(const Cpds &C, const ResourceLimits &Limits);
+
+  /// The bound k whose set S_k is currently complete.
+  unsigned bound() const { return Bound; }
+
+  /// Advances from S_k to S_{k+1}.
+  RoundStatus advance();
+
+  /// Number of symbolic states stored (|S_k|).
+  size_t symbolicStateCount() const { return States.size(); }
+
+  /// |T(S_k)|.
+  size_t visibleSize() const { return VisibleSeen.size(); }
+
+  /// True when no new symbolic state was added by the last round: S has
+  /// reached a fixpoint, so every R_k has been covered (the symbolic
+  /// analogue of the Scheme 1 collapse test).
+  bool frontierEmpty() const { return Frontier.empty() && Bound > 0; }
+
+  /// Visible states first reached in the current round, sorted.
+  std::vector<VisibleState> newVisibleThisRound() const;
+
+  bool visibleReached(const VisibleState &V) const {
+    return VisibleSeen.count(V) != 0;
+  }
+
+  const std::map<VisibleState, unsigned> &visibleFirstSeen() const {
+    return VisibleSeen;
+  }
+
+  const LimitTracker &limits() const { return Limits; }
+
+private:
+  /// Expands symbolic state \p S by thread \p I; new successors are
+  /// pushed onto NewFrontier.  Returns false on budget exhaustion.
+  bool expand(const SymbolicState &S, unsigned I,
+              std::vector<SymbolicState> &NewFrontier);
+
+  /// Registers \p S (if new) at round \p Round, recording its visible
+  /// projections; \p Producer is the expanding thread (UINT32_MAX for
+  /// the initial state).  Returns {isNew, budgetOk}.
+  std::pair<bool, bool> addState(SymbolicState S, unsigned Round,
+                                 uint32_t Producer,
+                                 std::vector<SymbolicState> *NewFrontier);
+
+  /// Records the visible projections T(tau) of a symbolic state.
+  void recordVisible(const SymbolicState &S, unsigned Round);
+
+  /// Per-thread top set of a canonical stack language (bottom marker
+  /// reported as EpsSym); cached by canonical form.
+  const std::vector<Sym> &topsOf(unsigned Thread, const CanonicalDfa &D);
+
+  const Cpds &C;
+  LimitTracker Limits;
+  unsigned Bound = 0;
+
+  /// Bottom-transformed per-thread PDSs (the engine works entirely over
+  /// the extended alphabets).
+  std::vector<BottomedPds> Bottomed;
+
+  /// All symbolic states with the set of threads that produced them
+  /// (as a bitmask); states are expanded once, by every thread not in
+  /// their producer mask.
+  std::unordered_map<SymbolicState, uint32_t, SymbolicStateHash> States;
+  std::vector<SymbolicState> Frontier;
+  std::map<VisibleState, unsigned> VisibleSeen;
+
+  /// Top-set cache, keyed per thread by canonical language.
+  std::vector<std::unordered_map<CanonicalDfa, std::vector<Sym>,
+                                 CanonicalDfaHash>>
+      TopsCache;
+};
+
+} // namespace cuba
+
+#endif // CUBA_CORE_SYMBOLICENGINE_H

@@ -1,0 +1,77 @@
+//===-- core/Verdict.h - Verification outcomes -------------------*- C++ -*-=//
+//
+// Part of the CUBA project, an implementation of the PLDI 2018 paper
+// "CUBA: Interprocedural Context-UnBounded Analysis of Concurrent Programs".
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Outcome records for the CUBA procedures.  Because the procedures can
+/// both refute and prove, and unsafe benchmarks are additionally run to
+/// convergence of the reachable-state sequence (Table 2 reports both the
+/// bug bound and k_max), a run result carries both bounds independently.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CUBA_CORE_VERDICT_H
+#define CUBA_CORE_VERDICT_H
+
+#include <optional>
+#include <string>
+
+namespace cuba {
+
+/// Overall outcome of one verification run.
+enum class Outcome {
+  Proved,        ///< The observation sequence converged without a bug.
+  BugFound,      ///< Some O_k witnessed a property violation.
+  ResourceLimit, ///< The resource budget ran out before a conclusion.
+};
+
+/// The result of running one CUBA procedure on one input.
+struct RunResult {
+  /// Smallest context bound at which a violation was witnessed.
+  std::optional<unsigned> BugBound;
+  /// Bound k0 at which the observation sequence was shown to collapse.
+  std::optional<unsigned> ConvergedAt;
+  /// True when the run stopped on the resource budget.
+  bool Exhausted = false;
+  /// Largest context bound whose observation was fully computed.
+  unsigned KMax = 0;
+  /// Number of (global or symbolic) states stored at the end of the run.
+  uint64_t StatesStored = 0;
+  /// Number of distinct reachable visible states discovered.
+  uint64_t VisibleStates = 0;
+  /// Wall-clock time of the run in milliseconds.
+  double Millis = 0;
+  /// Printable witness (a bad visible state) when BugBound is set.
+  std::string Witness;
+  /// A concrete interleaving reaching the witness (one line per step),
+  /// when trace reconstruction was requested and available.
+  std::string Trace;
+
+  Outcome outcome() const {
+    if (BugBound)
+      return Outcome::BugFound;
+    if (ConvergedAt)
+      return Outcome::Proved;
+    return Outcome::ResourceLimit;
+  }
+};
+
+/// Short human-readable outcome tag for tables and logs.
+inline const char *outcomeName(Outcome O) {
+  switch (O) {
+  case Outcome::Proved:
+    return "proved";
+  case Outcome::BugFound:
+    return "bug";
+  case Outcome::ResourceLimit:
+    return "limit";
+  }
+  return "?";
+}
+
+} // namespace cuba
+
+#endif // CUBA_CORE_VERDICT_H

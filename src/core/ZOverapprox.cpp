@@ -1,0 +1,48 @@
+//===-- core/ZOverapprox.cpp - The overapproximation Z (Alg. 2) -----------===//
+//
+// Part of the CUBA project, an implementation of the PLDI 2018 paper
+// "CUBA: Interprocedural Context-UnBounded Analysis of Concurrent Programs".
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/ZOverapprox.h"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_set>
+
+using namespace cuba;
+
+std::vector<VisibleState> cuba::computeZ(const Cpds &C,
+                                         LimitTracker *Limits) {
+  assert(C.frozen() && "computeZ requires a frozen CPDS");
+  VisibleState Init = project(C.initialState());
+
+  std::unordered_set<VisibleState, VisibleStateHash> Seen;
+  std::deque<VisibleState> Queue;
+  Seen.insert(Init);
+  Queue.push_back(std::move(Init));
+
+  std::vector<VisibleState> Succs;
+  while (!Queue.empty()) {
+    VisibleState V = std::move(Queue.front());
+    Queue.pop_front();
+    for (unsigned I = 0; I < C.numThreads(); ++I) {
+      Succs.clear();
+      C.abstractSuccessors(V, I, Succs);
+      if (Limits && !Limits->chargeStep(Succs.size() + 1))
+        return {}; // Budget exhausted: no usable overapproximation.
+      for (VisibleState &S : Succs) {
+        if (!Seen.insert(S).second)
+          continue;
+        if (Limits && !Limits->chargeState())
+          return {};
+        Queue.push_back(std::move(S));
+      }
+    }
+  }
+
+  std::vector<VisibleState> Z(Seen.begin(), Seen.end());
+  std::sort(Z.begin(), Z.end());
+  return Z;
+}

@@ -1,0 +1,37 @@
+//===-- core/ZOverapprox.h - The overapproximation Z (Alg. 2) ---*- C++ -*-===//
+//
+// Part of the CUBA project, an implementation of the PLDI 2018 paper
+// "CUBA: Interprocedural Context-UnBounded Analysis of Concurrent Programs".
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The context-insensitive overapproximation Z of T(R) (Sec. 4.1.3):
+/// every thread's stack is cut off at size one (Alg. 2 builds the
+/// finite-state abstraction M_i; Cpds::abstractSuccessors implements its
+/// transition relation), and Z is the set of states of the asynchronous
+/// product M_n reachable from the projected initial state.  Lemma 12:
+/// T(R) is a subset of Z, so G cap Z overapproximates the reachable
+/// generators, which is what Alg. 3's convergence test needs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CUBA_CORE_ZOVERAPPROX_H
+#define CUBA_CORE_ZOVERAPPROX_H
+
+#include <vector>
+
+#include "pds/Cpds.h"
+#include "support/Limits.h"
+
+namespace cuba {
+
+/// Computes Z by exhaustive exploration of M_n; the result is sorted.
+/// The domain is finite (|Q| * prod |Sigma_i + 1|), so this terminates
+/// without a budget; \p Limits may still bound very large alphabets.
+std::vector<VisibleState> computeZ(const Cpds &C,
+                                   LimitTracker *Limits = nullptr);
+
+} // namespace cuba
+
+#endif // CUBA_CORE_ZOVERAPPROX_H

@@ -1,0 +1,123 @@
+//===-- fa/Dfa.cpp - Deterministic finite automata --------------------------=//
+//
+// Part of the CUBA project, an implementation of the PLDI 2018 paper
+// "CUBA: Interprocedural Context-UnBounded Analysis of Concurrent Programs".
+//
+//===----------------------------------------------------------------------===//
+
+#include "fa/Dfa.h"
+
+#include <algorithm>
+#include <map>
+
+using namespace cuba;
+
+Dfa Dfa::minimize() const {
+  // Moore partition refinement.  O(n^2 * |Sigma|) worst case, which is
+  // ample for the automata the engines produce (hundreds of states).
+  uint32_t N = numStates();
+  std::vector<uint32_t> Class(N);
+  for (uint32_t S = 0; S < N; ++S)
+    Class[S] = Accepting[S] ? 1 : 0;
+
+  while (true) {
+    // Signature: current class plus the classes of all successors.
+    std::map<std::vector<uint32_t>, uint32_t> NewIds;
+    std::vector<uint32_t> NewClass(N);
+    for (uint32_t S = 0; S < N; ++S) {
+      std::vector<uint32_t> Sig;
+      Sig.reserve(NumSymbols + 1);
+      Sig.push_back(Class[S]);
+      for (Sym X = 1; X <= NumSymbols; ++X)
+        Sig.push_back(Class[next(S, X)]);
+      auto [It, New] =
+          NewIds.emplace(std::move(Sig), static_cast<uint32_t>(NewIds.size()));
+      (void)New;
+      NewClass[S] = It->second;
+    }
+    bool Changed = false;
+    for (uint32_t S = 0; S < N && !Changed; ++S)
+      Changed = NewClass[S] != Class[S];
+    Class = std::move(NewClass);
+    if (!Changed)
+      break;
+  }
+
+  uint32_t NumClasses = *std::max_element(Class.begin(), Class.end()) + 1;
+  Dfa M(NumSymbols, NumClasses, Class[Start]);
+  for (uint32_t S = 0; S < N; ++S) {
+    uint32_t C = Class[S];
+    M.setAccepting(C, Accepting[S]);
+    for (Sym X = 1; X <= NumSymbols; ++X)
+      M.setNext(C, X, Class[next(S, X)]);
+  }
+  return M;
+}
+
+CanonicalDfa Dfa::canonicalize() const {
+  Dfa M = minimize();
+
+  // Dead states: states from which no accepting state is reachable.
+  uint32_t N = M.numStates();
+  std::vector<bool> Alive(N, false);
+  std::vector<std::vector<uint32_t>> Rev(N);
+  for (uint32_t S = 0; S < N; ++S)
+    for (Sym X = 1; X <= NumSymbols; ++X)
+      Rev[M.next(S, X)].push_back(S);
+  std::vector<uint32_t> Work;
+  for (uint32_t S = 0; S < N; ++S) {
+    if (M.isAccepting(S)) {
+      Alive[S] = true;
+      Work.push_back(S);
+    }
+  }
+  while (!Work.empty()) {
+    uint32_t S = Work.back();
+    Work.pop_back();
+    for (uint32_t P : Rev[S]) {
+      if (Alive[P])
+        continue;
+      Alive[P] = true;
+      Work.push_back(P);
+    }
+  }
+
+  CanonicalDfa C;
+  C.NumSymbols = NumSymbols;
+  if (!Alive[M.start()])
+    return C; // Empty language: canonical form has no states.
+
+  // BFS renumbering from the start, exploring symbols in increasing
+  // order, restricted to alive states.  This ordering is unique for a
+  // minimal automaton, so structural equality is language equality.
+  std::vector<uint32_t> NewId(N, CanonicalDfa::NoState);
+  std::vector<uint32_t> Order;
+  NewId[M.start()] = 0;
+  Order.push_back(M.start());
+  for (size_t Head = 0; Head < Order.size(); ++Head) {
+    uint32_t S = Order[Head];
+    for (Sym X = 1; X <= NumSymbols; ++X) {
+      uint32_t To = M.next(S, X);
+      if (!Alive[To] || NewId[To] != CanonicalDfa::NoState)
+        continue;
+      NewId[To] = static_cast<uint32_t>(Order.size());
+      Order.push_back(To);
+    }
+  }
+
+  uint32_t AliveCount = static_cast<uint32_t>(Order.size());
+  C.Start = 0;
+  C.Table.assign(static_cast<size_t>(AliveCount) * NumSymbols,
+                 CanonicalDfa::NoState);
+  C.Accepting.assign(AliveCount, 0);
+  for (uint32_t S : Order) {
+    uint32_t Id = NewId[S];
+    C.Accepting[Id] = M.isAccepting(S) ? 1 : 0;
+    for (Sym X = 1; X <= NumSymbols; ++X) {
+      uint32_t To = M.next(S, X);
+      if (Alive[To])
+        C.Table[static_cast<size_t>(Id) * NumSymbols + (X - 1)] = NewId[To];
+    }
+  }
+  return C;
+}

@@ -1,0 +1,113 @@
+//===-- fa/Dfa.h - Deterministic finite automata ------------------*- C++ -*-=//
+//
+// Part of the CUBA project, an implementation of the PLDI 2018 paper
+// "CUBA: Interprocedural Context-UnBounded Analysis of Concurrent Programs".
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Complete DFAs plus Moore minimisation and a canonical form.  Canonical
+/// DFAs give the symbolic engine an exact language-equality key for
+/// deduplicating symbolic states <q | A_1..A_n> (Sec. 6): two rooted
+/// automata denote the same stack language iff their canonical forms are
+/// identical, so a hash table over CanonicalDfa dedups by language.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CUBA_FA_DFA_H
+#define CUBA_FA_DFA_H
+
+#include <cstdint>
+#include <vector>
+
+#include "pds/Pds.h" // For Sym.
+#include "support/Hashing.h"
+
+namespace cuba {
+
+/// The canonical form of a regular language: the minimal partial DFA with
+/// states numbered in BFS order from the start (exploring symbols in
+/// increasing order) and dead states removed.  Two languages are equal
+/// iff their canonical forms compare equal.
+struct CanonicalDfa {
+  /// UINT32_MAX in Table encodes "no transition" (the dead sink).
+  static constexpr uint32_t NoState = UINT32_MAX;
+
+  uint32_t NumSymbols = 0;
+  /// NoState when the language is empty (there are then no states).
+  uint32_t Start = NoState;
+  /// Row-major numStates x NumSymbols transition table.
+  std::vector<uint32_t> Table;
+  std::vector<uint8_t> Accepting;
+
+  bool operator==(const CanonicalDfa &) const = default;
+
+  uint32_t numStates() const {
+    return static_cast<uint32_t>(Accepting.size());
+  }
+
+  uint64_t hash() const {
+    uint64_t H = hashCombine(NumSymbols, Start);
+    H = hashCombine(H, hashRange(Table.begin(), Table.end()));
+    return hashCombine(H, hashRange(Accepting.begin(), Accepting.end()));
+  }
+};
+
+struct CanonicalDfaHash {
+  size_t operator()(const CanonicalDfa &D) const {
+    return static_cast<size_t>(D.hash());
+  }
+};
+
+/// A complete DFA: every state has a transition on every symbol (a sink
+/// state makes partial automata complete during construction).
+class Dfa {
+public:
+  Dfa(uint32_t NumSymbols, uint32_t NumStates, uint32_t Start)
+      : NumSymbols(NumSymbols), Start(Start),
+        Table(static_cast<size_t>(NumStates) * NumSymbols, 0),
+        Accepting(NumStates, false) {}
+
+  uint32_t numStates() const {
+    return static_cast<uint32_t>(Accepting.size());
+  }
+  uint32_t numSymbols() const { return NumSymbols; }
+  uint32_t start() const { return Start; }
+
+  /// Transition on symbol \p S (1-based; epsilon is not a DFA symbol).
+  uint32_t next(uint32_t State, Sym S) const {
+    assert(S >= 1 && S <= NumSymbols && "symbol out of range");
+    return Table[static_cast<size_t>(State) * NumSymbols + (S - 1)];
+  }
+
+  void setNext(uint32_t State, Sym S, uint32_t To) {
+    assert(S >= 1 && S <= NumSymbols && "symbol out of range");
+    Table[static_cast<size_t>(State) * NumSymbols + (S - 1)] = To;
+  }
+
+  void setAccepting(uint32_t State, bool A = true) { Accepting[State] = A; }
+  bool isAccepting(uint32_t State) const { return Accepting[State]; }
+
+  bool accepts(const std::vector<Sym> &Word) const {
+    uint32_t S = Start;
+    for (Sym X : Word)
+      S = next(S, X);
+    return Accepting[S];
+  }
+
+  /// Moore partition-refinement minimisation; the result is complete.
+  Dfa minimize() const;
+
+  /// Minimises, removes dead states, and renumbers canonically.
+  CanonicalDfa canonicalize() const;
+
+private:
+  uint32_t NumSymbols;
+  uint32_t Start;
+  std::vector<uint32_t> Table;
+  std::vector<bool> Accepting;
+};
+
+} // namespace cuba
+
+#endif // CUBA_FA_DFA_H

@@ -1,0 +1,240 @@
+//===-- models/Bluetooth.cpp - NT Bluetooth driver model --------------------=//
+//
+// Part of the CUBA project, an implementation of the PLDI 2018 paper
+// "CUBA: Interprocedural Context-UnBounded Analysis of Concurrent Programs".
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Windows NT Bluetooth driver benchmark (suites 1-3 of Table 2),
+/// reconstructed from its descriptions in Qadeer-Wu (KISS, PLDI 2004) and
+/// Chaki et al. (TACAS 2006).  Stopper threads halt the driver; adder
+/// threads perform I/O.  Following the paper ("we use a recursive
+/// procedure to model the counter used in the program"), the pendingIo
+/// counter is a dedicated thread whose recursion depth is the counter
+/// value; increments and decrements are requested through a shared
+/// handshake slot, which also makes every counter push gated on another
+/// thread's move -- the system satisfies FCR even though counter stacks
+/// grow without bound across contexts.
+///
+/// Versions:
+///   1  adders check stoppingFlag and increment non-atomically (the
+///      original KISS bug): the stopper can complete in the window.
+///   2  adders increment first, but release the count before the I/O
+///      completion touch (the "event set too early" bug).
+///   3  the fixed driver: the assertion runs strictly inside the
+///      increment/decrement window.  Safe.
+///
+/// The assertion "no I/O after the driver stopped" is modelled by moving
+/// the shared state to a dedicated `err` sink; the safety property is
+/// that `err` is unreachable.
+///
+//===----------------------------------------------------------------------===//
+
+#include "models/Models.h"
+
+#include "support/Unreachable.h"
+
+using namespace cuba;
+
+namespace {
+
+/// Handshake slot values for the pendingIo counter.
+enum Req { ReqNone = 0, ReqInc = 1, ReqDec = 2 };
+
+/// Builder for the tuple-encoded shared state space
+/// (stopFlag, stopped, req, zero, checking) plus the `err` sink.
+class SharedSpace {
+public:
+  explicit SharedSpace(Cpds &C) : C(C) {
+    for (int Sf = 0; Sf < 2; ++Sf)
+      for (int St = 0; St < 2; ++St)
+        for (int Rq = 0; Rq < 3; ++Rq)
+          for (int Z = 0; Z < 2; ++Z)
+            for (int Ck = 0; Ck < 2; ++Ck) {
+              static const char *ReqNames[] = {"n", "i", "d"};
+              Ids[Sf][St][Rq][Z][Ck] = C.addSharedState(
+                  std::string("sf") + char('0' + Sf) + "st" + char('0' + St) +
+                  ReqNames[Rq] + "z" + char('0' + Z) + "c" + char('0' + Ck));
+            }
+    ErrState = C.addSharedState("err");
+  }
+
+  QState get(int Sf, int St, int Rq, int Z, int Ck) const {
+    return Ids[Sf][St][Rq][Z][Ck];
+  }
+  QState err() const { return ErrState; }
+
+  /// Enumerates all shared states satisfying \p Filter and calls \p Fn
+  /// with (state, components...).
+  template <typename FnT> void forAll(FnT Fn) const {
+    for (int Sf = 0; Sf < 2; ++Sf)
+      for (int St = 0; St < 2; ++St)
+        for (int Rq = 0; Rq < 3; ++Rq)
+          for (int Z = 0; Z < 2; ++Z)
+            for (int Ck = 0; Ck < 2; ++Ck)
+              Fn(Ids[Sf][St][Rq][Z][Ck], Sf, St, Rq, Z, Ck);
+  }
+
+private:
+  Cpds &C;
+  QState Ids[2][2][3][2][2];
+  QState ErrState;
+};
+
+/// Adds the pendingIo counter thread: depth = counter value; `cb` is the
+/// bottom frame, `ci` the counting frames.
+void addCounterThread(Cpds &C, const SharedSpace &S) {
+  unsigned T = C.addThread("counter");
+  Pds &P = C.thread(T);
+  Sym Cb = P.addSymbol("cb");
+  Sym Ci = P.addSymbol("ci");
+  S.forAll([&](QState Q, int Sf, int St, int Rq, int Z, int Ck) {
+    if (Ck == 0 && Rq == ReqInc) {
+      // Increment: push a counting frame, acknowledge, count nonzero.
+      QState Q2 = S.get(Sf, St, ReqNone, /*Z=*/0, /*Ck=*/0);
+      P.addAction({Q, Cb, Q2, Ci, Cb, "inc"});
+      P.addAction({Q, Ci, Q2, Ci, Ci, "inc"});
+    }
+    if (Ck == 0 && Rq == ReqDec) {
+      // Decrement: pop, then inspect the exposed frame to update `zero`.
+      QState Q2 = S.get(Sf, St, ReqNone, Z, /*Ck=*/1);
+      P.addAction({Q, Ci, Q2, EpsSym, EpsSym, "dec"});
+    }
+    if (Ck == 1) {
+      // Post-decrement check: bottom frame exposed means count is zero.
+      P.addAction({Q, Cb, S.get(Sf, St, Rq, /*Z=*/1, 0), Cb, EpsSym, "chk0"});
+      P.addAction({Q, Ci, S.get(Sf, St, Rq, /*Z=*/0, 0), Ci, EpsSym, "chkN"});
+    }
+  });
+  C.setInitialStack(T, {Cb});
+}
+
+/// Adds one stopper thread: raise stoppingFlag, wait for the pending
+/// count to drain, mark the driver stopped.
+void addStopperThread(Cpds &C, const SharedSpace &S, unsigned Index) {
+  unsigned T = C.addThread("stopper" + std::to_string(Index));
+  Pds &P = C.thread(T);
+  Sym S0 = P.addSymbol("s0"); // raise the flag
+  Sym S1 = P.addSymbol("s1"); // wait for zero, then stop
+  Sym SE = P.addSymbol("sE"); // done
+  S.forAll([&](QState Q, int Sf, int St, int Rq, int Z, int Ck) {
+    P.addAction({Q, S0, S.get(1, St, Rq, Z, Ck), S1, EpsSym, "flag"});
+    if (Z == 1)
+      P.addAction({Q, S1, S.get(Sf, 1, Rq, Z, Ck), SE, EpsSym, "stop"});
+  });
+  C.setInitialStack(T, {S0});
+}
+
+/// Adds one adder thread for driver \p Version; see the file comment.
+void addAdderThread(Cpds &C, const SharedSpace &S, int Version,
+                    unsigned Index) {
+  unsigned T = C.addThread("adder" + std::to_string(Index));
+  Pds &P = C.thread(T);
+  Sym A0 = P.addSymbol("a0"); // v1: check the flag  / v2, v3: request inc
+  Sym A1 = P.addSymbol("a1"); // request inc         / wait for the ack
+  Sym A2 = P.addSymbol("a2"); // wait for the ack    / check the flag
+  Sym A3 = P.addSymbol("a3"); // do I/O: assert !stopped
+  Sym A4 = P.addSymbol("a4"); // request dec
+  Sym A5 = P.addSymbol("a5"); // wait for the ack, loop
+  Sym AX = P.addSymbol("aX"); // drain: request dec before exiting
+  Sym AY = P.addSymbol("aY"); // drain: wait for the ack
+  Sym AE = P.addSymbol("aE"); // done
+  S.forAll([&](QState Q, int Sf, int St, int Rq, int Z, int Ck) {
+    (void)Z;
+    (void)Ck;
+    if (Version == 1) {
+      // a0: unprotected flag check (the race), then increment.
+      if (Sf == 0)
+        P.addAction({Q, A0, Q, A1, EpsSym, "check"});
+      else
+        P.addAction({Q, A0, Q, AE, EpsSym, "giveup"});
+      if (Rq == ReqNone)
+        P.addAction({Q, A1, S.get(Sf, St, ReqInc, Z, Ck), A2, EpsSym, "inc"});
+      if (Rq == ReqNone)
+        P.addAction({Q, A2, Q, A3, EpsSym, "ack"});
+      // a3: the I/O body asserts the driver is not stopped.
+      if (St == 1)
+        P.addAction({Q, A3, S.err(), A3, EpsSym, "assert"});
+      else
+        P.addAction({Q, A3, Q, A4, EpsSym, "io"});
+      if (Rq == ReqNone)
+        P.addAction({Q, A4, S.get(Sf, St, ReqDec, Z, Ck), A5, EpsSym, "dec"});
+      if (Rq == ReqNone)
+        P.addAction({Q, A5, Q, A0, EpsSym, "loop"});
+    } else {
+      // v2 and v3 increment first (a0/a1), then check the flag (a2).
+      if (Rq == ReqNone)
+        P.addAction({Q, A0, S.get(Sf, St, ReqInc, Z, Ck), A1, EpsSym, "inc"});
+      if (Rq == ReqNone)
+        P.addAction({Q, A1, Q, A2, EpsSym, "ack"});
+      if (Sf == 1) {
+        // Stopping: release the reference and exit without I/O.
+        P.addAction({Q, A2, Q, AX, EpsSym, "giveup"});
+      } else if (Version == 2) {
+        // v2 bug: release the reference (a4) before the completion
+        // touch (a3) -- the stopper may finish in between.
+        P.addAction({Q, A2, Q, A4, EpsSym, "io"});
+      } else {
+        // v3 fix: assert strictly inside the inc/dec window.
+        P.addAction({Q, A2, Q, A3, EpsSym, "io"});
+      }
+      if (Version == 2) {
+        // a4 -> a5 -> a3(assert) -> loop.
+        if (Rq == ReqNone)
+          P.addAction(
+              {Q, A4, S.get(Sf, St, ReqDec, Z, Ck), A5, EpsSym, "dec"});
+        if (Rq == ReqNone)
+          P.addAction({Q, A5, Q, A3, EpsSym, "ack"});
+        if (St == 1)
+          P.addAction({Q, A3, S.err(), A3, EpsSym, "assert"});
+        else
+          P.addAction({Q, A3, Q, A0, EpsSym, "loop"});
+      } else {
+        // v3: a3(assert) -> a4 -> a5 -> loop.
+        if (St == 1)
+          P.addAction({Q, A3, S.err(), A3, EpsSym, "assert"});
+        else
+          P.addAction({Q, A3, Q, A4, EpsSym, "done-io"});
+        if (Rq == ReqNone)
+          P.addAction(
+              {Q, A4, S.get(Sf, St, ReqDec, Z, Ck), A5, EpsSym, "dec"});
+        if (Rq == ReqNone)
+          P.addAction({Q, A5, Q, A0, EpsSym, "loop"});
+      }
+      // Drain path: release the reference, wait, halt.
+      if (Rq == ReqNone)
+        P.addAction({Q, AX, S.get(Sf, St, ReqDec, Z, Ck), AY, EpsSym, "dec"});
+      if (Rq == ReqNone)
+        P.addAction({Q, AY, Q, AE, EpsSym, "ack"});
+    }
+  });
+  C.setInitialStack(T, {A0});
+}
+
+} // namespace
+
+CpdsFile cuba::models::buildBluetooth(int Version, unsigned Stoppers,
+                                      unsigned Adders) {
+  assert(Version >= 1 && Version <= 3 && "unknown Bluetooth version");
+  CpdsFile File;
+  Cpds &C = File.System;
+  SharedSpace S(C);
+  // Initially: flag clear, not stopped, no request, count zero, no check.
+  C.setInitialShared(S.get(0, 0, ReqNone, 1, 0));
+
+  for (unsigned I = 0; I < Stoppers; ++I)
+    addStopperThread(C, S, I + 1);
+  for (unsigned I = 0; I < Adders; ++I)
+    addAdderThread(C, S, Version, I + 1);
+  addCounterThread(C, S);
+
+  VisiblePattern Bad;
+  Bad.Q = S.err();
+  Bad.Tops.assign(C.numThreads(), std::nullopt);
+  File.Property.addBadPattern(std::move(Bad));
+
+  if (auto R = C.freeze(); !R)
+    cuba_unreachable("Bluetooth model failed to validate");
+  return File;
+}

@@ -1,0 +1,245 @@
+//===-- models/Fig.cpp - The paper's running examples ----------------------=//
+//
+// Part of the CUBA project, an implementation of the PLDI 2018 paper
+// "CUBA: Interprocedural Context-UnBounded Analysis of Concurrent Programs".
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Action-by-action reproductions of the pushdown programs in Fig. 1 and
+/// Fig. 2 of the paper.
+///
+//===----------------------------------------------------------------------===//
+
+#include "models/Models.h"
+
+#include "support/Unreachable.h"
+
+using namespace cuba;
+
+/// Freezes \p File, which must succeed for the built-in models.
+static void freezeOrDie(CpdsFile &File) {
+  if (auto R = File.System.freeze(); !R)
+    cuba_unreachable("built-in model failed to validate");
+}
+
+CpdsFile cuba::models::buildFig1() {
+  CpdsFile File;
+  Cpds &C = File.System;
+  QState Q0 = C.addSharedState("0");
+  QState Q1 = C.addSharedState("1");
+  QState Q2 = C.addSharedState("2");
+  QState Q3 = C.addSharedState("3");
+  C.setInitialShared(Q0);
+
+  unsigned T1 = C.addThread("P1");
+  {
+    Pds &P = C.thread(T1);
+    Sym S1 = P.addSymbol("1");
+    Sym S2 = P.addSymbol("2");
+    P.addAction({Q0, S1, Q1, S2, EpsSym, "f1"});
+    P.addAction({Q3, S2, Q0, S1, EpsSym, "f2"});
+    C.setInitialStack(T1, {S1});
+  }
+
+  unsigned T2 = C.addThread("P2");
+  {
+    Pds &P = C.thread(T2);
+    Sym S4 = P.addSymbol("4");
+    Sym S5 = P.addSymbol("5");
+    Sym S6 = P.addSymbol("6");
+    P.addAction({Q0, S4, Q0, EpsSym, EpsSym, "b1"});
+    P.addAction({Q1, S4, Q2, S5, EpsSym, "b2"});
+    // b3: (2,5) -> (3, 4 6): 5 is overwritten by 6, then 4 is pushed.
+    P.addAction({Q2, S5, Q3, S4, S6, "b3"});
+    C.setInitialStack(T2, {S4});
+  }
+
+  freezeOrDie(File);
+  return File;
+}
+
+CpdsFile cuba::models::buildFig2() {
+  CpdsFile File;
+  Cpds &C = File.System;
+  // Shared state is the value of the flag x; "bot" models the initial
+  // nondeterministic value.
+  QState QB = C.addSharedState("bot");
+  QState X0 = C.addSharedState("0");
+  QState X1 = C.addSharedState("1");
+  C.setInitialShared(QB);
+  const QState Xs[2] = {X0, X1};
+
+  // Thread 1: procedure foo, program counters 2..5.
+  unsigned T1 = C.addThread("foo");
+  {
+    Pds &P = C.thread(T1);
+    Sym L2 = P.addSymbol("2");
+    Sym L3 = P.addSymbol("3");
+    Sym L4 = P.addSymbol("4");
+    Sym L5 = P.addSymbol("5");
+    // f0: (bot,2) -> (x,2) for both values of x.
+    P.addAction({QB, L2, X0, L2, EpsSym, "f0"});
+    P.addAction({QB, L2, X1, L2, EpsSym, "f0"});
+    for (QState X : Xs) {
+      P.addAction({X, L2, X, L3, EpsSym, "f2a"}); // take the call branch
+      P.addAction({X, L2, X, L4, EpsSym, "f2b"}); // skip the call
+      P.addAction({X, L3, X, L2, L4, "f3"});      // call foo(): push 2, pc 4
+      P.addAction({X, L5, X1, EpsSym, EpsSym, "f5"}); // x := 1; return
+    }
+    P.addAction({X1, L4, X1, L4, EpsSym, "f4a"}); // while (x) spin
+    P.addAction({X0, L4, X0, L5, EpsSym, "f4b"}); // exit the wait loop
+    C.setInitialStack(T1, {L2});
+  }
+
+  // Thread 2: procedure bar, program counters 6..9.
+  unsigned T2 = C.addThread("bar");
+  {
+    Pds &P = C.thread(T2);
+    Sym L6 = P.addSymbol("6");
+    Sym L7 = P.addSymbol("7");
+    Sym L8 = P.addSymbol("8");
+    Sym L9 = P.addSymbol("9");
+    P.addAction({QB, L6, X0, L6, EpsSym, "b0"});
+    P.addAction({QB, L6, X1, L6, EpsSym, "b0"});
+    for (QState X : Xs) {
+      P.addAction({X, L6, X, L7, EpsSym, "b6a"});
+      P.addAction({X, L6, X, L8, EpsSym, "b6b"});
+      P.addAction({X, L7, X, L6, L8, "b7"});
+      P.addAction({X, L9, X0, EpsSym, EpsSym, "b9"}); // x := 0; return
+    }
+    P.addAction({X0, L8, X0, L8, EpsSym, "b8a"}); // while (!x) spin
+    P.addAction({X1, L8, X1, L9, EpsSym, "b8b"});
+    C.setInitialStack(T2, {L6});
+  }
+
+  // Safety property: foo can only sit at pc 5 while x is 0 -- x is set
+  // to 1 exclusively by f5, which leaves pc 5 at the same step.  The bad
+  // pattern <1 | 5, *> is unreachable, which CUBA proves.
+  VisiblePattern Bad;
+  Bad.Q = X1;
+  Bad.Tops = {std::optional<Sym>(C.thread(0).symbolByName("5")),
+              std::nullopt};
+  File.Property.addBadPattern(std::move(Bad));
+
+  freezeOrDie(File);
+  return File;
+}
+
+CpdsFile cuba::models::buildKInduction() { return buildFig2(); }
+
+CpdsFile cuba::models::buildStefan1(unsigned Threads) {
+  assert(Threads >= 1 && "Stefan-1 needs at least one thread");
+  CpdsFile File;
+  Cpds &C = File.System;
+  QState Q0 = C.addSharedState("q0");
+  QState Q1 = C.addSharedState("q1");
+  QState Q2 = C.addSharedState("q2");
+  C.setInitialShared(Q0);
+
+  // The PDS shape of Fig. 7 (App. C, after Schwoon's thesis example),
+  // instantiated for every thread.  Pushes are enabled without any
+  // shared-state gating, so a single context can grow the stack without
+  // bound: the system does not satisfy FCR and exercises the symbolic
+  // engine.
+  for (unsigned I = 0; I < Threads; ++I) {
+    unsigned T = C.addThread("S" + std::to_string(I + 1));
+    Pds &P = C.thread(T);
+    Sym S0 = P.addSymbol("s0");
+    Sym S1 = P.addSymbol("s1");
+    Sym S2 = P.addSymbol("s2");
+    P.addAction({Q0, S0, Q1, S1, S0, "r1"}); // (q0,s0) -> (q1, s1 s0)
+    P.addAction({Q1, S1, Q2, S2, S0, "r2"}); // (q1,s1) -> (q2, s2 s0)
+    P.addAction({Q2, S2, Q0, S1, EpsSym, "r3"}); // (q2,s2) -> (q0, s1)
+    P.addAction({Q0, S1, Q0, EpsSym, EpsSym, "r4"}); // (q0,s1) -> (q0, eps)
+    // Drain: s0 frames are poppable too, so stacks can empty entirely
+    // (every generator of Eq. 2 with an eps top is then realisable,
+    // which Alg. 3's convergence test needs).
+    P.addAction({Q0, S0, Q0, EpsSym, EpsSym, "r5"}); // (q0,s0) -> (q0, eps)
+    C.setInitialStack(T, {S0});
+  }
+
+  // Whenever the shared state is q2, the thread that pushed s2 still has
+  // it on top (only an s2-topped thread can leave q2), so "q2 with every
+  // top equal to s0" is unreachable.
+  VisiblePattern Bad;
+  Bad.Q = Q2;
+  for (unsigned I = 0; I < Threads; ++I)
+    Bad.Tops.emplace_back(C.thread(I).symbolByName("s0"));
+  File.Property.addBadPattern(std::move(Bad));
+
+  freezeOrDie(File);
+  return File;
+}
+
+CpdsFile cuba::models::buildDekker() {
+  CpdsFile File;
+  Cpds &C = File.System;
+  // Shared state: (flag0, flag1, turn).
+  QState Ids[2][2][2];
+  for (int F0 = 0; F0 < 2; ++F0)
+    for (int F1 = 0; F1 < 2; ++F1)
+      for (int Turn = 0; Turn < 2; ++Turn)
+        Ids[F0][F1][Turn] = C.addSharedState(
+            "f" + std::to_string(F0) + std::to_string(F1) + "t" +
+            std::to_string(Turn));
+  C.setInitialShared(Ids[0][0][0]);
+
+  // Each thread is a finite-state protocol engine: one stack symbol per
+  // program counter, only overwrites (the paper's only recursion-free
+  // benchmark).  Program counters: idle, want (flag set), chk (saw the
+  // other flag), yield (cleared flag, waiting for turn), cs (critical
+  // section).
+  for (int Me = 0; Me < 2; ++Me) {
+    unsigned T = C.addThread("D" + std::to_string(Me));
+    Pds &P = C.thread(T);
+    Sym Idle = P.addSymbol("idle");
+    Sym Want = P.addSymbol("want");
+    Sym Chk = P.addSymbol("chk");
+    Sym Yield = P.addSymbol("yield");
+    Sym Cs = P.addSymbol("cs");
+    for (int F0 = 0; F0 < 2; ++F0)
+      for (int F1 = 0; F1 < 2; ++F1)
+        for (int Turn = 0; Turn < 2; ++Turn) {
+          QState Q = Ids[F0][F1][Turn];
+          int Mine = Me == 0 ? F0 : F1;
+          int Other = Me == 0 ? F1 : F0;
+          // idle: set my flag.
+          QState QSet = Me == 0 ? Ids[1][F1][Turn] : Ids[F0][1][Turn];
+          P.addAction({Q, Idle, QSet, Want, EpsSym, "set"});
+          if (Mine) {
+            // want: inspect the other flag.
+            if (Other)
+              P.addAction({Q, Want, Q, Chk, EpsSym, "other-busy"});
+            else
+              P.addAction({Q, Want, Q, Cs, EpsSym, "enter"});
+            // chk: if it is my turn, re-check; otherwise back off.
+            if (Turn == Me) {
+              P.addAction({Q, Chk, Q, Want, EpsSym, "retry"});
+            } else {
+              QState QClr = Me == 0 ? Ids[0][F1][Turn] : Ids[F0][0][Turn];
+              P.addAction({Q, Chk, QClr, Yield, EpsSym, "backoff"});
+            }
+            // cs: leave, flip the turn, clear my flag.
+            QState QOut = Me == 0 ? Ids[0][F1][1 - Me] : Ids[F0][0][1 - Me];
+            P.addAction({Q, Cs, QOut, Idle, EpsSym, "leave"});
+          }
+          // yield: wait for my turn, then raise the flag again.
+          if (Turn == Me) {
+            QState QSet2 = Me == 0 ? Ids[1][F1][Turn] : Ids[F0][1][Turn];
+            P.addAction({Q, Yield, QSet2, Want, EpsSym, "reacquire"});
+          }
+        }
+    C.setInitialStack(T, {Idle});
+  }
+
+  // Mutual exclusion: both threads in the critical section is bad.
+  VisiblePattern Bad;
+  Bad.Q = std::nullopt;
+  Bad.Tops = {std::optional<Sym>(C.thread(0).symbolByName("cs")),
+              std::optional<Sym>(C.thread(1).symbolByName("cs"))};
+  File.Property.addBadPattern(std::move(Bad));
+
+  freezeOrDie(File);
+  return File;
+}

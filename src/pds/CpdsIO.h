@@ -1,0 +1,74 @@
+//===-- pds/CpdsIO.h - Textual CPDS format ----------------------*- C++ -*-===//
+//
+// Part of the CUBA project, an implementation of the PLDI 2018 paper
+// "CUBA: Interprocedural Context-UnBounded Analysis of Concurrent Programs".
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parser and printer for the textual .cpds format, the on-disk form of
+/// concurrent pushdown systems.  Example (the Fig. 1 running example):
+///
+/// \code
+///   shared 0 1 2 3
+///   init 0
+///   thread P1 {
+///     alphabet 1 2
+///     stack 1
+///     f1: (0, 1) -> (1, 2)
+///     f2: (3, 2) -> (0, 1)
+///   }
+///   thread P2 {
+///     alphabet 4 5 6
+///     stack 4
+///     b1: (0, 4) -> (0, eps)
+///     b2: (1, 4) -> (2, 5)
+///     b3: (2, 5) -> (3, 4 6)
+///   }
+///   bad (3 | *, eps)
+/// \endcode
+///
+/// `shared` lists state names (or, as a shorthand, a single positive
+/// integer N declaring states "0".."N-1"); `stack` gives the initial
+/// stack top-first; rule targets are `eps`, one symbol, or two symbols
+/// (pushed-top first).  `bad` patterns use `*` as a wildcard and `eps`
+/// for the empty stack; together they form the SafetyProperty.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CUBA_PDS_CPDSIO_H
+#define CUBA_PDS_CPDSIO_H
+
+#include <string>
+#include <string_view>
+
+#include "pds/Cpds.h"
+#include "support/ErrorOr.h"
+
+namespace cuba {
+
+/// A parsed .cpds file: the system plus its safety property (which is
+/// trivial when the file has no `bad` clauses).
+struct CpdsFile {
+  Cpds System;
+  SafetyProperty Property;
+};
+
+/// Parses .cpds text; the returned system is already frozen.
+ErrorOr<CpdsFile> parseCpds(std::string_view Text);
+
+/// Reads and parses the file at \p Path.
+ErrorOr<CpdsFile> parseCpdsFile(const std::string &Path);
+
+/// Renders \p File back into .cpds text (parse-print round-trips).
+std::string printCpds(const CpdsFile &File);
+
+/// Renders a global state as "<q | a b, eps>" with stacks top-first.
+std::string toString(const Cpds &C, const GlobalState &S);
+
+/// Renders a visible state as "<q | a, eps>".
+std::string toString(const Cpds &C, const VisibleState &V);
+
+} // namespace cuba
+
+#endif // CUBA_PDS_CPDSIO_H

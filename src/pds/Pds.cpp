@@ -1,0 +1,82 @@
+//===-- pds/Pds.cpp - Sequential pushdown systems -------------------------===//
+//
+// Part of the CUBA project, an implementation of the PLDI 2018 paper
+// "CUBA: Interprocedural Context-UnBounded Analysis of Concurrent Programs".
+//
+//===----------------------------------------------------------------------===//
+
+#include "pds/Pds.h"
+
+#include <algorithm>
+
+using namespace cuba;
+
+Sym Pds::addSymbol(std::string Name) {
+  assert(!Frozen && "cannot add symbols after freeze()");
+  SymNames.push_back(std::move(Name));
+  return static_cast<Sym>(SymNames.size() - 1);
+}
+
+Sym Pds::symbolByName(std::string_view Name) const {
+  for (size_t I = 1; I < SymNames.size(); ++I)
+    if (SymNames[I] == Name)
+      return static_cast<Sym>(I);
+  return EpsSym;
+}
+
+uint32_t Pds::addAction(Action A) {
+  assert(!Frozen && "cannot add actions after freeze()");
+  Delta.push_back(std::move(A));
+  return static_cast<uint32_t>(Delta.size() - 1);
+}
+
+/// Returns true when \p S names a symbol of this alphabet or epsilon.
+static bool symbolInRange(Sym S, uint32_t NumSymbols) {
+  return S <= NumSymbols;
+}
+
+ErrorOr<void> Pds::freeze(uint32_t NumSharedStates) {
+  assert(!Frozen && "freeze() called twice");
+  uint32_t NumSyms = numSymbols();
+  for (const Action &A : Delta) {
+    if (A.SrcQ >= NumSharedStates || A.DstQ >= NumSharedStates)
+      return Error("action '" + A.Label + "': shared state out of range");
+    if (!symbolInRange(A.SrcSym, NumSyms) || !symbolInRange(A.Dst0, NumSyms) ||
+        !symbolInRange(A.Dst1, NumSyms))
+      return Error("action '" + A.Label + "': stack symbol out of range");
+    // Target words are written left-packed: (Dst0, Dst1) may not be
+    // (eps, s), which would encode a word with a hole in it.
+    if (A.Dst0 == EpsSym && A.Dst1 != EpsSym)
+      return Error("action '" + A.Label + "': malformed target word");
+    // Case (b) of the semantics: actions from the empty stack may write at
+    // most one symbol.
+    if (A.SrcSym == EpsSym && A.targetLength() > 1)
+      return Error("action '" + A.Label +
+                   "': empty-stack action must write at most one symbol");
+  }
+
+  BySource.assign(static_cast<size_t>(NumSharedStates) * (NumSyms + 1), {});
+  for (uint32_t I = 0; I < Delta.size(); ++I) {
+    const Action &A = Delta[I];
+    size_t Key = static_cast<size_t>(A.SrcQ) * (NumSyms + 1) + A.SrcSym;
+    BySource[Key].push_back(I);
+  }
+
+  // Build-then-query sorted vectors for the syntactic sets used by the
+  // generator test (Eq. 2) and the Z overapproximation (Alg. 2).
+  for (const Action &A : Delta) {
+    if (A.kind() == ActionKind::Push)
+      Emerging.push_back(A.Dst1);
+    if (A.kind() == ActionKind::Pop)
+      PopTargets.push_back(A.DstQ);
+  }
+  std::sort(Emerging.begin(), Emerging.end());
+  Emerging.erase(std::unique(Emerging.begin(), Emerging.end()),
+                 Emerging.end());
+  std::sort(PopTargets.begin(), PopTargets.end());
+  PopTargets.erase(std::unique(PopTargets.begin(), PopTargets.end()),
+                   PopTargets.end());
+
+  Frozen = true;
+  return {};
+}

@@ -1,0 +1,155 @@
+//===-- pds/Pds.h - Sequential pushdown systems -----------------*- C++ -*-===//
+//
+// Part of the CUBA project, an implementation of the PLDI 2018 paper
+// "CUBA: Interprocedural Context-UnBounded Analysis of Concurrent Programs".
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Sequential pushdown systems (PDS) as defined in Sec. 2.1 of the paper:
+/// a PDS is (Q, Sigma, Delta, qI) with actions (q, w) -> (q', w') where
+/// |w| <= 1 and |w'| <= 2.  Stack symbols are dense 32-bit ids local to
+/// each PDS; id 0 is reserved for the empty word epsilon.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CUBA_PDS_PDS_H
+#define CUBA_PDS_PDS_H
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/ErrorOr.h"
+
+namespace cuba {
+
+/// Shared (control) state id.
+using QState = uint32_t;
+/// Stack symbol id; EpsSym denotes the empty word.
+using Sym = uint32_t;
+/// Reserved symbol id for the empty word epsilon.
+inline constexpr Sym EpsSym = 0;
+
+/// Classification of PDS actions by the shape of (w, w'), following the
+/// semantics cases of Sec. 2.1.  Actions with a non-empty source symbol
+/// fire when that symbol is on top of the stack; EmptyChange / EmptyPush
+/// fire only on the empty stack (case (b) of the semantics).
+enum class ActionKind : uint8_t {
+  Pop,         ///< (q, s) -> (q', eps): removes the top symbol.
+  Overwrite,   ///< (q, s) -> (q', s'): replaces the top symbol.
+  Push,        ///< (q, s) -> (q', r0 r1): replaces top by r1, pushes r0.
+  EmptyChange, ///< (q, eps) -> (q', eps): shared-state move, stack empty.
+  EmptyPush,   ///< (q, eps) -> (q', s): pushes onto the empty stack.
+};
+
+/// One pushdown action (q, SrcSym) -> (q', Dst0 Dst1).  For target words
+/// shorter than two symbols the unused slots hold EpsSym; for a push,
+/// Dst0 is the newly pushed top and Dst1 the symbol written underneath it
+/// (the rho0 / rho1 of the paper).
+struct Action {
+  QState SrcQ = 0;
+  Sym SrcSym = EpsSym;
+  QState DstQ = 0;
+  Sym Dst0 = EpsSym;
+  Sym Dst1 = EpsSym;
+  /// Optional label for diagnostics and printing (f1, b2, ... in the
+  /// paper's figures).
+  std::string Label;
+
+  ActionKind kind() const {
+    if (SrcSym == EpsSym)
+      return Dst0 == EpsSym ? ActionKind::EmptyChange : ActionKind::EmptyPush;
+    if (Dst1 != EpsSym)
+      return ActionKind::Push;
+    return Dst0 == EpsSym ? ActionKind::Pop : ActionKind::Overwrite;
+  }
+
+  /// Length of the target word w' (0, 1 or 2).
+  unsigned targetLength() const {
+    if (Dst1 != EpsSym)
+      return 2;
+    return Dst0 != EpsSym ? 1 : 0;
+  }
+};
+
+/// A sequential pushdown system.  The shared-state set Q is owned by the
+/// enclosing Cpds (all threads share it); a Pds owns its stack alphabet
+/// and its pushdown program Delta.
+///
+/// Typical construction: addSymbol() for each stack symbol, addAction()
+/// for each rule, then freeze(NumSharedStates) once, which validates the
+/// rules and builds the (q, top) -> actions index used by the engines.
+class Pds {
+public:
+  Pds() = default;
+
+  /// Registers a stack symbol named \p Name and returns its id (>= 1).
+  Sym addSymbol(std::string Name);
+
+  /// Number of genuine stack symbols (excluding epsilon); valid symbol
+  /// ids are 1..numSymbols().
+  uint32_t numSymbols() const {
+    return static_cast<uint32_t>(SymNames.size()) - 1;
+  }
+
+  const std::string &symbolName(Sym S) const {
+    assert(S < SymNames.size() && "symbol out of range");
+    return SymNames[S];
+  }
+
+  /// Finds a symbol by name; returns EpsSym when not present ("eps"
+  /// itself maps to EpsSym).
+  Sym symbolByName(std::string_view Name) const;
+
+  /// Appends an action to Delta; returns its index.
+  uint32_t addAction(Action A);
+
+  const std::vector<Action> &actions() const { return Delta; }
+
+  /// Validates all actions against \p NumSharedStates and this alphabet,
+  /// then builds the source index.  Must be called before actionsFrom().
+  ErrorOr<void> freeze(uint32_t NumSharedStates);
+
+  bool frozen() const { return Frozen; }
+
+  /// Indices of the actions whose source is (\p Q, \p Top); \p Top is
+  /// EpsSym for the empty stack.  Requires freeze().
+  const std::vector<uint32_t> &actionsFrom(QState Q, Sym Top) const {
+    assert(Frozen && "Pds::freeze() must run before queries");
+    size_t Key = static_cast<size_t>(Q) * (numSymbols() + 1) + Top;
+    assert(Key < BySource.size() && "source state out of range");
+    return BySource[Key];
+  }
+
+  /// The set E of "emerging" symbols: every symbol written directly
+  /// underneath a newly pushed symbol (the rho1 of push actions).  These
+  /// are the candidates for the symbol exposed by a pop (Alg. 2 and the
+  /// generator-set definition, Eq. 2).  Requires freeze(); the result is
+  /// sorted and duplicate-free.
+  const std::vector<Sym> &emergingSymbols() const {
+    assert(Frozen && "Pds::freeze() must run before queries");
+    return Emerging;
+  }
+
+  /// Shared states that are the target of a pop action (q, s) -> (q', eps)
+  /// with s != eps; used by the generator-set predicate (Eq. 2).  Sorted
+  /// and duplicate-free; requires freeze().
+  const std::vector<QState> &popTargets() const {
+    assert(Frozen && "Pds::freeze() must run before queries");
+    return PopTargets;
+  }
+
+private:
+  std::vector<std::string> SymNames = {"eps"};
+  std::vector<Action> Delta;
+  std::vector<std::vector<uint32_t>> BySource;
+  std::vector<Sym> Emerging;
+  std::vector<QState> PopTargets;
+  bool Frozen = false;
+};
+
+} // namespace cuba
+
+#endif // CUBA_PDS_PDS_H

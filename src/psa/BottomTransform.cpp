@@ -1,0 +1,48 @@
+//===-- psa/BottomTransform.cpp - Eliminate empty-stack rules -------------===//
+//
+// Part of the CUBA project, an implementation of the PLDI 2018 paper
+// "CUBA: Interprocedural Context-UnBounded Analysis of Concurrent Programs".
+//
+//===----------------------------------------------------------------------===//
+
+#include "psa/BottomTransform.h"
+
+#include "support/Unreachable.h"
+
+using namespace cuba;
+
+BottomedPds cuba::eliminateEmptyStackRules(const Pds &P,
+                                           uint32_t NumSharedStates) {
+  BottomedPds Out;
+  // Copy the alphabet, then append the bottom marker as the last symbol.
+  for (Sym S = 1; S <= P.numSymbols(); ++S)
+    Out.P.addSymbol(P.symbolName(S));
+  Out.Bottom = Out.P.addSymbol("_bot");
+
+  for (const Action &A : P.actions()) {
+    Action B = A;
+    switch (A.kind()) {
+    case ActionKind::Pop:
+    case ActionKind::Overwrite:
+    case ActionKind::Push:
+      break; // Unchanged: these never mention the empty stack.
+    case ActionKind::EmptyChange:
+      // (q, eps) -> (q', eps)  ~~>  (q, _bot) -> (q', _bot).
+      B.SrcSym = Out.Bottom;
+      B.Dst0 = Out.Bottom;
+      break;
+    case ActionKind::EmptyPush:
+      // (q, eps) -> (q', s)  ~~>  (q, _bot) -> (q', s _bot).
+      B.SrcSym = Out.Bottom;
+      B.Dst0 = A.Dst0;
+      B.Dst1 = Out.Bottom;
+      break;
+    }
+    Out.P.addAction(std::move(B));
+  }
+
+  auto R = Out.P.freeze(NumSharedStates);
+  if (!R)
+    cuba_unreachable("bottom transform produced an invalid PDS");
+  return Out;
+}

@@ -1,0 +1,54 @@
+//===-- psa/BottomTransform.h - Eliminate empty-stack rules -----*- C++ -*-===//
+//
+// Part of the CUBA project, an implementation of the PLDI 2018 paper
+// "CUBA: Interprocedural Context-UnBounded Analysis of Concurrent Programs".
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's PDS model (Sec. 2.1, case (b)) allows actions that fire on
+/// the empty stack, which the classical post* saturation does not handle.
+/// This classical transform introduces a bottom-of-stack marker `_bot`:
+///
+///   (q, eps) -> (q', eps)   becomes   (q, _bot) -> (q', _bot)
+///   (q, eps) -> (q', s)     becomes   (q, _bot) -> (q', s _bot)
+///
+/// and every stack w of the original system corresponds to w _bot in the
+/// transformed one.  The correspondence is a bijection on runs, so
+/// reachability and language-finiteness questions transfer directly.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CUBA_PSA_BOTTOMTRANSFORM_H
+#define CUBA_PSA_BOTTOMTRANSFORM_H
+
+#include "pds/Pds.h"
+#include "pds/State.h"
+
+namespace cuba {
+
+/// The result of the bottom transform: a PDS without empty-stack rules
+/// plus the id of the fresh bottom marker (its highest symbol).
+struct BottomedPds {
+  Pds P;
+  Sym Bottom = EpsSym;
+
+  /// Lifts an original stack (top at back) into the transformed system by
+  /// placing the bottom marker underneath.
+  Stack lift(const Stack &W) const {
+    Stack Out;
+    Out.reserve(W.size() + 1);
+    Out.push_back(Bottom);
+    Out.insert(Out.end(), W.begin(), W.end());
+    return Out;
+  }
+};
+
+/// Applies the transform to \p P (which must not be frozen yet is fine
+/// either way; the copy is rebuilt from its action list).  The returned
+/// PDS is frozen against \p NumSharedStates.
+BottomedPds eliminateEmptyStackRules(const Pds &P, uint32_t NumSharedStates);
+
+} // namespace cuba
+
+#endif // CUBA_PSA_BOTTOMTRANSFORM_H

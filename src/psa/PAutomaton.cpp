@@ -1,0 +1,97 @@
+//===-- psa/PAutomaton.cpp - Pushdown store automata ----------------------===//
+//
+// Part of the CUBA project, an implementation of the PLDI 2018 paper
+// "CUBA: Interprocedural Context-UnBounded Analysis of Concurrent Programs".
+//
+//===----------------------------------------------------------------------===//
+
+#include "psa/PAutomaton.h"
+
+#include <algorithm>
+
+using namespace cuba;
+
+bool PAutomaton::accepts(QState Q, const std::vector<Sym> &W) const {
+  assert(Q < NumShared && "not a shared state");
+  std::vector<uint32_t> Current = {Q};
+  A.epsilonClosure(Current);
+  for (Sym X : W) {
+    std::vector<uint32_t> Next;
+    for (uint32_t S : Current)
+      for (const Nfa::Edge &E : A.edgesFrom(S))
+        if (E.Label == X)
+          Next.push_back(E.To);
+    A.epsilonClosure(Next);
+    Current = std::move(Next);
+    if (Current.empty())
+      return false;
+  }
+  for (uint32_t S : Current)
+    if (A.isAccepting(S))
+      return true;
+  return false;
+}
+
+/// Marks every state from which an accepting state is reachable.
+static std::vector<bool> coReachable(const Nfa &A) {
+  std::vector<std::vector<uint32_t>> Rev(A.numStates());
+  for (uint32_t S = 0; S < A.numStates(); ++S)
+    for (const Nfa::Edge &E : A.edgesFrom(S))
+      Rev[E.To].push_back(S);
+  std::vector<bool> Co(A.numStates(), false);
+  std::vector<uint32_t> Work;
+  for (uint32_t S = 0; S < A.numStates(); ++S) {
+    if (A.isAccepting(S)) {
+      Co[S] = true;
+      Work.push_back(S);
+    }
+  }
+  while (!Work.empty()) {
+    uint32_t S = Work.back();
+    Work.pop_back();
+    for (uint32_t P : Rev[S]) {
+      if (Co[P])
+        continue;
+      Co[P] = true;
+      Work.push_back(P);
+    }
+  }
+  return Co;
+}
+
+std::vector<Sym> PAutomaton::topSymbols(QState Q) const {
+  return topSymbols(Q, EpsSym);
+}
+
+std::vector<Sym> PAutomaton::topSymbols(QState Q, Sym TreatAsEps) const {
+  assert(Q < NumShared && "not a shared state");
+  std::vector<bool> Co = coReachable(A);
+  std::vector<uint32_t> Closure = {Q};
+  A.epsilonClosure(Closure);
+
+  std::vector<Sym> Tops;
+  // Empty stack: an accepting state within the epsilon closure of Q.
+  for (uint32_t S : Closure) {
+    if (A.isAccepting(S)) {
+      Tops.push_back(EpsSym);
+      break;
+    }
+  }
+  // Non-empty stacks: the first non-epsilon label on an accepting path.
+  for (uint32_t S : Closure)
+    for (const Nfa::Edge &E : A.edgesFrom(S))
+      if (E.Label != EpsSym && Co[E.To])
+        Tops.push_back(E.Label == TreatAsEps ? EpsSym : E.Label);
+  std::sort(Tops.begin(), Tops.end());
+  Tops.erase(std::unique(Tops.begin(), Tops.end()), Tops.end());
+  return Tops;
+}
+
+Nfa PAutomaton::rootedNfa(const std::vector<QState> &Roots) const {
+  Nfa Copy = A;
+  for (QState Q : Roots) {
+    assert(Q < NumShared && "not a shared state");
+    Copy.setInitial(Q);
+  }
+  return Copy;
+}

@@ -1,0 +1,83 @@
+//===-- psa/PAutomaton.h - Pushdown store automata ---------------*- C++ -*-=//
+//
+// Part of the CUBA project, an implementation of the PLDI 2018 paper
+// "CUBA: Interprocedural Context-UnBounded Analysis of Concurrent Programs".
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Pushdown store automata (PSA, App. C): finite automata whose first
+/// NumShared states are identified with the PDS's shared states.  A PSA
+/// accepts the PDS state <q | w> iff reading w (top-first) from automaton
+/// state q reaches an accepting state; epsilon edges may be traversed
+/// freely.  The (possibly infinite) reachable-state sets R(S) of a PDS
+/// are regular and are represented by PSAs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CUBA_PSA_PAUTOMATON_H
+#define CUBA_PSA_PAUTOMATON_H
+
+#include <vector>
+
+#include "fa/Nfa.h"
+#include "pds/State.h"
+
+namespace cuba {
+
+/// A pushdown store automaton.  States [0, NumShared) of the underlying
+/// NFA are the PDS shared states; further states are internal.  Initial
+/// flags of the NFA are not used for acceptance (membership starts at the
+/// queried shared state); they are set on demand for whole-language
+/// queries such as finiteness.
+class PAutomaton {
+public:
+  PAutomaton(uint32_t NumShared, uint32_t NumSymbols)
+      : NumShared(NumShared), A(NumSymbols) {
+    for (uint32_t I = 0; I < NumShared; ++I)
+      A.addState();
+  }
+
+  uint32_t numShared() const { return NumShared; }
+  Nfa &nfa() { return A; }
+  const Nfa &nfa() const { return A; }
+
+  /// Adds an internal (non-shared) state.
+  uint32_t addState() { return A.addState(); }
+
+  void addEdge(uint32_t From, Sym Label, uint32_t To) {
+    A.addEdge(From, Label, To);
+  }
+
+  void setAccepting(uint32_t S) { A.setAccepting(S); }
+
+  /// True when this PSA accepts the PDS state <q | w>; \p W is given
+  /// top-first (reading order).
+  bool accepts(QState Q, const std::vector<Sym> &W) const;
+
+  /// The set {T(w) : (q, w) in L(A)} of top-of-stack symbols reachable
+  /// from shared state \p Q, including EpsSym when the empty stack is
+  /// accepted.  This is Alg. 4 of the paper, made precise for epsilon
+  /// edges: the top of a non-empty word is the first non-epsilon label on
+  /// an accepting path, and epsilon is in the set iff an accepting state
+  /// is reachable via epsilon edges alone.  The result is sorted.
+  std::vector<Sym> topSymbols(QState Q) const;
+
+  /// Like topSymbols, but \p TreatAsEps (e.g. a bottom-of-stack marker)
+  /// is reported as EpsSym: a stack holding only the marker represents
+  /// the empty stack of the original, untransformed PDS.
+  std::vector<Sym> topSymbols(QState Q, Sym TreatAsEps) const;
+
+  /// A copy of the underlying NFA with exactly the shared states in
+  /// \p Roots marked initial; used for whole-language queries (emptiness,
+  /// finiteness, enumeration).
+  Nfa rootedNfa(const std::vector<QState> &Roots) const;
+
+private:
+  uint32_t NumShared;
+  Nfa A;
+};
+
+} // namespace cuba
+
+#endif // CUBA_PSA_PAUTOMATON_H

@@ -1,0 +1,208 @@
+//===-- psa/PostStar.cpp - post* saturation for PDSs ----------------------===//
+//
+// Part of the CUBA project, an implementation of the PLDI 2018 paper
+// "CUBA: Interprocedural Context-UnBounded Analysis of Concurrent Programs".
+//
+//===----------------------------------------------------------------------===//
+
+#include "psa/PostStar.h"
+
+#include <deque>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "support/Statistic.h"
+#include "support/Unreachable.h"
+
+using namespace cuba;
+
+namespace {
+
+/// One automaton transition (From, Label, To) in the saturation.
+struct Trans {
+  uint32_t From;
+  Sym Label;
+  uint32_t To;
+};
+
+/// The saturation engine; see the header for the algorithm description.
+class Saturator {
+public:
+  Saturator(const Pds &P, const PAutomaton &In, LimitTracker *Limits)
+      : P(P), Limits(Limits), Result(In), NumShared(In.numShared()) {}
+
+  PostStarResult run() {
+    seedFromInput();
+    while (!Worklist.empty()) {
+      if (Limits && !Limits->chargeStep()) {
+        Complete = false;
+        break;
+      }
+      Trans T = Worklist.front();
+      Worklist.pop_front();
+      if (!relInsert(T))
+        continue;
+      ++Statistics::counter("poststar.transitions");
+      if (T.Label != EpsSym)
+        processSymbolTransition(T);
+      else
+        processEpsilonTransition(T);
+    }
+    materialise();
+    return {std::move(Result), Complete};
+  }
+
+private:
+  /// Packs a transition into a set key.  State and label counts in this
+  /// project are far below 2^21 (asserted), so the packing is lossless.
+  static uint64_t key(const Trans &T) {
+    assert(T.From < (1u << 21) && T.To < (1u << 21) && T.Label < (1u << 21) &&
+           "automaton too large for transition packing");
+    return (static_cast<uint64_t>(T.From) << 42) |
+           (static_cast<uint64_t>(T.Label) << 21) | T.To;
+  }
+
+  void seedFromInput() {
+    const Nfa &A = Result.nfa();
+    for (uint32_t S = 0; S < A.numStates(); ++S) {
+      for (const Nfa::Edge &E : A.edgesFrom(S)) {
+        assert(E.Label != EpsSym &&
+               "post* input automaton must be epsilon-free");
+        assert(E.To >= NumShared &&
+               "post* input automaton may not enter shared states");
+        Worklist.push_back({S, E.Label, E.To});
+      }
+    }
+  }
+
+  bool relInsert(const Trans &T) {
+    if (!Rel.insert(key(T)).second)
+      return false;
+    if (T.Label == EpsSym)
+      EpsIn[T.To].push_back(T.From);
+    OutRel[T.From].push_back({T.Label, T.To});
+    return true;
+  }
+
+  void enqueue(Trans T) { Worklist.push_back(T); }
+
+  /// Returns the helper state s(p', y1) shared by all pushes that write
+  /// (p', y1 ...), creating it on first use.
+  uint32_t helperState(QState DstQ, Sym Top) {
+    uint64_t K = (static_cast<uint64_t>(DstQ) << 32) | Top;
+    auto It = Helpers.find(K);
+    if (It != Helpers.end())
+      return It->second;
+    uint32_t S = Result.addState();
+    Helpers.emplace(K, S);
+    return S;
+  }
+
+  void processSymbolTransition(const Trans &T) {
+    // Symmetric epsilon composition: (x, eps, From) + T => (x, Label, To).
+    if (auto It = EpsIn.find(T.From); It != EpsIn.end())
+      for (uint32_t X : It->second)
+        enqueue({X, T.Label, T.To});
+    // PDS rules fire only from shared states.
+    if (T.From >= NumShared)
+      return;
+    for (uint32_t AI : P.actionsFrom(T.From, T.Label)) {
+      const Action &A = P.actions()[AI];
+      switch (A.kind()) {
+      case ActionKind::Pop:
+        enqueue({A.DstQ, EpsSym, T.To});
+        break;
+      case ActionKind::Overwrite:
+        enqueue({A.DstQ, A.Dst0, T.To});
+        break;
+      case ActionKind::Push: {
+        uint32_t S = helperState(A.DstQ, A.Dst0);
+        enqueue({A.DstQ, A.Dst0, S});
+        enqueue({S, A.Dst1, T.To});
+        break;
+      }
+      case ActionKind::EmptyChange:
+      case ActionKind::EmptyPush:
+        cuba_unreachable("post* requires the bottom transform to have "
+                         "removed empty-stack rules");
+      }
+    }
+  }
+
+  void processEpsilonTransition(const Trans &T) {
+    // (From, eps, To) composes with everything leaving To...
+    if (auto It = OutRel.find(T.To); It != OutRel.end())
+      for (const auto &[Label, Dst] : It->second)
+        enqueue({T.From, Label, Dst});
+    // ... and with epsilon edges entering From (epsilon chains).
+    if (auto It = EpsIn.find(T.From); It != EpsIn.end())
+      for (uint32_t X : It->second)
+        enqueue({X, EpsSym, T.To});
+  }
+
+  /// Copies the saturated relation into the result automaton (the input
+  /// edges are already there; only new edges are appended).
+  void materialise() {
+    const Nfa &A = Result.nfa();
+    std::unordered_set<uint64_t> Existing;
+    for (uint32_t S = 0; S < A.numStates(); ++S)
+      for (const Nfa::Edge &E : A.edgesFrom(S))
+        Existing.insert(key({S, E.Label, E.To}));
+    for (auto &[From, Edges] : OutRel)
+      for (const auto &[Label, To] : Edges)
+        if (!Existing.count(key({From, Label, To})))
+          Result.addEdge(From, Label, To);
+  }
+
+  const Pds &P;
+  LimitTracker *Limits;
+  PAutomaton Result;
+  uint32_t NumShared;
+  bool Complete = true;
+
+  std::deque<Trans> Worklist;
+  std::unordered_set<uint64_t> Rel;
+  std::unordered_map<uint32_t, std::vector<uint32_t>> EpsIn;
+  std::unordered_map<uint32_t, std::vector<std::pair<Sym, uint32_t>>> OutRel;
+  std::unordered_map<uint64_t, uint32_t> Helpers;
+};
+
+} // namespace
+
+PostStarResult cuba::postStar(const Pds &P, const PAutomaton &In,
+                              LimitTracker *Limits) {
+  assert(P.frozen() && "post* requires a frozen PDS");
+  Saturator S(P, In, Limits);
+  return S.run();
+}
+
+PAutomaton cuba::singleStateAutomaton(uint32_t NumShared, uint32_t NumSymbols,
+                                      QState Q,
+                                      const std::vector<Sym> &TopFirst) {
+  PAutomaton A(NumShared, NumSymbols);
+  uint32_t Cur = Q;
+  for (Sym S : TopFirst) {
+    uint32_t Next = A.addState();
+    A.addEdge(Cur, S, Next);
+    Cur = Next;
+  }
+  // For the empty stack this marks Q itself accepting.  Saturation never
+  // adds edges into shared states, so an accepting shared state accepts
+  // exactly the empty-stack configuration <Q | eps> and nothing longer.
+  A.setAccepting(Cur);
+  return A;
+}
+
+PAutomaton cuba::shortStackAutomaton(uint32_t NumShared, uint32_t NumSymbols) {
+  PAutomaton A(NumShared, NumSymbols);
+  uint32_t Fin = A.addState();
+  A.setAccepting(Fin);
+  for (QState Q = 0; Q < NumShared; ++Q) {
+    // Accept <q | eps> ...
+    A.setAccepting(Q);
+    // ... and <q | s> for every symbol s.
+    for (Sym S = 1; S <= NumSymbols; ++S)
+      A.addEdge(Q, S, Fin);
+  }
+  return A;
+}

@@ -1,0 +1,68 @@
+//===-- psa/PostStar.h - post* saturation for PDSs ---------------*- C++ -*-=//
+//
+// Part of the CUBA project, an implementation of the PLDI 2018 paper
+// "CUBA: Interprocedural Context-UnBounded Analysis of Concurrent Programs".
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The classical post* saturation (Bouajjani-Esparza-Maler 1997; Schwoon
+/// 2000): given a PDS P and a PSA recognising a regular set C of PDS
+/// states, computes a PSA recognising post*(C), the set of states
+/// reachable from C.  This underlies both the FCR test (Sec. 5) and the
+/// symbolic engine's per-context transaction (Sec. 6, App. E).
+///
+/// The saturation processes a worklist of automaton transitions.  Popping
+/// (p, y, q) with y != eps fires the PDS rules with head (p, y):
+///
+///   (p,y) -> (p',eps)    adds (p', eps, q)         [pop]
+///   (p,y) -> (p',y1)     adds (p', y1, q)          [overwrite]
+///   (p,y) -> (p',y1 y2)  adds (p', y1, s) and (s, y2, q) for the helper
+///                        state s = s(p',y1)        [push]
+///
+/// Epsilon edges (which only ever originate at shared states) are closed
+/// by symmetric composition: (x, eps, p) + (p, y, q) => (x, y, q), applied
+/// both when the epsilon edge and when the target transition is popped,
+/// so the closure is complete regardless of discovery order.  Composed
+/// edges are shortcuts of existing paths and do not change the language.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CUBA_PSA_POSTSTAR_H
+#define CUBA_PSA_POSTSTAR_H
+
+#include "pds/Pds.h"
+#include "psa/PAutomaton.h"
+#include "support/Limits.h"
+
+namespace cuba {
+
+/// Result of a saturation run.  When Complete is false the resource
+/// budget ran out and the automaton underapproximates post*(C).
+struct PostStarResult {
+  PAutomaton Automaton;
+  bool Complete = true;
+};
+
+/// Computes post* of the configurations accepted by \p In under PDS \p P.
+///
+/// Preconditions: \p P is frozen, contains no empty-stack rules (apply
+/// eliminateEmptyStackRules first), and \p In has no epsilon edges and no
+/// transitions into shared states.  \p Limits may be null for unbounded
+/// runs.
+PostStarResult postStar(const Pds &P, const PAutomaton &In,
+                        LimitTracker *Limits = nullptr);
+
+/// Builds the PSA accepting exactly the single PDS state <q | w>
+/// (\p TopFirstStack in reading order).
+PAutomaton singleStateAutomaton(uint32_t NumShared, uint32_t NumSymbols,
+                                QState Q, const std::vector<Sym> &TopFirst);
+
+/// Builds the PSA accepting Q x Sigma^{<=1}: every shared state paired
+/// with every stack of size at most one.  This is the start set of the
+/// FCR test (Sec. 5, Lemma 16).
+PAutomaton shortStackAutomaton(uint32_t NumShared, uint32_t NumSymbols);
+
+} // namespace cuba
+
+#endif // CUBA_PSA_POSTSTAR_H

@@ -1,0 +1,118 @@
+//===-- support/ErrorOr.h - Lightweight error-or-value utility -*- C++ -*-===//
+//
+// Part of the CUBA project, an implementation of the PLDI 2018 paper
+// "CUBA: Interprocedural Context-UnBounded Analysis of Concurrent Programs".
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Recoverable-error handling without exceptions.  Library code returns
+/// ErrorOr<T> for operations that can fail on user input (parsing, file
+/// I/O); programmatic errors use assert / cuba_unreachable instead.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CUBA_SUPPORT_ERROROR_H
+#define CUBA_SUPPORT_ERROROR_H
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace cuba {
+
+/// A recoverable error: a human-readable message, optionally tagged with a
+/// source location of the offending input (used by the parsers).
+class Error {
+public:
+  Error() = default;
+  explicit Error(std::string Message) : Message(std::move(Message)) {}
+  Error(std::string Message, unsigned Line, unsigned Column)
+      : Message(std::move(Message)), Line(Line), Column(Column) {}
+
+  const std::string &message() const { return Message; }
+  unsigned line() const { return Line; }
+  unsigned column() const { return Column; }
+  bool hasLocation() const { return Line != 0; }
+
+  /// Renders "line:col: message" (or just the message when no location is
+  /// attached), matching the style of compiler diagnostics.
+  std::string str() const {
+    if (!hasLocation())
+      return Message;
+    return std::to_string(Line) + ":" + std::to_string(Column) + ": " +
+           Message;
+  }
+
+private:
+  std::string Message;
+  unsigned Line = 0;
+  unsigned Column = 0;
+};
+
+/// Holds either a value of type \p T or an Error describing why the value
+/// could not be produced.  Converts to bool (true == has value), mirroring
+/// the Expected<T> idiom.
+template <typename T> class ErrorOr {
+public:
+  ErrorOr(T Value) : Value(std::move(Value)) {}
+  ErrorOr(Error Err) : Err(std::move(Err)) {}
+
+  explicit operator bool() const { return Value.has_value(); }
+
+  T &operator*() {
+    assert(Value && "dereferencing an ErrorOr in error state");
+    return *Value;
+  }
+  const T &operator*() const {
+    assert(Value && "dereferencing an ErrorOr in error state");
+    return *Value;
+  }
+  T *operator->() {
+    assert(Value && "dereferencing an ErrorOr in error state");
+    return &*Value;
+  }
+  const T *operator->() const {
+    assert(Value && "dereferencing an ErrorOr in error state");
+    return &*Value;
+  }
+
+  /// Extracts the error; only valid in the error state.
+  const Error &error() const {
+    assert(!Value && "taking the error of an ErrorOr holding a value");
+    return Err;
+  }
+
+  /// Moves the contained value out; only valid in the value state.
+  T take() {
+    assert(Value && "taking the value of an ErrorOr in error state");
+    return std::move(*Value);
+  }
+
+private:
+  std::optional<T> Value;
+  Error Err;
+};
+
+/// Specialisation for fallible operations that produce no value.
+template <> class ErrorOr<void> {
+public:
+  ErrorOr() : Ok(true) {}
+  ErrorOr(Error Err) : Ok(false), Err(std::move(Err)) {}
+
+  explicit operator bool() const { return Ok; }
+
+  const Error &error() const {
+    assert(!Ok && "taking the error of a successful ErrorOr<void>");
+    return Err;
+  }
+
+private:
+  bool Ok;
+  Error Err;
+};
+
+} // namespace cuba
+
+#endif // CUBA_SUPPORT_ERROROR_H

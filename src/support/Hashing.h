@@ -1,0 +1,40 @@
+//===-- support/Hashing.h - Hash combination utilities ----------*- C++ -*-===//
+//
+// Part of the CUBA project, an implementation of the PLDI 2018 paper
+// "CUBA: Interprocedural Context-UnBounded Analysis of Concurrent Programs".
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic 64-bit hash combinators used by the state-set containers.
+/// The reachability engines hash millions of small integer tuples, so the
+/// combinator is a cheap multiply-xor mix rather than a cryptographic hash.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CUBA_SUPPORT_HASHING_H
+#define CUBA_SUPPORT_HASHING_H
+
+#include <cstddef>
+#include <cstdint>
+
+namespace cuba {
+
+/// Mixes \p Value into the running hash \p Seed (boost-style combinator
+/// strengthened with a 64-bit finaliser multiplier).
+inline uint64_t hashCombine(uint64_t Seed, uint64_t Value) {
+  Seed ^= Value + 0x9e3779b97f4a7c15ULL + (Seed << 12) + (Seed >> 4);
+  return Seed * 0xff51afd7ed558ccdULL;
+}
+
+/// Hashes the range [First, Last) of integer-convertible elements.
+template <typename It> uint64_t hashRange(It First, It Last) {
+  uint64_t H = 0x42ULL;
+  for (It I = First; I != Last; ++I)
+    H = hashCombine(H, static_cast<uint64_t>(*I));
+  return H;
+}
+
+} // namespace cuba
+
+#endif // CUBA_SUPPORT_HASHING_H

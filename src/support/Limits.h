@@ -1,0 +1,93 @@
+//===-- support/Limits.h - Resource limits for the engines ------*- C++ -*-===//
+//
+// Part of the CUBA project, an implementation of the PLDI 2018 paper
+// "CUBA: Interprocedural Context-UnBounded Analysis of Concurrent Programs".
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The CUBA procedures are sound but may not terminate (Sec. 4), and a
+/// single context of a non-FCR system can already reach infinitely many
+/// states.  Every engine therefore runs under a ResourceLimits budget and
+/// reports resource exhaustion as a distinct outcome instead of diverging
+/// (this also models the paper's 30-minute timeout / 4 GB memory limit).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CUBA_SUPPORT_LIMITS_H
+#define CUBA_SUPPORT_LIMITS_H
+
+#include "support/Timer.h"
+
+#include <cstdint>
+
+namespace cuba {
+
+/// Budget for one verification run.  Zero means "unlimited" for each field.
+struct ResourceLimits {
+  /// Maximum number of distinct global (or symbolic) states stored.
+  uint64_t MaxStates = 2'000'000;
+  /// Maximum number of engine steps (action firings / saturation updates).
+  uint64_t MaxSteps = 50'000'000;
+  /// Maximum context bound explored before giving up.
+  unsigned MaxContexts = 64;
+  /// Wall-clock budget in milliseconds.
+  uint64_t MaxMillis = 120'000;
+
+  /// An effectively unlimited budget, for tests on tiny systems.
+  static ResourceLimits unlimited() {
+    return ResourceLimits{0, 0, 0, 0};
+  }
+};
+
+/// Tracks consumption against a ResourceLimits budget.  Engines call
+/// chargeState / chargeStep on every unit of work and bail out when
+/// exhausted() becomes true.
+class LimitTracker {
+public:
+  explicit LimitTracker(const ResourceLimits &Limits) : Limits(Limits) {}
+
+  /// Accounts for one newly stored state; returns false when that state
+  /// exceeds the budget.
+  bool chargeState() {
+    ++States;
+    return !stateBudgetExceeded();
+  }
+
+  /// Accounts for \p N engine steps; returns false on budget exhaustion.
+  /// The (cheap) time probe runs only every few thousand steps.
+  bool chargeStep(uint64_t N = 1) {
+    Steps += N;
+    if (Limits.MaxSteps && Steps > Limits.MaxSteps)
+      return false;
+    if (Limits.MaxMillis && (Steps & 0xfff) == 0 &&
+        Timer.millis() > static_cast<double>(Limits.MaxMillis))
+      TimedOut = true;
+    return !TimedOut;
+  }
+
+  bool exhausted() const {
+    return TimedOut || stateBudgetExceeded() ||
+           (Limits.MaxSteps && Steps > Limits.MaxSteps);
+  }
+
+  uint64_t states() const { return States; }
+  uint64_t steps() const { return Steps; }
+  double elapsedMillis() const { return Timer.millis(); }
+  const ResourceLimits &limits() const { return Limits; }
+
+private:
+  bool stateBudgetExceeded() const {
+    return Limits.MaxStates && States > Limits.MaxStates;
+  }
+
+  ResourceLimits Limits;
+  uint64_t States = 0;
+  uint64_t Steps = 0;
+  bool TimedOut = false;
+  WallTimer Timer;
+};
+
+} // namespace cuba
+
+#endif // CUBA_SUPPORT_LIMITS_H

@@ -1,0 +1,51 @@
+//===-- support/Statistic.cpp - Named analysis counters ------------------===//
+//
+// Part of the CUBA project, an implementation of the PLDI 2018 paper
+// "CUBA: Interprocedural Context-UnBounded Analysis of Concurrent Programs".
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Statistic.h"
+
+#include <deque>
+#include <unordered_map>
+
+using namespace cuba;
+
+namespace {
+
+/// Backing store: a deque keeps counter addresses stable as new counters
+/// register, and an index finds counters by name.
+struct Registry {
+  std::deque<std::pair<std::string, uint64_t>> Counters;
+  std::unordered_map<std::string, uint64_t *> Index;
+};
+
+} // namespace
+
+static Registry &registry() {
+  static Registry R;
+  return R;
+}
+
+uint64_t &Statistics::counter(const std::string &Name) {
+  Registry &R = registry();
+  auto It = R.Index.find(Name);
+  if (It != R.Index.end())
+    return *It->second;
+  R.Counters.emplace_back(Name, 0);
+  uint64_t *Slot = &R.Counters.back().second;
+  R.Index.emplace(Name, Slot);
+  return *Slot;
+}
+
+std::vector<std::pair<std::string, uint64_t>> Statistics::snapshot() {
+  Registry &R = registry();
+  return std::vector<std::pair<std::string, uint64_t>>(R.Counters.begin(),
+                                                       R.Counters.end());
+}
+
+void Statistics::resetAll() {
+  for (auto &Entry : registry().Counters)
+    Entry.second = 0;
+}

@@ -1,0 +1,42 @@
+//===-- support/Statistic.h - Named analysis counters -----------*- C++ -*-===//
+//
+// Part of the CUBA project, an implementation of the PLDI 2018 paper
+// "CUBA: Interprocedural Context-UnBounded Analysis of Concurrent Programs".
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A tiny registry of named counters in the spirit of LLVM's Statistic:
+/// engines bump counters ("poststar.transitions", "cba.closures", ...) and
+/// tools can dump them all after a run.  The registry lives behind a
+/// function-local static, so there are no global constructors.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CUBA_SUPPORT_STATISTIC_H
+#define CUBA_SUPPORT_STATISTIC_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cuba {
+
+/// Process-wide statistics registry.
+class Statistics {
+public:
+  /// Returns the counter registered under \p Name, creating it at zero on
+  /// first use.  The returned reference stays valid for the process
+  /// lifetime.
+  static uint64_t &counter(const std::string &Name);
+
+  /// Snapshot of all (name, value) pairs in registration order.
+  static std::vector<std::pair<std::string, uint64_t>> snapshot();
+
+  /// Resets every registered counter to zero (used between benchmark runs).
+  static void resetAll();
+};
+
+} // namespace cuba
+
+#endif // CUBA_SUPPORT_STATISTIC_H

@@ -1,0 +1,69 @@
+//===-- support/StringUtils.cpp - Small string helpers -------------------===//
+//
+// Part of the CUBA project, an implementation of the PLDI 2018 paper
+// "CUBA: Interprocedural Context-UnBounded Analysis of Concurrent Programs".
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/StringUtils.h"
+
+#include <cctype>
+
+using namespace cuba;
+
+static bool isSpaceChar(char C) {
+  return std::isspace(static_cast<unsigned char>(C)) != 0;
+}
+
+std::string_view cuba::trim(std::string_view S) {
+  while (!S.empty() && isSpaceChar(S.front()))
+    S.remove_prefix(1);
+  while (!S.empty() && isSpaceChar(S.back()))
+    S.remove_suffix(1);
+  return S;
+}
+
+std::vector<std::string_view> cuba::splitNonEmpty(std::string_view S,
+                                                  char Sep) {
+  std::vector<std::string_view> Pieces;
+  size_t Begin = 0;
+  while (Begin <= S.size()) {
+    size_t End = S.find(Sep, Begin);
+    if (End == std::string_view::npos)
+      End = S.size();
+    if (End > Begin)
+      Pieces.push_back(S.substr(Begin, End - Begin));
+    Begin = End + 1;
+  }
+  return Pieces;
+}
+
+std::optional<uint64_t> cuba::parseUnsigned(std::string_view S) {
+  if (S.empty())
+    return std::nullopt;
+  uint64_t Value = 0;
+  for (char C : S) {
+    if (C < '0' || C > '9')
+      return std::nullopt;
+    uint64_t Digit = static_cast<uint64_t>(C - '0');
+    if (Value > (UINT64_MAX - Digit) / 10)
+      return std::nullopt;
+    Value = Value * 10 + Digit;
+  }
+  return Value;
+}
+
+bool cuba::isIdentifier(std::string_view S) {
+  if (S.empty())
+    return false;
+  char First = S.front();
+  if (!(std::isalpha(static_cast<unsigned char>(First)) || First == '_'))
+    return false;
+  for (char C : S.substr(1)) {
+    bool Ok = std::isalnum(static_cast<unsigned char>(C)) || C == '_' ||
+              C == '.' || C == '$';
+    if (!Ok)
+      return false;
+  }
+  return true;
+}

@@ -1,0 +1,38 @@
+//===-- support/StringUtils.h - Small string helpers ------------*- C++ -*-===//
+//
+// Part of the CUBA project, an implementation of the PLDI 2018 paper
+// "CUBA: Interprocedural Context-UnBounded Analysis of Concurrent Programs".
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// String helpers shared by the CPDS and Boolean-program parsers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CUBA_SUPPORT_STRINGUTILS_H
+#define CUBA_SUPPORT_STRINGUTILS_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cuba {
+
+/// Removes leading and trailing whitespace.
+std::string_view trim(std::string_view S);
+
+/// Splits \p S on \p Sep, dropping empty pieces.
+std::vector<std::string_view> splitNonEmpty(std::string_view S, char Sep);
+
+/// Parses a non-negative decimal integer; std::nullopt on malformed input.
+std::optional<uint64_t> parseUnsigned(std::string_view S);
+
+/// True when \p S is a valid identifier: [A-Za-z_][A-Za-z0-9_.$]*.
+bool isIdentifier(std::string_view S);
+
+} // namespace cuba
+
+#endif // CUBA_SUPPORT_STRINGUTILS_H

@@ -1,0 +1,67 @@
+//===-- support/SymbolTable.h - String interning -----------------*- C++ -*-=//
+//
+// Part of the CUBA project, an implementation of the PLDI 2018 paper
+// "CUBA: Interprocedural Context-UnBounded Analysis of Concurrent Programs".
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Interns strings to dense 32-bit ids.  Shared-state and stack-symbol
+/// names in parsed CPDS / Boolean-program inputs are interned once; the
+/// analysis engines work purely on the ids.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CUBA_SUPPORT_SYMBOLTABLE_H
+#define CUBA_SUPPORT_SYMBOLTABLE_H
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace cuba {
+
+/// Bidirectional map between names and dense ids [0, size()).
+class SymbolTable {
+public:
+  /// Interns \p Name, returning its id; repeated calls with the same name
+  /// return the same id.
+  uint32_t intern(std::string_view Name) {
+    auto It = IdByName.find(std::string(Name));
+    if (It != IdByName.end())
+      return It->second;
+    uint32_t Id = static_cast<uint32_t>(Names.size());
+    Names.emplace_back(Name);
+    IdByName.emplace(Names.back(), Id);
+    return Id;
+  }
+
+  /// Returns the id of \p Name, or UINT32_MAX when it was never interned.
+  uint32_t lookup(std::string_view Name) const {
+    auto It = IdByName.find(std::string(Name));
+    return It == IdByName.end() ? UINT32_MAX : It->second;
+  }
+
+  bool contains(std::string_view Name) const {
+    return lookup(Name) != UINT32_MAX;
+  }
+
+  const std::string &name(uint32_t Id) const {
+    assert(Id < Names.size() && "symbol id out of range");
+    return Names[Id];
+  }
+
+  uint32_t size() const { return static_cast<uint32_t>(Names.size()); }
+  bool empty() const { return Names.empty(); }
+
+private:
+  std::vector<std::string> Names;
+  std::unordered_map<std::string, uint32_t> IdByName;
+};
+
+} // namespace cuba
+
+#endif // CUBA_SUPPORT_SYMBOLTABLE_H

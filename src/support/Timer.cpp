@@ -1,0 +1,36 @@
+//===-- support/Timer.cpp - Wall-clock timing and memory probes ----------===//
+//
+// Part of the CUBA project, an implementation of the PLDI 2018 paper
+// "CUBA: Interprocedural Context-UnBounded Analysis of Concurrent Programs".
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Timer.h"
+
+#include <cstdio>
+#include <cstring>
+
+/// Reads the value (in kB) of the /proc/self/status field named \p Key and
+/// converts it to megabytes.
+static double readProcStatusMegabytes(const char *Key) {
+  std::FILE *F = std::fopen("/proc/self/status", "r");
+  if (!F)
+    return 0.0;
+  char Line[256];
+  double Result = 0.0;
+  size_t KeyLen = std::strlen(Key);
+  while (std::fgets(Line, sizeof(Line), F)) {
+    if (std::strncmp(Line, Key, KeyLen) != 0)
+      continue;
+    long KiloBytes = 0;
+    if (std::sscanf(Line + KeyLen, ": %ld kB", &KiloBytes) == 1)
+      Result = static_cast<double>(KiloBytes) / 1024.0;
+    break;
+  }
+  std::fclose(F);
+  return Result;
+}
+
+double cuba::peakRSSMegabytes() { return readProcStatusMegabytes("VmHWM"); }
+
+double cuba::currentRSSMegabytes() { return readProcStatusMegabytes("VmRSS"); }

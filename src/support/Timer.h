@@ -1,0 +1,50 @@
+//===-- support/Timer.h - Wall-clock timing and memory probes ---*- C++ -*-===//
+//
+// Part of the CUBA project, an implementation of the PLDI 2018 paper
+// "CUBA: Interprocedural Context-UnBounded Analysis of Concurrent Programs".
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Wall-clock timer and peak-RSS probe used by the benchmark harnesses to
+/// fill the Time / Mem columns of Table 2.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CUBA_SUPPORT_TIMER_H
+#define CUBA_SUPPORT_TIMER_H
+
+#include <chrono>
+
+namespace cuba {
+
+/// Measures elapsed wall-clock time from construction (or the last reset).
+class WallTimer {
+public:
+  WallTimer() : Start(Clock::now()) {}
+
+  void reset() { Start = Clock::now(); }
+
+  /// Elapsed time in seconds.
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - Start).count();
+  }
+
+  /// Elapsed time in milliseconds.
+  double millis() const { return seconds() * 1e3; }
+
+private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point Start;
+};
+
+/// Peak resident-set size of the current process in megabytes, read from
+/// /proc/self/status (VmHWM).  Returns 0 when the probe is unavailable.
+double peakRSSMegabytes();
+
+/// Current resident-set size in megabytes (VmRSS); 0 when unavailable.
+double currentRSSMegabytes();
+
+} // namespace cuba
+
+#endif // CUBA_SUPPORT_TIMER_H

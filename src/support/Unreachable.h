@@ -1,0 +1,33 @@
+//===-- support/Unreachable.h - Marker for impossible code paths -*- C++ -*-=//
+//
+// Part of the CUBA project, an implementation of the PLDI 2018 paper
+// "CUBA: Interprocedural Context-UnBounded Analysis of Concurrent Programs".
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// cuba_unreachable(msg) documents control flow that cannot be entered if
+/// the program invariants hold, aborting with the message when reached.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CUBA_SUPPORT_UNREACHABLE_H
+#define CUBA_SUPPORT_UNREACHABLE_H
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace cuba {
+
+[[noreturn]] inline void unreachableInternal(const char *Msg,
+                                             const char *File, int Line) {
+  std::fprintf(stderr, "%s:%d: unreachable executed: %s\n", File, Line, Msg);
+  std::abort();
+}
+
+} // namespace cuba
+
+#define cuba_unreachable(msg)                                                 \
+  ::cuba::unreachableInternal(msg, __FILE__, __LINE__)
+
+#endif // CUBA_SUPPORT_UNREACHABLE_H

@@ -1,0 +1,190 @@
+//===-- tests/BddTest.cpp - Tests for the BDD package and baseline ---------=//
+//
+// Part of the CUBA project, an implementation of the PLDI 2018 paper
+// "CUBA: Interprocedural Context-UnBounded Analysis of Concurrent Programs".
+//
+//===----------------------------------------------------------------------===//
+
+#include <gtest/gtest.h>
+
+#include "baseline/CbaBaseline.h"
+#include "bdd/Bdd.h"
+#include "bdd/BddSet.h"
+#include "bdd/VisibleCodec.h"
+#include "core/Algorithms.h"
+#include "models/Models.h"
+
+using namespace cuba;
+
+//===----------------------------------------------------------------------===//
+// BDD core
+//===----------------------------------------------------------------------===//
+
+TEST(Bdd, TerminalsAndVars) {
+  BddManager M(2);
+  EXPECT_EQ(M.bddNot(M.falseRef()), M.trueRef());
+  EXPECT_EQ(M.bddNot(M.trueRef()), M.falseRef());
+  BddRef X = M.var(0);
+  EXPECT_EQ(M.bddNot(M.bddNot(X)), X);
+  EXPECT_EQ(M.nvar(0), M.bddNot(X));
+}
+
+TEST(Bdd, HashConsingCanonicalises) {
+  BddManager M(2);
+  BddRef A = M.bddAnd(M.var(0), M.var(1));
+  BddRef B = M.bddAnd(M.var(1), M.var(0));
+  BddRef C = M.bddNot(M.bddOr(M.bddNot(M.var(0)), M.bddNot(M.var(1))));
+  EXPECT_EQ(A, B); // Commutativity.
+  EXPECT_EQ(A, C); // De Morgan.
+}
+
+TEST(Bdd, EvaluateAgainstTruthTable) {
+  BddManager M(3);
+  BddRef F = M.bddXor(M.bddAnd(M.var(0), M.var(1)), M.var(2));
+  for (int Bits = 0; Bits < 8; ++Bits) {
+    std::vector<bool> A = {(Bits & 1) != 0, (Bits & 2) != 0,
+                           (Bits & 4) != 0};
+    bool Want = (A[0] && A[1]) != A[2];
+    EXPECT_EQ(M.evaluate(F, A), Want) << Bits;
+  }
+}
+
+TEST(Bdd, SatCount) {
+  BddManager M(3);
+  EXPECT_DOUBLE_EQ(M.satCount(M.falseRef()), 0.0);
+  EXPECT_DOUBLE_EQ(M.satCount(M.trueRef()), 8.0);
+  EXPECT_DOUBLE_EQ(M.satCount(M.var(0)), 4.0);
+  BddRef F = M.bddAnd(M.var(0), M.var(2)); // skips level 1
+  EXPECT_DOUBLE_EQ(M.satCount(F), 2.0);
+  BddRef G = M.bddOr(M.var(0), M.var(1));
+  EXPECT_DOUBLE_EQ(M.satCount(G), 6.0);
+}
+
+TEST(Bdd, ExistsAndRestrict) {
+  BddManager M(2);
+  BddRef F = M.bddAnd(M.var(0), M.var(1));
+  EXPECT_EQ(M.exists(F, 0), M.var(1));
+  EXPECT_EQ(M.exists(M.exists(F, 0), 1), M.trueRef());
+  EXPECT_EQ(M.restrict(F, 0, true), M.var(1));
+  EXPECT_EQ(M.restrict(F, 0, false), M.falseRef());
+}
+
+TEST(Bdd, CubeEncodesMinterm) {
+  BddManager M(4);
+  BddRef C = M.cube(0b1010, 0, 4); // var0=0 var1=1 var2=0 var3=1.
+  EXPECT_DOUBLE_EQ(M.satCount(C), 1.0);
+  std::vector<bool> A = {false, true, false, true};
+  EXPECT_TRUE(M.evaluate(C, A));
+  A[0] = true;
+  EXPECT_FALSE(M.evaluate(C, A));
+}
+
+TEST(Bdd, IteIsConsistentWithEvaluate) {
+  BddManager M(4);
+  BddRef F = M.bddXor(M.var(0), M.var(2));
+  BddRef G = M.bddOr(M.var(1), M.var(3));
+  BddRef H = M.bddAnd(M.var(0), M.var(3));
+  BddRef R = M.ite(F, G, H);
+  for (int Bits = 0; Bits < 16; ++Bits) {
+    std::vector<bool> A;
+    for (int B = 0; B < 4; ++B)
+      A.push_back((Bits >> B) & 1);
+    bool Want = M.evaluate(F, A) ? M.evaluate(G, A) : M.evaluate(H, A);
+    EXPECT_EQ(M.evaluate(R, A), Want) << Bits;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// BddSet property sweep: the BDD set behaves exactly like a hash set.
+//===----------------------------------------------------------------------===//
+
+class BddSetSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(BddSetSweep, MatchesReferenceSet) {
+  unsigned Width = 8;
+  BddManager M;
+  BddSet S(M, Width);
+  std::set<uint64_t> Ref;
+  // A deterministic pseudo-random insertion sequence per seed.
+  uint64_t X = static_cast<uint64_t>(GetParam()) * 2654435761u + 1;
+  for (int I = 0; I < 200; ++I) {
+    X = X * 6364136223846793005ull + 1442695040888963407ull;
+    uint64_t V = (X >> 33) & 0xff;
+    EXPECT_EQ(S.insert(V), Ref.insert(V).second);
+  }
+  EXPECT_EQ(S.size(), Ref.size());
+  for (uint64_t V = 0; V < 256; ++V)
+    EXPECT_EQ(S.contains(V), Ref.count(V) != 0) << V;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BddSetSweep, ::testing::Range(0, 8));
+
+TEST(VisibleCodec, RoundTrip) {
+  CpdsFile F = models::buildFig1();
+  VisibleCodec Codec(F.System);
+  VisibleState V;
+  V.Q = 3;
+  V.Tops = {2, 0};
+  EXPECT_EQ(Codec.decode(Codec.encode(V), 2), V);
+  VisibleState W;
+  W.Q = 0;
+  W.Tops = {1, 3};
+  EXPECT_EQ(Codec.decode(Codec.encode(W), 2), W);
+  EXPECT_NE(Codec.encode(V), Codec.encode(W));
+}
+
+//===----------------------------------------------------------------------===//
+// The CBA baseline
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+ResourceLimits noLimits() { return ResourceLimits::unlimited(); }
+
+} // namespace
+
+TEST(Baseline, FindsBluetoothBugAtSameBoundAsCuba) {
+  CpdsFile F = models::buildBluetooth(1, 1, 1);
+  RunOptions O;
+  O.Limits = noLimits();
+  O.Limits.MaxContexts = 16;
+  ExplicitCombinedResult Cuba =
+      runExplicitCombined(F.System, F.Property, O);
+  ASSERT_TRUE(Cuba.Run.BugBound.has_value());
+
+  for (BaselineEngine E : {BaselineEngine::Explicit,
+                           BaselineEngine::ExplicitBdd}) {
+    BaselineResult B =
+        runCbaBaseline(F.System, F.Property, 16, noLimits(), E);
+    ASSERT_TRUE(B.BugBound.has_value());
+    EXPECT_EQ(*B.BugBound, *Cuba.Run.BugBound);
+  }
+}
+
+TEST(Baseline, CannotProveSafetyOnlyExhaustTheBound) {
+  // On the safe driver the baseline merely reports "no bug within K";
+  // it has no convergence notion (the Fig. 5 contrast).
+  CpdsFile F = models::buildBluetooth(3, 1, 1);
+  BaselineResult B = runCbaBaseline(F.System, F.Property, 8, noLimits(),
+                                    BaselineEngine::Explicit);
+  EXPECT_FALSE(B.BugBound.has_value());
+  EXPECT_TRUE(B.CompletedToBound);
+  EXPECT_EQ(B.KReached, 8u);
+}
+
+TEST(Baseline, SymbolicEngineHandlesNonFcr) {
+  CpdsFile F = models::buildKInduction();
+  BaselineResult B = runCbaBaseline(F.System, F.Property, 6, noLimits(),
+                                    BaselineEngine::Symbolic);
+  EXPECT_FALSE(B.BugBound.has_value());
+  EXPECT_TRUE(B.CompletedToBound);
+}
+
+TEST(Baseline, BddMirrorAgreesWithExplicitVisibleCount) {
+  CpdsFile F = models::buildFig1();
+  BaselineResult B = runCbaBaseline(F.System, F.Property, 6, noLimits(),
+                                    BaselineEngine::ExplicitBdd);
+  // |T(R_6)| = 8 per the Fig. 1 table.
+  EXPECT_EQ(B.VisibleStates, 8u);
+  EXPECT_GT(B.BddNodes, 0u);
+}

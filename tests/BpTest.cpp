@@ -1,0 +1,450 @@
+//===-- tests/BpTest.cpp - Tests for the Boolean-program frontend ----------=//
+//
+// Part of the CUBA project, an implementation of the PLDI 2018 paper
+// "CUBA: Interprocedural Context-UnBounded Analysis of Concurrent Programs".
+//
+//===----------------------------------------------------------------------===//
+
+#include <gtest/gtest.h>
+
+#include "bp/Lexer.h"
+#include "bp/Parser.h"
+#include "bp/Sema.h"
+#include "bp/Translate.h"
+#include "core/CubaDriver.h"
+#include "pds/CpdsIO.h"
+
+using namespace cuba;
+using namespace cuba::bp;
+
+//===----------------------------------------------------------------------===//
+// Lexer
+//===----------------------------------------------------------------------===//
+
+TEST(BpLexer, TokenKinds) {
+  auto T = lex("x := !y & (0 | 1) ^ z != w; // comment\n*");
+  ASSERT_TRUE(T) << T.error().str();
+  std::vector<TokKind> Kinds;
+  for (const Token &Tok : *T)
+    Kinds.push_back(Tok.Kind);
+  std::vector<TokKind> Want = {
+      TokKind::Ident, TokKind::Assign, TokKind::Not,   TokKind::Ident,
+      TokKind::Amp,   TokKind::LParen, TokKind::Number, TokKind::Pipe,
+      TokKind::Number, TokKind::RParen, TokKind::Caret, TokKind::Ident,
+      TokKind::Neq,   TokKind::Ident,  TokKind::Semi,  TokKind::Star,
+      TokKind::End};
+  EXPECT_EQ(Kinds, Want);
+}
+
+TEST(BpLexer, DoubleCharOperators) {
+  auto T = lex("a && b || c");
+  ASSERT_TRUE(T);
+  EXPECT_EQ((*T)[1].Kind, TokKind::Ampersand);
+  EXPECT_EQ((*T)[3].Kind, TokKind::PipePipe);
+}
+
+TEST(BpLexer, TracksLineNumbers) {
+  auto T = lex("a\n\nb");
+  ASSERT_TRUE(T);
+  EXPECT_EQ((*T)[0].Line, 1u);
+  EXPECT_EQ((*T)[1].Line, 3u);
+}
+
+TEST(BpLexer, RejectsIllegalCharacter) {
+  auto T = lex("a @ b");
+  ASSERT_FALSE(T);
+  EXPECT_EQ(T.error().line(), 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// Parser
+//===----------------------------------------------------------------------===//
+
+static const char *TinyProgram = R"(
+decl g, h;
+
+bool flip(v) {
+  decl t;
+  t := !v;
+  return t;
+}
+
+void worker() {
+  decl a;
+  start: a := *;
+  if (a) { g := 1; } else { skip; }
+  while (g & !h) {
+    a := call flip(a);
+  }
+  assert(g | !h);
+  goto start;
+}
+
+void main() {
+  thread_create(&worker);
+  thread_create(worker);
+}
+)";
+
+TEST(BpParser, ParsesTinyProgram) {
+  auto P = parseProgram(TinyProgram);
+  ASSERT_TRUE(P) << P.error().str();
+  EXPECT_EQ(P->SharedVars, (std::vector<std::string>{"g", "h"}));
+  ASSERT_EQ(P->Functions.size(), 3u);
+  EXPECT_EQ(P->Functions[0].Name, "flip");
+  EXPECT_TRUE(P->Functions[0].ReturnsBool);
+  EXPECT_EQ(P->Functions[0].Params, (std::vector<std::string>{"v"}));
+  EXPECT_EQ(P->Functions[0].Locals, (std::vector<std::string>{"t"}));
+  EXPECT_EQ(P->Functions[1].Name, "worker");
+  EXPECT_FALSE(P->Functions[1].ReturnsBool);
+}
+
+TEST(BpParser, StatementShapes) {
+  auto P = parseProgram(TinyProgram);
+  ASSERT_TRUE(P);
+  const Function &W = P->Functions[1];
+  ASSERT_EQ(W.Body.size(), 5u);
+  EXPECT_EQ(W.Body[0]->Kind, StmtKind::Assign);
+  EXPECT_EQ(W.Body[0]->Label, "start");
+  EXPECT_EQ(W.Body[1]->Kind, StmtKind::If);
+  EXPECT_EQ(W.Body[1]->Body.size(), 1u);
+  EXPECT_EQ(W.Body[1]->ElseBody.size(), 1u);
+  EXPECT_EQ(W.Body[2]->Kind, StmtKind::While);
+  ASSERT_EQ(W.Body[2]->Body.size(), 1u);
+  EXPECT_EQ(W.Body[2]->Body[0]->Kind, StmtKind::Call);
+  EXPECT_EQ(W.Body[2]->Body[0]->CallResult, "a");
+  EXPECT_EQ(W.Body[3]->Kind, StmtKind::Assert);
+  EXPECT_EQ(W.Body[4]->Kind, StmtKind::Goto);
+}
+
+TEST(BpParser, OperatorPrecedence) {
+  // a | b & c = d  parses as  a | (b & (c = d)).
+  auto P = parseProgram("decl a, b, c, d;\nvoid f() { a := a | b & c = d; }\n"
+                        "void main() { thread_create(f); }");
+  ASSERT_TRUE(P) << P.error().str();
+  const Expr &E = *P->Functions[0].Body[0]->AssignValues[0];
+  ASSERT_EQ(E.Kind, ExprKind::Or);
+  ASSERT_EQ(E.Rhs->Kind, ExprKind::And);
+  EXPECT_EQ(E.Rhs->Rhs->Kind, ExprKind::Eq);
+}
+
+TEST(BpParser, ParallelAssignmentWithConstrain) {
+  auto P = parseProgram("decl a, b;\nvoid f() { a, b := *, * constrain "
+                        "a != b; }\nvoid main() { thread_create(f); }");
+  ASSERT_TRUE(P) << P.error().str();
+  const Stmt &S = *P->Functions[0].Body[0];
+  EXPECT_EQ(S.AssignTargets.size(), 2u);
+  ASSERT_TRUE(S.Constrain != nullptr);
+  EXPECT_EQ(S.Constrain->Kind, ExprKind::Neq);
+}
+
+TEST(BpParser, RejectsArityMismatchInAssignment) {
+  auto P = parseProgram("decl a, b;\nvoid f() { a, b := 1; }\n"
+                        "void main() { thread_create(f); }");
+  ASSERT_FALSE(P);
+}
+
+TEST(BpParser, RejectsMissingSemicolon) {
+  auto P = parseProgram("decl a;\nvoid f() { skip }\n"
+                        "void main() { thread_create(f); }");
+  ASSERT_FALSE(P);
+  EXPECT_EQ(P.error().line(), 2u);
+}
+
+TEST(BpParser, RejectsMultiResultCall) {
+  auto P = parseProgram("decl a, b;\nbool g() { return 1; }\n"
+                        "void f() { a, b := call g(); }\n"
+                        "void main() { thread_create(f); }");
+  ASSERT_FALSE(P);
+}
+
+//===----------------------------------------------------------------------===//
+// Sema
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+Error analyzeError(const char *Source) {
+  auto P = parseProgram(Source);
+  EXPECT_TRUE(P) << P.error().str();
+  auto R = analyzeProgram(*P);
+  EXPECT_FALSE(R);
+  return R ? Error("unexpected success") : R.error();
+}
+
+} // namespace
+
+TEST(BpSema, ResolvesTinyProgram) {
+  auto P = parseProgram(TinyProgram);
+  ASSERT_TRUE(P);
+  auto Info = analyzeProgram(*P);
+  ASSERT_TRUE(Info) << Info.error().str();
+  EXPECT_FALSE(Info->UsesLock);
+  EXPECT_TRUE(Info->UsesReturnValue);
+  EXPECT_EQ(P->ThreadEntries,
+            (std::vector<std::string>{"worker", "worker"}));
+}
+
+TEST(BpSema, RejectsUnknownVariable) {
+  Error E = analyzeError("decl a;\nvoid f() { zz := 1; }\n"
+                         "void main() { thread_create(f); }");
+  EXPECT_NE(E.message().find("unknown variable"), std::string::npos);
+}
+
+TEST(BpSema, RejectsUnknownLabel) {
+  Error E = analyzeError("decl a;\nvoid f() { goto nowhere; }\n"
+                         "void main() { thread_create(f); }");
+  EXPECT_NE(E.message().find("unknown label"), std::string::npos);
+}
+
+TEST(BpSema, RejectsCallArityMismatch) {
+  Error E = analyzeError("decl a;\nvoid g(x, y) { skip; }\n"
+                         "void f() { call g(1); }\n"
+                         "void main() { thread_create(f); }");
+  EXPECT_NE(E.message().find("arguments"), std::string::npos);
+}
+
+TEST(BpSema, RejectsBindingVoidCall) {
+  Error E = analyzeError("decl a;\nvoid g() { skip; }\n"
+                         "void f() { a := call g(); }\n"
+                         "void main() { thread_create(f); }");
+  EXPECT_NE(E.message().find("void"), std::string::npos);
+}
+
+TEST(BpSema, RejectsValuelessReturnInBoolFunction) {
+  Error E = analyzeError("decl a;\nbool g() { return; }\n"
+                         "void f() { a := call g(); }\n"
+                         "void main() { thread_create(f); }");
+  EXPECT_NE(E.message().find("must return"), std::string::npos);
+}
+
+TEST(BpSema, RejectsThreadCreateOutsideMain) {
+  Error E = analyzeError("decl a;\nvoid f() { thread_create(f); }\n"
+                         "void main() { thread_create(f); }");
+  EXPECT_NE(E.message().find("only allowed in main"), std::string::npos);
+}
+
+TEST(BpSema, RejectsComputationInMain) {
+  Error E = analyzeError("decl a;\nvoid f() { skip; }\n"
+                         "void main() { a := 1; thread_create(f); }");
+  EXPECT_NE(E.message().find("main may only contain"), std::string::npos);
+}
+
+TEST(BpSema, RejectsEntryWithParameters) {
+  Error E = analyzeError("decl a;\nvoid f(x) { skip; }\n"
+                         "void main() { thread_create(f); }");
+  EXPECT_NE(E.message().find("parameters"), std::string::npos);
+}
+
+TEST(BpSema, RejectsDoubleWriteInParallelAssign) {
+  Error E = analyzeError("decl a;\nvoid f() { a, a := 1, 0; }\n"
+                         "void main() { thread_create(f); }");
+  EXPECT_NE(E.message().find("twice"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Translation semantics, end to end through the verifier
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+DriverResult verify(const char *Source, unsigned MaxK = 24) {
+  auto F = compileBooleanProgram(Source);
+  EXPECT_TRUE(F) << F.error().str();
+  DriverOptions O;
+  O.Run.Limits = ResourceLimits::unlimited();
+  O.Run.Limits.MaxContexts = MaxK;
+  O.Run.Limits.MaxStates = 500'000;
+  O.Run.Limits.MaxSteps = 50'000'000;
+  return runCuba(F->System, F->Property, O);
+}
+
+} // namespace
+
+TEST(BpTranslate, AssertTrueIsSafe) {
+  DriverResult R = verify("decl a;\nvoid f() { a := 1; assert(a); }\n"
+                          "void main() { thread_create(f); }");
+  EXPECT_EQ(R.Run.outcome(), Outcome::Proved);
+}
+
+TEST(BpTranslate, AssertFalseIsABug) {
+  DriverResult R = verify("decl a;\nvoid f() { a := 1; assert(!a); }\n"
+                          "void main() { thread_create(f); }");
+  EXPECT_EQ(R.Run.outcome(), Outcome::BugFound);
+  ASSERT_TRUE(R.Run.BugBound.has_value());
+  EXPECT_EQ(*R.Run.BugBound, 1u);
+}
+
+TEST(BpTranslate, RaceBetweenCheckAndAssert) {
+  // t1 checks !x, then asserts !x; t2 sets x in between: a concurrency
+  // bug needing at least one context switch.
+  DriverResult R = verify(
+      "decl x;\n"
+      "void t1() { if (!x) { assert(!x); } else { skip; } }\n"
+      "void t2() { x := 1; }\n"
+      "void main() { thread_create(t1); thread_create(t2); }");
+  EXPECT_EQ(R.Run.outcome(), Outcome::BugFound);
+  ASSERT_TRUE(R.Run.BugBound.has_value());
+  EXPECT_GE(*R.Run.BugBound, 2u);
+}
+
+TEST(BpTranslate, AtomicSectionsExclude) {
+  // With both the check and the set inside atomic sections, the race
+  // disappears.
+  DriverResult R = verify(
+      "decl x, seen;\n"
+      "void t1() { atomic { if (!x) { assert(!x); seen := 1; } else "
+      "{ skip; } } }\n"
+      "void t2() { atomic { x := 1; } }\n"
+      "void main() { thread_create(t1); thread_create(t2); }");
+  EXPECT_EQ(R.Run.outcome(), Outcome::Proved);
+}
+
+TEST(BpTranslate, CallReturnBindsResult) {
+  DriverResult R = verify(
+      "decl a;\n"
+      "bool negate(v) { return !v; }\n"
+      "void f() { a := call negate(0); assert(a); }\n"
+      "void main() { thread_create(f); }");
+  EXPECT_EQ(R.Run.outcome(), Outcome::Proved);
+
+  DriverResult R2 = verify(
+      "decl a;\n"
+      "bool negate(v) { return !v; }\n"
+      "void f() { a := call negate(1); assert(a); }\n"
+      "void main() { thread_create(f); }");
+  EXPECT_EQ(R2.Run.outcome(), Outcome::BugFound);
+}
+
+TEST(BpTranslate, ConstrainFiltersAssignments) {
+  // a, b drawn nondeterministically but constrained equal: a ^ b is 0.
+  DriverResult R = verify(
+      "decl a, b;\n"
+      "void f() { a, b := *, * constrain a = b; assert(!(a ^ b)); }\n"
+      "void main() { thread_create(f); }");
+  EXPECT_EQ(R.Run.outcome(), Outcome::Proved);
+}
+
+TEST(BpTranslate, AssumeBlocksExecution) {
+  DriverResult R = verify(
+      "decl a;\nvoid f() { a := *; assume(a); assert(a); }\n"
+      "void main() { thread_create(f); }");
+  EXPECT_EQ(R.Run.outcome(), Outcome::Proved);
+}
+
+TEST(BpTranslate, GotoLoops) {
+  DriverResult R = verify(
+      "decl a;\nvoid f() { top: a := !a; goto top, out; out: assert(a | "
+      "!a); }\n"
+      "void main() { thread_create(f); }");
+  EXPECT_EQ(R.Run.outcome(), Outcome::Proved);
+}
+
+TEST(BpTranslate, RecursionBuildsUnboundedStacks) {
+  // A solo-pumpable recursion: the program is not FCR, so the driver
+  // must route to the symbolic engine and still prove safety.
+  DriverResult R = verify(
+      "decl a;\n"
+      "void f() { if (*) { call f(); } else { skip; } assert(a | !a); }\n"
+      "void main() { thread_create(f); thread_create(f); }");
+  EXPECT_FALSE(R.Fcr.Holds);
+  EXPECT_EQ(R.Used, ApproachKind::Symbolic);
+  EXPECT_EQ(R.Run.outcome(), Outcome::Proved);
+}
+
+TEST(BpTranslate, Fig2ProgramFromSource) {
+  // The paper's Fig. 2 program (foo/bar with shared flag x) written in
+  // the App. B language; safe, not FCR -- the flagship frontend test.
+  static const char *Fig2 = R"(
+    decl x;
+    void foo() {
+      if (*) { call foo(); } else { skip; }
+      while (x) { }
+      assert(!x);
+      x := 1;
+    }
+    void bar() {
+      if (*) { call bar(); } else { skip; }
+      while (!x) { }
+      x := 0;
+    }
+    void main() {
+      thread_create(&foo);
+      thread_create(&bar);
+    }
+  )";
+  DriverResult R = verify(Fig2);
+  EXPECT_FALSE(R.Fcr.Holds);
+  EXPECT_EQ(R.Used, ApproachKind::Symbolic);
+  EXPECT_EQ(R.Run.outcome(), Outcome::Proved) << "kmax=" << R.Run.KMax;
+}
+
+TEST(BpTranslate, TranslatedSystemShape) {
+  auto F = compileBooleanProgram(
+      "decl g;\nvoid f() { decl l; l := g; assert(l = g); }\n"
+      "void main() { thread_create(f); }");
+  ASSERT_TRUE(F) << F.error().str();
+  const Cpds &C = F->System;
+  // 1 shared bit (no $ret, no $lock) -> 2 valuations + err.
+  EXPECT_EQ(C.numSharedStates(), 3u);
+  EXPECT_EQ(C.numThreads(), 1u);
+  EXPECT_FALSE(F->Property.trivial());
+  EXPECT_EQ(C.sharedStateName(C.initialShared()), "b0");
+}
+
+//===----------------------------------------------------------------------===//
+// AST printer: print/parse round-trips
+//===----------------------------------------------------------------------===//
+
+#include "bp/AstPrinter.h"
+
+TEST(BpPrinter, ExprRendering) {
+  auto P = parseProgram("decl a, b;\nvoid f() { a := !(a | b) ^ 1; }\n"
+                        "void main() { thread_create(f); }");
+  ASSERT_TRUE(P);
+  EXPECT_EQ(printExpr(*P->Functions[0].Body[0]->AssignValues[0]),
+            "(!(a | b) ^ 1)");
+}
+
+TEST(BpPrinter, ProgramRoundTripsThroughParser) {
+  auto P1 = parseProgram(TinyProgram);
+  ASSERT_TRUE(P1);
+  std::string Printed = printProgram(*P1);
+  auto P2 = parseProgram(Printed);
+  ASSERT_TRUE(P2) << P2.error().str() << "\n" << Printed;
+  // Printing is a fixpoint after one round.
+  EXPECT_EQ(printProgram(*P2), Printed);
+}
+
+TEST(BpPrinter, RoundTripPreservesVerificationOutcome) {
+  static const char *Source =
+      "decl x;\n"
+      "void t1() { atomic { if (!x) { assert(!x); } else { skip; } } }\n"
+      "void t2() { atomic { x := 1; } }\n"
+      "void main() { thread_create(t1); thread_create(t2); }";
+  auto P = parseProgram(Source);
+  ASSERT_TRUE(P);
+  DriverResult Direct = verify(Source);
+  std::string Printed = printProgram(*P);
+  DriverResult Reprinted = verify(Printed.c_str());
+  EXPECT_EQ(Direct.Run.outcome(), Reprinted.Run.outcome());
+}
+
+TEST(BpPrinter, StructuredStatementsRoundTrip) {
+  static const char *Source =
+      "decl g;\n"
+      "bool h(p) { decl q; q := p ^ g; return q; }\n"
+      "void f() {\n"
+      "  top: while (*) { if (g) { g := 0; } else { g := call h(1); } }\n"
+      "  lock; unlock;\n"
+      "  goto top, done;\n"
+      "  done: return;\n"
+      "}\n"
+      "void main() { thread_create(f); }";
+  auto P1 = parseProgram(Source);
+  ASSERT_TRUE(P1) << P1.error().str();
+  std::string Printed = printProgram(*P1);
+  auto P2 = parseProgram(Printed);
+  ASSERT_TRUE(P2) << P2.error().str() << "\n" << Printed;
+  EXPECT_EQ(printProgram(*P2), Printed);
+}

@@ -1,0 +1,468 @@
+//===-- tests/CoreExplicitTest.cpp - Tests for the explicit engines --------=//
+//
+// Part of the CUBA project, an implementation of the PLDI 2018 paper
+// "CUBA: Interprocedural Context-UnBounded Analysis of Concurrent Programs".
+//
+// These tests pin the implementation to the paper's own worked examples:
+// the Fig. 1 reachability table, the Z set of Ex. 13 / Fig. 3, the
+// generator set of Ex. 14, the Alg. 3 convergence bound k0 = 5, and the
+// FCR verdicts of Fig. 4.
+//
+//===----------------------------------------------------------------------===//
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/Algorithms.h"
+#include "core/CbaEngine.h"
+#include "core/FcrCheck.h"
+#include "core/Generators.h"
+#include "core/ObservationSequence.h"
+#include "core/ZOverapprox.h"
+#include "models/Models.h"
+#include "pds/CpdsIO.h"
+
+using namespace cuba;
+
+namespace {
+
+/// Builds a VisibleState from symbol names ("eps" for the empty stack).
+VisibleState vs(const Cpds &C, std::string_view Shared,
+                std::vector<std::string> Tops) {
+  VisibleState V;
+  V.Q = C.sharedStateByName(Shared);
+  EXPECT_NE(V.Q, UINT32_MAX) << "unknown shared state " << Shared;
+  for (unsigned I = 0; I < Tops.size(); ++I)
+    V.Tops.push_back(Tops[I] == "eps" ? EpsSym
+                                      : C.thread(I).symbolByName(Tops[I]));
+  return V;
+}
+
+RunOptions fastOptions(unsigned MaxK = 24) {
+  RunOptions O;
+  O.Limits = ResourceLimits::unlimited();
+  O.Limits.MaxContexts = MaxK;
+  return O;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// ObservationTracker
+//===----------------------------------------------------------------------===//
+
+TEST(ObservationTracker, PlateauDetection) {
+  ObservationTracker T;
+  for (size_t S : {1u, 3u, 6u, 6u, 7u, 8u, 8u})
+    T.record(S);
+  EXPECT_FALSE(T.plateausAt(0));
+  EXPECT_FALSE(T.plateausAt(1));
+  EXPECT_TRUE(T.plateausAt(2));
+  EXPECT_FALSE(T.plateausAt(3));
+  EXPECT_FALSE(T.plateausAt(4));
+  EXPECT_TRUE(T.plateausAt(5));
+  EXPECT_TRUE(T.plateauAtLatest());
+  EXPECT_TRUE(T.newPlateauAtLatest()); // |O_4| < |O_5| = |O_6|.
+}
+
+TEST(ObservationTracker, NewPlateauRequiresGrowthBefore) {
+  ObservationTracker T;
+  T.record(4);
+  T.record(4);
+  T.record(4);
+  // Plateau at k=2 is not *new* (already equal at k=1).
+  EXPECT_TRUE(T.plateauAtLatest());
+  EXPECT_FALSE(T.newPlateauAtLatest());
+}
+
+TEST(ObservationTracker, FirstPlateauIsNew) {
+  ObservationTracker T;
+  T.record(1);
+  T.record(1);
+  EXPECT_TRUE(T.newPlateauAtLatest());
+}
+
+//===----------------------------------------------------------------------===//
+// The Fig. 1 reachability table
+//===----------------------------------------------------------------------===//
+
+TEST(CbaEngine, Fig1ReachabilityTableMatchesPaper) {
+  CpdsFile F = models::buildFig1();
+  const Cpds &C = F.System;
+  CbaEngine E(C, ResourceLimits::unlimited());
+
+  // |R_k| for k = 0..6 and |T(R_k)|, as derivable from Fig. 1 (right).
+  const size_t RSizes[] = {1, 3, 6, 8, 11, 14, 17};
+  const size_t TSizes[] = {1, 3, 6, 6, 7, 8, 8};
+  EXPECT_EQ(E.reachedSize(), RSizes[0]);
+  EXPECT_EQ(E.visibleSize(), TSizes[0]);
+  for (unsigned K = 1; K <= 6; ++K) {
+    ASSERT_EQ(E.advance(), CbaEngine::RoundStatus::Ok);
+    EXPECT_EQ(E.reachedSize(), RSizes[K]) << "at k=" << K;
+    EXPECT_EQ(E.visibleSize(), TSizes[K]) << "at k=" << K;
+  }
+}
+
+TEST(CbaEngine, Fig1NewVisibleStatesPerRound) {
+  CpdsFile F = models::buildFig1();
+  const Cpds &C = F.System;
+  CbaEngine E(C, ResourceLimits::unlimited());
+
+  using VV = std::vector<VisibleState>;
+  auto Sorted = [](VV V) {
+    std::sort(V.begin(), V.end());
+    return V;
+  };
+
+  EXPECT_EQ(E.newVisibleThisRound(), Sorted({vs(C, "0", {"1", "4"})}));
+  ASSERT_EQ(E.advance(), CbaEngine::RoundStatus::Ok);
+  EXPECT_EQ(E.newVisibleThisRound(),
+            Sorted({vs(C, "1", {"2", "4"}), vs(C, "0", {"1", "eps"})}));
+  ASSERT_EQ(E.advance(), CbaEngine::RoundStatus::Ok);
+  EXPECT_EQ(E.newVisibleThisRound(),
+            Sorted({vs(C, "2", {"2", "5"}), vs(C, "3", {"2", "4"}),
+                    vs(C, "1", {"2", "eps"})}));
+  ASSERT_EQ(E.advance(), CbaEngine::RoundStatus::Ok);
+  EXPECT_TRUE(E.newVisibleThisRound().empty()); // The k=3 plateau.
+  ASSERT_EQ(E.advance(), CbaEngine::RoundStatus::Ok);
+  EXPECT_EQ(E.newVisibleThisRound(), Sorted({vs(C, "0", {"1", "6"})}));
+  ASSERT_EQ(E.advance(), CbaEngine::RoundStatus::Ok);
+  EXPECT_EQ(E.newVisibleThisRound(), Sorted({vs(C, "1", {"2", "6"})}));
+  ASSERT_EQ(E.advance(), CbaEngine::RoundStatus::Ok);
+  EXPECT_TRUE(E.newVisibleThisRound().empty()); // Converged (k0 = 5).
+}
+
+TEST(CbaEngine, Fig1GlobalStatesOfRound2) {
+  // Spot-check actual states, not just counts: R_2 \ R_1 from Fig. 1.
+  CpdsFile F = models::buildFig1();
+  const Cpds &C = F.System;
+  CbaEngine E(C, ResourceLimits::unlimited());
+  E.advance();
+  E.advance();
+  std::vector<std::string> Got;
+  for (const GlobalState &S : E.frontier())
+    Got.push_back(toString(C, S));
+  std::sort(Got.begin(), Got.end());
+  std::vector<std::string> Want = {"<1 | 2, eps>", "<2 | 2, 5>",
+                                   "<3 | 2, 4 6>"};
+  EXPECT_EQ(Got, Want);
+}
+
+TEST(CbaEngine, ExpandAllProducesIdenticalRounds) {
+  // Ablation A2: the frontier optimisation must not change any R_k.
+  CpdsFile F = models::buildFig1();
+  CbaEngine Fast(F.System, ResourceLimits::unlimited());
+  CbaEngine Slow(F.System, ResourceLimits::unlimited());
+  Slow.setExpandAll(true);
+  for (unsigned K = 1; K <= 6; ++K) {
+    ASSERT_EQ(Fast.advance(), CbaEngine::RoundStatus::Ok);
+    ASSERT_EQ(Slow.advance(), CbaEngine::RoundStatus::Ok);
+    EXPECT_EQ(Fast.reachedSize(), Slow.reachedSize()) << "k=" << K;
+    EXPECT_EQ(Fast.visibleSize(), Slow.visibleSize()) << "k=" << K;
+  }
+}
+
+TEST(CbaEngine, ExhaustsOnNonFcrSystem) {
+  // Fig. 2's threads can grow their stacks without a context switch;
+  // the explicit engine must hit the budget rather than diverge.
+  CpdsFile F = models::buildFig2();
+  ResourceLimits L;
+  L.MaxStates = 10'000;
+  L.MaxSteps = 1'000'000;
+  L.MaxContexts = 8;
+  L.MaxMillis = 0;
+  CbaEngine E(F.System, L);
+  CbaEngine::RoundStatus St = CbaEngine::RoundStatus::Ok;
+  for (int K = 0; K < 8 && St == CbaEngine::RoundStatus::Ok; ++K)
+    St = E.advance();
+  EXPECT_EQ(St, CbaEngine::RoundStatus::Exhausted);
+}
+
+//===----------------------------------------------------------------------===//
+// Z and the generator set (Ex. 13 / Ex. 14 / Fig. 3)
+//===----------------------------------------------------------------------===//
+
+TEST(ZOverapprox, Fig1MatchesEx13) {
+  CpdsFile F = models::buildFig1();
+  const Cpds &C = F.System;
+  std::vector<VisibleState> Z = computeZ(C);
+  std::vector<VisibleState> Want = {
+      vs(C, "0", {"1", "4"}),   vs(C, "1", {"2", "4"}),
+      vs(C, "2", {"2", "5"}),   vs(C, "3", {"2", "4"}),
+      vs(C, "0", {"1", "eps"}), vs(C, "1", {"2", "eps"}),
+      vs(C, "0", {"1", "6"}),   vs(C, "1", {"2", "6"})};
+  std::sort(Want.begin(), Want.end());
+  EXPECT_EQ(Z, Want);
+}
+
+TEST(Generators, Fig1MembershipMatchesEx14) {
+  CpdsFile F = models::buildFig1();
+  const Cpds &C = F.System;
+  GeneratorSet G(C);
+  // G = {<0|1,eps>, <0|1,6>, <0|2,eps>, <0|2,6>} per Ex. 14.
+  EXPECT_TRUE(G.contains(vs(C, "0", {"1", "eps"})));
+  EXPECT_TRUE(G.contains(vs(C, "0", {"1", "6"})));
+  EXPECT_TRUE(G.contains(vs(C, "0", {"2", "eps"})));
+  EXPECT_TRUE(G.contains(vs(C, "0", {"2", "6"})));
+  // Not generators: wrong shared state or wrong emerging symbol.
+  EXPECT_FALSE(G.contains(vs(C, "1", {"2", "eps"})));
+  EXPECT_FALSE(G.contains(vs(C, "0", {"1", "4"})));
+  EXPECT_FALSE(G.contains(vs(C, "0", {"1", "5"})));
+  EXPECT_FALSE(G.contains(vs(C, "3", {"2", "4"})));
+}
+
+TEST(Generators, Fig1GIntersectZMatchesEx14) {
+  CpdsFile F = models::buildFig1();
+  const Cpds &C = F.System;
+  GeneratorSet G(C);
+  std::vector<VisibleState> GZ = G.intersect(computeZ(C));
+  std::vector<VisibleState> Want = {vs(C, "0", {"1", "eps"}),
+                                    vs(C, "0", {"1", "6"})};
+  std::sort(Want.begin(), Want.end());
+  EXPECT_EQ(GZ, Want);
+}
+
+//===----------------------------------------------------------------------===//
+// Alg. 3 and Scheme 1 end-to-end
+//===----------------------------------------------------------------------===//
+
+TEST(Alg3, Fig1ConvergesAtFive) {
+  CpdsFile F = models::buildFig1();
+  RunResult R = runAlg3Explicit(F.System, F.Property, fastOptions());
+  EXPECT_EQ(R.outcome(), Outcome::Proved);
+  ASSERT_TRUE(R.ConvergedAt.has_value());
+  EXPECT_EQ(*R.ConvergedAt, 5u);
+  EXPECT_EQ(R.KMax, 6u); // Detection needs T(R_6) = T(R_5).
+  EXPECT_EQ(R.VisibleStates, 8u);
+  EXPECT_FALSE(R.BugBound.has_value());
+}
+
+TEST(Alg3, Fig1FirstPlateauIsCorrectlySkipped) {
+  // The k=2..3 plateau must not be mistaken for convergence: <0|1,6>
+  // is a reachable generator not seen until k=4.  If Alg. 3 stopped at
+  // the first plateau it would report k0=2; it must report 5.
+  CpdsFile F = models::buildFig1();
+  RunResult R = runAlg3Explicit(F.System, F.Property, fastOptions());
+  ASSERT_TRUE(R.ConvergedAt.has_value());
+  EXPECT_NE(*R.ConvergedAt, 2u);
+}
+
+TEST(Scheme1, Fig1DivergesUnderContextCap) {
+  // (R_k) on Fig. 1 never plateaus (stacks grow forever): Scheme 1 must
+  // run out of its context budget without an answer.
+  CpdsFile F = models::buildFig1();
+  RunResult R = runScheme1Explicit(F.System, F.Property, fastOptions(12));
+  EXPECT_EQ(R.outcome(), Outcome::ResourceLimit);
+  EXPECT_TRUE(R.Exhausted);
+  EXPECT_FALSE(R.ConvergedAt.has_value());
+}
+
+TEST(Combined, Fig1UsesAlg3Conclusion) {
+  CpdsFile F = models::buildFig1();
+  ExplicitCombinedResult R =
+      runExplicitCombined(F.System, F.Property, fastOptions(16));
+  EXPECT_EQ(R.Run.outcome(), Outcome::Proved);
+  ASSERT_TRUE(R.TkCollapse.has_value());
+  EXPECT_EQ(*R.TkCollapse, 5u);
+  EXPECT_FALSE(R.RkCollapse.has_value()); // (R_k) had not collapsed.
+}
+
+TEST(Scheme1, DekkerConvergesAndIsSafe) {
+  CpdsFile F = models::buildDekker();
+  RunResult R = runScheme1Explicit(F.System, F.Property, fastOptions(32));
+  EXPECT_EQ(R.outcome(), Outcome::Proved) << "kmax=" << R.KMax;
+  EXPECT_FALSE(R.BugBound.has_value());
+}
+
+TEST(Alg3, DekkerSafe) {
+  CpdsFile F = models::buildDekker();
+  RunResult R = runAlg3Explicit(F.System, F.Property, fastOptions(32));
+  EXPECT_EQ(R.outcome(), Outcome::Proved) << "kmax=" << R.KMax;
+}
+
+TEST(Combined, BstInsertSafeAtSmallBounds) {
+  CpdsFile F = models::buildBstInsert(1, 1);
+  ExplicitCombinedResult R =
+      runExplicitCombined(F.System, F.Property, fastOptions(32));
+  EXPECT_EQ(R.Run.outcome(), Outcome::Proved) << "kmax=" << R.Run.KMax;
+  ASSERT_TRUE(R.Run.ConvergedAt.has_value());
+  EXPECT_LE(*R.Run.ConvergedAt, 8u);
+}
+
+TEST(Combined, FileCrawlerSafe) {
+  CpdsFile F = models::buildFileCrawler(2);
+  ExplicitCombinedResult R =
+      runExplicitCombined(F.System, F.Property, fastOptions(32));
+  EXPECT_EQ(R.Run.outcome(), Outcome::Proved) << "kmax=" << R.Run.KMax;
+}
+
+TEST(Combined, BluetoothV1FindsBug) {
+  CpdsFile F = models::buildBluetooth(1, 1, 1);
+  RunOptions O = fastOptions(16);
+  ExplicitCombinedResult R = runExplicitCombined(F.System, F.Property, O);
+  EXPECT_EQ(R.Run.outcome(), Outcome::BugFound) << "kmax=" << R.Run.KMax;
+  ASSERT_TRUE(R.Run.BugBound.has_value());
+  EXPECT_LE(*R.Run.BugBound, 8u);
+  EXPECT_FALSE(R.Run.Witness.empty());
+}
+
+TEST(Combined, BluetoothV2FindsBug) {
+  CpdsFile F = models::buildBluetooth(2, 1, 1);
+  ExplicitCombinedResult R =
+      runExplicitCombined(F.System, F.Property, fastOptions(16));
+  EXPECT_EQ(R.Run.outcome(), Outcome::BugFound) << "kmax=" << R.Run.KMax;
+}
+
+TEST(Combined, BluetoothV3IsProvedSafe) {
+  CpdsFile F = models::buildBluetooth(3, 1, 1);
+  ExplicitCombinedResult R =
+      runExplicitCombined(F.System, F.Property, fastOptions(24));
+  EXPECT_EQ(R.Run.outcome(), Outcome::Proved) << "kmax=" << R.Run.KMax;
+}
+
+TEST(Combined, BluetoothV1BugPersistsWithMoreAdders) {
+  CpdsFile F = models::buildBluetooth(1, 1, 2);
+  ExplicitCombinedResult R =
+      runExplicitCombined(F.System, F.Property, fastOptions(16));
+  EXPECT_EQ(R.Run.outcome(), Outcome::BugFound);
+}
+
+TEST(Combined, ContinueAfterBugAlsoReportsConvergence) {
+  CpdsFile F = models::buildBluetooth(1, 1, 1);
+  RunOptions O = fastOptions(24);
+  O.ContinueAfterBug = true;
+  ExplicitCombinedResult R = runExplicitCombined(F.System, F.Property, O);
+  ASSERT_TRUE(R.Run.BugBound.has_value());
+  // One of the two observation sequences still converges later (Table 2
+  // reports both the bug bound and a convergence bound for the unsafe
+  // Bluetooth rows).  Alg. 3 alone can be obstructed by unreachable
+  // generators in G cap Z -- the incompleteness the paper notes -- which
+  // is exactly why the Sec. 6 driver runs both procedures in parallel.
+  ASSERT_TRUE(R.Run.ConvergedAt.has_value()) << "kmax=" << R.Run.KMax;
+  EXPECT_GE(*R.Run.ConvergedAt, *R.Run.BugBound);
+}
+
+//===----------------------------------------------------------------------===//
+// FCR (Sec. 5, Fig. 4)
+//===----------------------------------------------------------------------===//
+
+TEST(Fcr, Fig1Holds) {
+  CpdsFile F = models::buildFig1();
+  FcrResult R = checkFcr(F.System);
+  EXPECT_TRUE(R.Complete);
+  EXPECT_TRUE(R.Holds);
+  EXPECT_EQ(R.ThreadFinite, (std::vector<bool>{true, true}));
+}
+
+TEST(Fcr, Fig2FailsForBothThreads) {
+  CpdsFile F = models::buildFig2();
+  FcrResult R = checkFcr(F.System);
+  EXPECT_TRUE(R.Complete);
+  EXPECT_FALSE(R.Holds);
+  EXPECT_EQ(R.ThreadFinite, (std::vector<bool>{false, false}));
+}
+
+TEST(Fcr, Table2VerdictsMatchThePaper) {
+  for (const auto &Row : models::table2Instances()) {
+    FcrResult R = checkFcr(Row.File.System);
+    EXPECT_TRUE(R.Complete) << Row.Suite << " " << Row.Config;
+    EXPECT_EQ(R.Holds, Row.ExpectFcr) << Row.Suite << " " << Row.Config;
+  }
+}
+
+TEST(Fcr, StefanIsNotFcrDekkerIs) {
+  EXPECT_FALSE(checkFcr(models::buildStefan1(2).System).Holds);
+  EXPECT_TRUE(checkFcr(models::buildDekker().System).Holds);
+}
+
+//===----------------------------------------------------------------------===//
+// Counterexample traces
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// A trace is valid when it starts at the initial state, each step is a
+/// real successor of its predecessor via the named thread, and the last
+/// state projects to the expected witness.
+void expectValidTrace(const Cpds &C, const std::vector<TraceStep> &Trace,
+                      const VisibleState &Witness) {
+  ASSERT_FALSE(Trace.empty());
+  EXPECT_EQ(Trace.front().State, C.initialState());
+  for (size_t I = 1; I < Trace.size(); ++I) {
+    std::vector<GlobalState> Succs;
+    C.threadSuccessors(Trace[I - 1].State, Trace[I].Thread, Succs);
+    bool Found = false;
+    for (const GlobalState &S : Succs)
+      Found = Found || S == Trace[I].State;
+    EXPECT_TRUE(Found) << "step " << I << " is not a valid successor";
+    EXPECT_FALSE(Trace[I].Label.empty());
+  }
+  EXPECT_EQ(project(Trace.back().State), Witness);
+}
+
+/// Number of maximal same-thread blocks in a trace (its context count).
+unsigned traceContexts(const std::vector<TraceStep> &Trace) {
+  unsigned Contexts = 0;
+  for (size_t I = 1; I < Trace.size(); ++I)
+    if (I == 1 || Trace[I].Thread != Trace[I - 1].Thread)
+      ++Contexts;
+  return Contexts;
+}
+
+} // namespace
+
+TEST(Trace, Fig1ReconstructsEveryVisibleState) {
+  CpdsFile F = models::buildFig1();
+  CbaEngine E(F.System, ResourceLimits::unlimited());
+  for (int K = 0; K < 6; ++K)
+    E.advance();
+  for (const auto &[V, Round] : E.visibleFirstSeen()) {
+    auto Trace = E.traceToVisible(V);
+    expectValidTrace(F.System, Trace, V);
+    // First-discovery parents bound the trace by the discovery round.
+    EXPECT_LE(traceContexts(Trace), Round) << toString(F.System, V);
+  }
+}
+
+TEST(Trace, UnreachedVisibleStateYieldsEmptyTrace) {
+  CpdsFile F = models::buildFig1();
+  CbaEngine E(F.System, ResourceLimits::unlimited());
+  E.advance();
+  VisibleState V;
+  V.Q = F.System.sharedStateByName("3");
+  V.Tops = {F.System.thread(0).symbolByName("2"),
+            F.System.thread(1).symbolByName("4")};
+  EXPECT_TRUE(E.traceToVisible(V).empty());
+}
+
+TEST(Trace, BluetoothBugTraceIsReported) {
+  CpdsFile F = models::buildBluetooth(1, 1, 1);
+  RunOptions O = fastOptions(16);
+  O.BuildTrace = true;
+  ExplicitCombinedResult R = runExplicitCombined(F.System, F.Property, O);
+  ASSERT_TRUE(R.Run.BugBound.has_value());
+  ASSERT_FALSE(R.Run.Trace.empty());
+  // The formatted trace starts at the initial state and ends in err.
+  EXPECT_NE(R.Run.Trace.find("initial:"), std::string::npos);
+  EXPECT_NE(R.Run.Trace.find("err"), std::string::npos);
+  EXPECT_NE(R.Run.Trace.find("assert"), std::string::npos);
+}
+
+TEST(Trace, BugTraceRespectsTheReportedBound) {
+  CpdsFile F = models::buildBluetooth(1, 1, 1);
+  CbaEngine E(F.System, ResourceLimits::unlimited());
+  std::optional<VisibleState> Bad;
+  for (int K = 0; K < 12 && !Bad; ++K) {
+    E.advance();
+    for (const VisibleState &V : E.newVisibleThisRound())
+      if (F.Property.violatedBy(V)) {
+        Bad = V;
+        break;
+      }
+  }
+  ASSERT_TRUE(Bad.has_value());
+  auto Trace = E.traceToVisible(*Bad);
+  expectValidTrace(F.System, Trace, *Bad);
+  EXPECT_LE(traceContexts(Trace), E.bound());
+}

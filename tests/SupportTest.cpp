@@ -1,0 +1,228 @@
+//===-- tests/SupportTest.cpp - Unit tests for the support library ---------=//
+//
+// Part of the CUBA project, an implementation of the PLDI 2018 paper
+// "CUBA: Interprocedural Context-UnBounded Analysis of Concurrent Programs".
+//
+//===----------------------------------------------------------------------===//
+
+#include <gtest/gtest.h>
+
+#include "support/ErrorOr.h"
+#include "support/Hashing.h"
+#include "support/Limits.h"
+#include "support/Statistic.h"
+#include "support/StringUtils.h"
+#include "support/SymbolTable.h"
+#include "support/Timer.h"
+
+using namespace cuba;
+
+//===----------------------------------------------------------------------===//
+// ErrorOr
+//===----------------------------------------------------------------------===//
+
+static ErrorOr<int> mightFail(bool Fail) {
+  if (Fail)
+    return Error("boom", 3, 7);
+  return 42;
+}
+
+TEST(ErrorOr, ValueState) {
+  auto R = mightFail(false);
+  ASSERT_TRUE(R);
+  EXPECT_EQ(*R, 42);
+  EXPECT_EQ(R.take(), 42);
+}
+
+TEST(ErrorOr, ErrorState) {
+  auto R = mightFail(true);
+  ASSERT_FALSE(R);
+  EXPECT_EQ(R.error().message(), "boom");
+  EXPECT_EQ(R.error().line(), 3u);
+  EXPECT_EQ(R.error().column(), 7u);
+  EXPECT_EQ(R.error().str(), "3:7: boom");
+}
+
+TEST(ErrorOr, ErrorWithoutLocation) {
+  Error E("plain");
+  EXPECT_FALSE(E.hasLocation());
+  EXPECT_EQ(E.str(), "plain");
+}
+
+TEST(ErrorOr, VoidSpecialisation) {
+  ErrorOr<void> Ok;
+  EXPECT_TRUE(Ok);
+  ErrorOr<void> Bad{Error("nope")};
+  EXPECT_FALSE(Bad);
+  EXPECT_EQ(Bad.error().message(), "nope");
+}
+
+TEST(ErrorOr, MovesNonCopyableValues) {
+  ErrorOr<std::unique_ptr<int>> R(std::make_unique<int>(5));
+  ASSERT_TRUE(R);
+  std::unique_ptr<int> P = R.take();
+  EXPECT_EQ(*P, 5);
+}
+
+//===----------------------------------------------------------------------===//
+// SymbolTable
+//===----------------------------------------------------------------------===//
+
+TEST(SymbolTable, InternIsIdempotent) {
+  SymbolTable T;
+  EXPECT_EQ(T.intern("a"), 0u);
+  EXPECT_EQ(T.intern("b"), 1u);
+  EXPECT_EQ(T.intern("a"), 0u);
+  EXPECT_EQ(T.size(), 2u);
+}
+
+TEST(SymbolTable, LookupMissReturnsSentinel) {
+  SymbolTable T;
+  T.intern("x");
+  EXPECT_EQ(T.lookup("y"), UINT32_MAX);
+  EXPECT_TRUE(T.contains("x"));
+  EXPECT_FALSE(T.contains("y"));
+}
+
+TEST(SymbolTable, NameRoundTrip) {
+  SymbolTable T;
+  uint32_t Id = T.intern("hello");
+  EXPECT_EQ(T.name(Id), "hello");
+}
+
+//===----------------------------------------------------------------------===//
+// Hashing
+//===----------------------------------------------------------------------===//
+
+TEST(Hashing, OrderSensitive) {
+  uint64_t A = hashCombine(hashCombine(0, 1), 2);
+  uint64_t B = hashCombine(hashCombine(0, 2), 1);
+  EXPECT_NE(A, B);
+}
+
+TEST(Hashing, RangeMatchesManualFold) {
+  std::vector<uint32_t> V = {3, 1, 4, 1, 5};
+  uint64_t H = 0x42;
+  for (uint32_t X : V)
+    H = hashCombine(H, X);
+  EXPECT_EQ(hashRange(V.begin(), V.end()), H);
+}
+
+TEST(Hashing, EmptyRangeIsStable) {
+  std::vector<uint32_t> V;
+  EXPECT_EQ(hashRange(V.begin(), V.end()),
+            hashRange(V.begin(), V.end()));
+}
+
+//===----------------------------------------------------------------------===//
+// StringUtils
+//===----------------------------------------------------------------------===//
+
+TEST(StringUtils, Trim) {
+  EXPECT_EQ(trim("  abc\t\n"), "abc");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim(" \t "), "");
+  EXPECT_EQ(trim("x"), "x");
+}
+
+TEST(StringUtils, SplitNonEmpty) {
+  auto P = splitNonEmpty("a,,b,c,", ',');
+  ASSERT_EQ(P.size(), 3u);
+  EXPECT_EQ(P[0], "a");
+  EXPECT_EQ(P[1], "b");
+  EXPECT_EQ(P[2], "c");
+  EXPECT_TRUE(splitNonEmpty("", ',').empty());
+}
+
+TEST(StringUtils, ParseUnsigned) {
+  EXPECT_EQ(parseUnsigned("0"), 0u);
+  EXPECT_EQ(parseUnsigned("12345"), 12345u);
+  EXPECT_FALSE(parseUnsigned("").has_value());
+  EXPECT_FALSE(parseUnsigned("12a").has_value());
+  EXPECT_FALSE(parseUnsigned("-1").has_value());
+  // Overflow is rejected, not wrapped.
+  EXPECT_FALSE(parseUnsigned("99999999999999999999999").has_value());
+  EXPECT_EQ(parseUnsigned("18446744073709551615"), UINT64_MAX);
+}
+
+TEST(StringUtils, IsIdentifier) {
+  EXPECT_TRUE(isIdentifier("abc"));
+  EXPECT_TRUE(isIdentifier("_x1.y$z"));
+  EXPECT_FALSE(isIdentifier("1abc"));
+  EXPECT_FALSE(isIdentifier(""));
+  EXPECT_FALSE(isIdentifier("a b"));
+}
+
+//===----------------------------------------------------------------------===//
+// Statistics
+//===----------------------------------------------------------------------===//
+
+TEST(Statistics, CountersAccumulateAndReset) {
+  Statistics::resetAll();
+  Statistics::counter("test.alpha") += 3;
+  Statistics::counter("test.alpha") += 2;
+  Statistics::counter("test.beta") = 7;
+  EXPECT_EQ(Statistics::counter("test.alpha"), 5u);
+
+  bool SawAlpha = false, SawBeta = false;
+  for (const auto &[Name, Value] : Statistics::snapshot()) {
+    if (Name == "test.alpha") {
+      SawAlpha = true;
+      EXPECT_EQ(Value, 5u);
+    }
+    if (Name == "test.beta") {
+      SawBeta = true;
+      EXPECT_EQ(Value, 7u);
+    }
+  }
+  EXPECT_TRUE(SawAlpha);
+  EXPECT_TRUE(SawBeta);
+
+  Statistics::resetAll();
+  EXPECT_EQ(Statistics::counter("test.alpha"), 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Limits
+//===----------------------------------------------------------------------===//
+
+TEST(Limits, StateBudget) {
+  ResourceLimits L;
+  L.MaxStates = 2;
+  L.MaxSteps = 0;
+  L.MaxMillis = 0;
+  LimitTracker T(L);
+  EXPECT_TRUE(T.chargeState());
+  EXPECT_TRUE(T.chargeState());
+  EXPECT_FALSE(T.chargeState());
+  EXPECT_TRUE(T.exhausted());
+}
+
+TEST(Limits, StepBudget) {
+  ResourceLimits L;
+  L.MaxStates = 0;
+  L.MaxSteps = 10;
+  L.MaxMillis = 0;
+  LimitTracker T(L);
+  EXPECT_TRUE(T.chargeStep(10));
+  EXPECT_FALSE(T.chargeStep(1));
+  EXPECT_TRUE(T.exhausted());
+}
+
+TEST(Limits, UnlimitedNeverExhausts) {
+  LimitTracker T(ResourceLimits::unlimited());
+  for (int I = 0; I < 100000; ++I)
+    ASSERT_TRUE(T.chargeStep());
+  for (int I = 0; I < 1000; ++I)
+    ASSERT_TRUE(T.chargeState());
+  EXPECT_FALSE(T.exhausted());
+}
+
+TEST(Timer, RSSProbesReportPlausibleValues) {
+  // On Linux both probes should be positive and peak >= current.
+  double Peak = peakRSSMegabytes();
+  double Cur = currentRSSMegabytes();
+  EXPECT_GT(Peak, 0.0);
+  EXPECT_GT(Cur, 0.0);
+  EXPECT_GE(Peak + 0.5, Cur);
+}

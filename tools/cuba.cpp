@@ -1,0 +1,240 @@
+//===-- tools/cuba.cpp - The CUBA command-line verifier --------------------=//
+//
+// Part of the CUBA project, an implementation of the PLDI 2018 paper
+// "CUBA: Interprocedural Context-UnBounded Analysis of Concurrent Programs".
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Command-line front end.  Reads a .cpds file (the textual pushdown
+/// format) or a .bp file (a concurrent Boolean program, compiled through
+/// the frontend), runs the Sec. 6 procedure, and reports the verdict.
+///
+///   cuba [options] <input.cpds | input.bp>
+///     --max-k N            context-bound cap (default 32)
+///     --max-states N       stored-state budget (default 2e6)
+///     --max-steps N        engine-step budget (default 5e7)
+///     --timeout-ms N       wall-clock budget (default 120000)
+///     --approach auto|explicit|symbolic
+///     --continue-after-bug keep exploring to a convergence bound
+///     --emit-cpds          print the (translated) system and exit
+///     --stats              dump internal statistics counters
+///
+/// Exit codes: 0 safety proved, 1 bug found, 2 resource limit,
+/// 64 usage or input error.
+///
+//===----------------------------------------------------------------------===//
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "bp/AstPrinter.h"
+#include "bp/Parser.h"
+#include "bp/Translate.h"
+#include "core/CubaDriver.h"
+#include "pds/CpdsIO.h"
+#include "support/Statistic.h"
+#include "support/StringUtils.h"
+#include "support/Timer.h"
+
+using namespace cuba;
+
+namespace {
+
+struct CliOptions {
+  std::string InputPath;
+  DriverOptions Driver;
+  bool EmitCpds = false;
+  bool DumpAst = false;
+  bool Stats = false;
+};
+
+void printUsage() {
+  std::fprintf(
+      stderr,
+      "usage: cuba [options] <input.cpds | input.bp>\n"
+      "  --max-k N            context-bound cap (default 32)\n"
+      "  --max-states N       stored-state budget (default 2000000)\n"
+      "  --max-steps N        engine-step budget (default 50000000)\n"
+      "  --timeout-ms N       wall-clock budget (default 120000)\n"
+      "  --approach A         auto | explicit | symbolic\n"
+      "  --continue-after-bug keep exploring to a convergence bound\n"
+      "  --trace              print a concrete interleaving on a bug\n"
+      "  --emit-cpds          print the (translated) system and exit\n"
+      "  --stats              dump internal statistics counters\n");
+}
+
+bool parseArgs(int Argc, char **Argv, CliOptions &Cli) {
+  RunOptions &Run = Cli.Driver.Run;
+  Run.Limits.MaxContexts = 32;
+  for (int I = 1; I < Argc; ++I) {
+    std::string_view Arg = Argv[I];
+    auto NumArg = [&](uint64_t &Out) {
+      if (I + 1 >= Argc)
+        return false;
+      auto V = parseUnsigned(Argv[++I]);
+      if (!V)
+        return false;
+      Out = *V;
+      return true;
+    };
+    uint64_t N = 0;
+    if (Arg == "--max-k" && NumArg(N)) {
+      Run.Limits.MaxContexts = static_cast<unsigned>(N);
+    } else if (Arg == "--max-states" && NumArg(N)) {
+      Run.Limits.MaxStates = N;
+    } else if (Arg == "--max-steps" && NumArg(N)) {
+      Run.Limits.MaxSteps = N;
+    } else if (Arg == "--timeout-ms" && NumArg(N)) {
+      Run.Limits.MaxMillis = N;
+    } else if (Arg == "--approach") {
+      if (I + 1 >= Argc)
+        return false;
+      std::string_view A = Argv[++I];
+      if (A == "explicit")
+        Cli.Driver.Force = ApproachKind::ExplicitCombined;
+      else if (A == "symbolic")
+        Cli.Driver.Force = ApproachKind::Symbolic;
+      else if (A != "auto")
+        return false;
+    } else if (Arg == "--continue-after-bug") {
+      Run.ContinueAfterBug = true;
+    } else if (Arg == "--trace") {
+      Run.BuildTrace = true;
+    } else if (Arg == "--emit-cpds") {
+      Cli.EmitCpds = true;
+    } else if (Arg == "--dump-ast") {
+      Cli.DumpAst = true;
+    } else if (Arg == "--stats") {
+      Cli.Stats = true;
+    } else if (!Arg.empty() && Arg[0] != '-' && Cli.InputPath.empty()) {
+      Cli.InputPath = Arg;
+    } else {
+      return false;
+    }
+  }
+  return !Cli.InputPath.empty();
+}
+
+bool endsWith(std::string_view S, std::string_view Suffix) {
+  return S.size() >= Suffix.size() &&
+         S.substr(S.size() - Suffix.size()) == Suffix;
+}
+
+ErrorOr<std::string> readFile(const std::string &Path) {
+  std::FILE *F = std::fopen(Path.c_str(), "rb");
+  if (!F)
+    return Error("cannot open '" + Path + "'");
+  std::string Text;
+  char Buf[4096];
+  size_t N;
+  while ((N = std::fread(Buf, 1, sizeof(Buf), F)) > 0)
+    Text.append(Buf, N);
+  std::fclose(F);
+  return Text;
+}
+
+ErrorOr<CpdsFile> loadInput(const std::string &Path) {
+  if (endsWith(Path, ".bp")) {
+    auto Text = readFile(Path);
+    if (!Text)
+      return Text.error();
+    return bp::compileBooleanProgram(*Text);
+  }
+  return parseCpdsFile(Path);
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  CliOptions Cli;
+  if (!parseArgs(Argc, Argv, Cli)) {
+    printUsage();
+    return 64;
+  }
+
+  if (Cli.DumpAst) {
+    if (!endsWith(Cli.InputPath, ".bp")) {
+      std::fprintf(stderr, "cuba: --dump-ast needs a .bp input\n");
+      return 64;
+    }
+    auto Text = readFile(Cli.InputPath);
+    if (!Text) {
+      std::fprintf(stderr, "cuba: %s\n", Text.error().str().c_str());
+      return 64;
+    }
+    auto Prog = bp::parseProgram(*Text);
+    if (!Prog) {
+      std::fprintf(stderr, "cuba: %s: %s\n", Cli.InputPath.c_str(),
+                   Prog.error().str().c_str());
+      return 64;
+    }
+    std::string Out = bp::printProgram(*Prog);
+    std::fwrite(Out.data(), 1, Out.size(), stdout);
+    return 0;
+  }
+
+  auto File = loadInput(Cli.InputPath);
+  if (!File) {
+    std::fprintf(stderr, "cuba: %s: %s\n", Cli.InputPath.c_str(),
+                 File.error().str().c_str());
+    return 64;
+  }
+
+  if (Cli.EmitCpds) {
+    std::string Text = printCpds(*File);
+    std::fwrite(Text.data(), 1, Text.size(), stdout);
+    return 0;
+  }
+
+  DriverResult R = runCuba(File->System, File->Property, Cli.Driver);
+
+  std::printf("input:     %s\n", Cli.InputPath.c_str());
+  std::printf("threads:   %u\n", File->System.numThreads());
+  std::printf("fcr:       %s\n", R.Fcr.Holds ? "holds" : "not established");
+  std::printf("approach:  %s\n", R.Used == ApproachKind::ExplicitCombined
+                                     ? "explicit (Scheme1 || Alg3)"
+                                     : "symbolic (Alg3 over T(Sk))");
+  switch (R.Run.outcome()) {
+  case Outcome::Proved:
+    std::printf("verdict:   SAFE for every context bound "
+                "(sequence collapsed at k0 = %u)\n",
+                *R.Run.ConvergedAt);
+    break;
+  case Outcome::BugFound:
+    std::printf("verdict:   BUG reachable within %u contexts\n",
+                *R.Run.BugBound);
+    std::printf("witness:   %s\n", R.Run.Witness.c_str());
+    if (!R.Run.Trace.empty())
+      std::printf("trace:\n%s", R.Run.Trace.c_str());
+    break;
+  case Outcome::ResourceLimit:
+    std::printf("verdict:   UNDECIDED within the resource budget "
+                "(explored k <= %u)\n",
+                R.Run.KMax);
+    break;
+  }
+  std::printf("explored:  k_max=%u, states=%llu, visible=%llu\n", R.Run.KMax,
+              static_cast<unsigned long long>(R.Run.StatesStored),
+              static_cast<unsigned long long>(R.Run.VisibleStates));
+  std::printf("resources: %.2f ms, %.1f MB peak\n", R.Run.Millis,
+              R.PeakMemMB);
+
+  if (Cli.Stats) {
+    std::printf("--- statistics ---\n");
+    for (const auto &[Name, Value] : Statistics::snapshot())
+      std::printf("%10llu  %s\n", static_cast<unsigned long long>(Value),
+                  Name.c_str());
+  }
+
+  switch (R.Run.outcome()) {
+  case Outcome::Proved:
+    return 0;
+  case Outcome::BugFound:
+    return 1;
+  case Outcome::ResourceLimit:
+    return 2;
+  }
+  return 2;
+}
