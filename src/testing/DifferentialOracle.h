@@ -1,0 +1,86 @@
+//===-- testing/DifferentialOracle.h - Cross-engine oracle ------*- C++ -*-===//
+//
+// Part of the CUBA project, an implementation of the PLDI 2018 paper
+// "CUBA: Interprocedural Context-UnBounded Analysis of Concurrent Programs".
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The differential oracle behind the randomized test suite and the
+/// `cuba fuzz` subcommand.  It runs the explicit engine (CbaEngine), the
+/// symbolic engine (SymbolicEngine), and the three CbaBaseline variants
+/// on one instance under a shared resource budget and cross-checks every
+/// property the implementation promises:
+///
+///  * per-k agreement: T(R_k) and T(S_k) discover exactly the same new
+///    visible states in every completed round (App. E ties S_k to R_k),
+///  * first-violation agreement: both engines witness a bad visible
+///    state at the same context bound,
+///  * baseline consistency: runCbaBaseline at bound K reports the bug
+///    bound and visible-state count of the explicit engine's R_K, for
+///    all three storage variants,
+///  * FCR consistency: checkFcr is deterministic, an incomplete check
+///    never claims FCR, and the per-thread verdicts match Holds,
+///  * driver agreement: when both the explicit-combined and the symbolic
+///    top-level procedures conclude within budget, their verdicts and
+///    bug bounds coincide.
+///
+/// Budget exhaustion is never an error: the oracle compares only rounds
+/// both engines completed and reports how far it got.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CUBA_TESTING_DIFFERENTIALORACLE_H
+#define CUBA_TESTING_DIFFERENTIALORACLE_H
+
+#include <string>
+#include <vector>
+
+#include "pds/CpdsIO.h"
+#include "support/Limits.h"
+
+namespace cuba::testing {
+
+/// Configuration for one oracle run.
+struct OracleOptions {
+  /// Deepest context bound to compare round by round.
+  unsigned MaxK = 5;
+  /// Budget for each engine run (kept small: random instances without
+  /// FCR can blow up explicitly, and exhaustion just truncates the
+  /// comparison).  Deliberately no wall-clock limit: the state and step
+  /// budgets already bound every run, and a time cutoff would make how
+  /// far the comparison gets -- and hence whether a mismatch is seen --
+  /// depend on machine speed, breaking seed reproducibility.
+  ResourceLimits Limits{20'000, 2'000'000, 16, 0};
+  /// Also run the three CbaBaseline variants and cross-check them.
+  bool CheckBaselines = true;
+  /// Also run the two top-level procedures and compare their verdicts.
+  bool CheckDrivers = true;
+  /// Testing hook for the oracle's own tests (the "mutation check"):
+  /// pretend the explicit engine never discovered its N-th visible state
+  /// (1-based).  A correct oracle must then report a mismatch on any
+  /// instance with at least N reachable visible states.  0 = disabled.
+  unsigned InjectDropVisible = 0;
+};
+
+/// The outcome of one oracle run.
+struct OracleReport {
+  /// One human-readable line per detected disagreement; empty == pass.
+  std::vector<std::string> Mismatches;
+  /// Rounds compared before a budget stopped an engine (k = 0..KCompared).
+  unsigned KCompared = 0;
+  bool ExplicitExhausted = false;
+  bool SymbolicExhausted = false;
+
+  bool ok() const { return Mismatches.empty(); }
+  /// All mismatch lines joined for diagnostics.
+  std::string str() const;
+};
+
+/// Runs every cross-check on \p File.
+OracleReport runDifferentialOracle(const CpdsFile &File,
+                                   const OracleOptions &Opts = {});
+
+} // namespace cuba::testing
+
+#endif // CUBA_TESTING_DIFFERENTIALORACLE_H

@@ -1,0 +1,109 @@
+//===-- tests/CpdsIORoundTripTest.cpp - CpdsIO round-trip tests ------------=//
+//
+// Part of the CUBA project, an implementation of the PLDI 2018 paper
+// "CUBA: Interprocedural Context-UnBounded Analysis of Concurrent Programs".
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// parse -> print -> parse must reproduce an identical CPDS, for every
+/// hand-built model of the paper's evaluation and for generated random
+/// instances.  Identity is checked structurally (states, alphabets,
+/// actions, initial configuration, bad patterns) and on the printed
+/// text, which must be a fixed point of print(parse(.)).
+///
+//===----------------------------------------------------------------------===//
+
+#include <gtest/gtest.h>
+
+#include "models/Models.h"
+#include "pds/CpdsIO.h"
+#include "testing/RandomCpds.h"
+
+using namespace cuba;
+
+namespace {
+
+void expectSameAction(const Action &A, const Action &B, const char *Ctx) {
+  EXPECT_EQ(A.SrcQ, B.SrcQ) << Ctx;
+  EXPECT_EQ(A.SrcSym, B.SrcSym) << Ctx;
+  EXPECT_EQ(A.DstQ, B.DstQ) << Ctx;
+  EXPECT_EQ(A.Dst0, B.Dst0) << Ctx;
+  EXPECT_EQ(A.Dst1, B.Dst1) << Ctx;
+}
+
+/// Structural identity of two frozen CPDS files (modulo action labels
+/// that the printer legitimately drops when they would not re-lex).
+void expectSameCpds(const CpdsFile &A, const CpdsFile &B) {
+  const Cpds &CA = A.System, &CB = B.System;
+  ASSERT_EQ(CA.numSharedStates(), CB.numSharedStates());
+  for (QState Q = 0; Q < CA.numSharedStates(); ++Q)
+    EXPECT_EQ(CA.sharedStateName(Q), CB.sharedStateName(Q));
+  EXPECT_EQ(CA.initialShared(), CB.initialShared());
+  ASSERT_EQ(CA.numThreads(), CB.numThreads());
+  EXPECT_EQ(CA.initialState(), CB.initialState());
+  for (unsigned I = 0; I < CA.numThreads(); ++I) {
+    const Pds &PA = CA.thread(I), &PB = CB.thread(I);
+    EXPECT_EQ(CA.threadName(I), CB.threadName(I));
+    ASSERT_EQ(PA.numSymbols(), PB.numSymbols()) << "thread " << I;
+    for (Sym S = 1; S <= PA.numSymbols(); ++S)
+      EXPECT_EQ(PA.symbolName(S), PB.symbolName(S)) << "thread " << I;
+    ASSERT_EQ(PA.actions().size(), PB.actions().size()) << "thread " << I;
+    for (size_t R = 0; R < PA.actions().size(); ++R)
+      expectSameAction(PA.actions()[R], PB.actions()[R], "action");
+  }
+  const auto &PatA = A.Property.badPatterns();
+  const auto &PatB = B.Property.badPatterns();
+  ASSERT_EQ(PatA.size(), PatB.size());
+  for (size_t I = 0; I < PatA.size(); ++I) {
+    EXPECT_EQ(PatA[I].Q, PatB[I].Q) << "pattern " << I;
+    EXPECT_EQ(PatA[I].Tops, PatB[I].Tops) << "pattern " << I;
+  }
+}
+
+/// The round-trip law proper: printing is injective up to structural
+/// identity and a fixed point of print(parse(.)).
+void expectRoundTrips(const CpdsFile &File, const std::string &Ctx) {
+  std::string Text = printCpds(File);
+  auto Reparsed = parseCpds(Text);
+  ASSERT_TRUE(Reparsed) << Ctx << ": " << Reparsed.error().str() << "\n"
+                        << Text;
+  expectSameCpds(File, *Reparsed);
+  EXPECT_EQ(printCpds(*Reparsed), Text) << Ctx;
+}
+
+TEST(CpdsIORoundTrip, Fig1) {
+  expectRoundTrips(models::buildFig1(), "fig1");
+}
+
+TEST(CpdsIORoundTrip, Fig2) {
+  expectRoundTrips(models::buildFig2(), "fig2");
+}
+
+TEST(CpdsIORoundTrip, AllTable2Instances) {
+  for (const models::BenchmarkInstance &Row : models::table2Instances())
+    expectRoundTrips(Row.File, Row.Suite + " " + Row.Config);
+}
+
+TEST(CpdsIORoundTrip, GeneratedInstances) {
+  using cuba::testing::cornerShapeOptions;
+  using cuba::testing::generateRandomCpds;
+  for (uint64_t Seed = 0; Seed < 100; ++Seed)
+    expectRoundTrips(generateRandomCpds(Seed, cornerShapeOptions(Seed)),
+                     "seed " + std::to_string(Seed));
+}
+
+// The shorthand form is expanded on parse and must still round-trip.
+TEST(CpdsIORoundTrip, SharedShorthand) {
+  auto File = parseCpds("shared 3\n"
+                        "thread P {\n"
+                        "  alphabet a\n"
+                        "  stack a\n"
+                        "  (0, a) -> (2, eps)\n"
+                        "}\n");
+  ASSERT_TRUE(File) << File.error().str();
+  EXPECT_EQ(File->System.numSharedStates(), 3u);
+  expectRoundTrips(*File, "shorthand");
+}
+
+} // namespace

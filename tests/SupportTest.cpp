@@ -7,6 +7,9 @@
 
 #include <gtest/gtest.h>
 
+#include "core/Algorithms.h"
+#include "core/SymbolicAlgorithms.h"
+#include "models/Models.h"
 #include "support/ErrorOr.h"
 #include "support/Hashing.h"
 #include "support/Limits.h"
@@ -64,6 +67,42 @@ TEST(ErrorOr, MovesNonCopyableValues) {
   EXPECT_EQ(*P, 5);
 }
 
+TEST(ErrorOr, MoveConstructionTransfersOwnership) {
+  ErrorOr<std::unique_ptr<int>> A(std::make_unique<int>(9));
+  ErrorOr<std::unique_ptr<int>> B(std::move(A));
+  ASSERT_TRUE(B);
+  EXPECT_EQ(**B, 9);
+  // The moved-from wrapper still holds an (empty) value, not an error.
+  EXPECT_TRUE(A);      // NOLINT(bugprone-use-after-move)
+  EXPECT_EQ(*A, nullptr);
+}
+
+TEST(ErrorOr, MoveAssignmentAcrossStates) {
+  ErrorOr<std::unique_ptr<int>> V(std::make_unique<int>(4));
+  ErrorOr<std::unique_ptr<int>> E{Error("gone")};
+  E = std::move(V);
+  ASSERT_TRUE(E);
+  EXPECT_EQ(**E, 4);
+  V = ErrorOr<std::unique_ptr<int>>{Error("now empty")};
+  ASSERT_FALSE(V);
+  EXPECT_EQ(V.error().message(), "now empty");
+}
+
+TEST(ErrorOr, TakeLeavesMovedFromValue) {
+  ErrorOr<std::vector<int>> R(std::vector<int>{1, 2, 3});
+  std::vector<int> V = R.take();
+  EXPECT_EQ(V, (std::vector<int>{1, 2, 3}));
+  EXPECT_TRUE(R);        // Still the value state...
+  EXPECT_TRUE(R->empty()); // ...but the payload has been moved out.
+}
+
+TEST(ErrorOr, ErrorStateSurvivesMove) {
+  ErrorOr<int> A{Error("original", 2, 5)};
+  ErrorOr<int> B(std::move(A));
+  ASSERT_FALSE(B);
+  EXPECT_EQ(B.error().str(), "2:5: original");
+}
+
 //===----------------------------------------------------------------------===//
 // SymbolTable
 //===----------------------------------------------------------------------===//
@@ -88,6 +127,40 @@ TEST(SymbolTable, NameRoundTrip) {
   SymbolTable T;
   uint32_t Id = T.intern("hello");
   EXPECT_EQ(T.name(Id), "hello");
+}
+
+TEST(SymbolTable, NearCollidingNamesStayDistinct) {
+  // Names differing only in case, length-one extensions, and embedded
+  // NUL-free lookalikes must all intern to distinct ids.
+  SymbolTable T;
+  std::vector<std::string> Names = {"a",  "A",  "a0", "a00", "0a",
+                                    "aa", "a_", "_a", "a.",  "a$"};
+  std::vector<uint32_t> Ids;
+  for (const std::string &N : Names)
+    Ids.push_back(T.intern(N));
+  EXPECT_EQ(T.size(), Names.size());
+  for (size_t I = 0; I < Names.size(); ++I) {
+    EXPECT_EQ(T.lookup(Names[I]), Ids[I]) << Names[I];
+    EXPECT_EQ(T.name(Ids[I]), Names[I]);
+  }
+}
+
+TEST(SymbolTable, StableAcrossRehashing) {
+  // Interning enough names to force many rehashes of the backing map
+  // must not invalidate earlier ids or lookups (the map keys own their
+  // strings; ids are dense indices into the name vector).
+  SymbolTable T;
+  constexpr uint32_t N = 10'000;
+  for (uint32_t I = 0; I < N; ++I)
+    ASSERT_EQ(T.intern("sym" + std::to_string(I)), I);
+  // Interleaved duplicates return the original ids.
+  for (uint32_t I = 0; I < N; I += 97)
+    EXPECT_EQ(T.intern("sym" + std::to_string(I)), I);
+  EXPECT_EQ(T.size(), N);
+  for (uint32_t I = 0; I < N; I += 131) {
+    EXPECT_EQ(T.lookup("sym" + std::to_string(I)), I);
+    EXPECT_EQ(T.name(I), "sym" + std::to_string(I));
+  }
 }
 
 //===----------------------------------------------------------------------===//
@@ -216,6 +289,56 @@ TEST(Limits, UnlimitedNeverExhausts) {
   for (int I = 0; I < 1000; ++I)
     ASSERT_TRUE(T.chargeState());
   EXPECT_FALSE(T.exhausted());
+}
+
+// Exhaustion mid-run is a verdict, not a crash: each budget axis cut
+// down to almost nothing must still produce a well-formed bounded
+// result from both engine families.
+
+TEST(Limits, MaxContextsHitMidRunReturnsBoundedVerdict) {
+  CpdsFile File = models::buildFig1();
+  RunOptions Opts;
+  Opts.Limits = ResourceLimits::unlimited();
+  Opts.Limits.MaxContexts = 1; // Fig. 1 needs k >= 5 to converge.
+  ExplicitCombinedResult R =
+      runExplicitCombined(File.System, File.Property, Opts);
+  EXPECT_EQ(R.Run.outcome(), Outcome::ResourceLimit);
+  EXPECT_TRUE(R.Run.Exhausted);
+  EXPECT_LE(R.Run.KMax, 1u);
+  EXPECT_GT(R.Run.VisibleStates, 0u);
+}
+
+TEST(Limits, StepBudgetHitMidRunReturnsBoundedVerdict) {
+  CpdsFile File = models::buildFig1();
+  RunOptions Opts;
+  Opts.Limits = ResourceLimits::unlimited();
+  Opts.Limits.MaxSteps = 5; // Runs out inside the first closure.
+  ExplicitCombinedResult R =
+      runExplicitCombined(File.System, File.Property, Opts);
+  EXPECT_EQ(R.Run.outcome(), Outcome::ResourceLimit);
+  EXPECT_TRUE(R.Run.Exhausted);
+}
+
+TEST(Limits, StateBudgetHitMidRunReturnsBoundedVerdict) {
+  CpdsFile File = models::buildFig1();
+  RunOptions Opts;
+  Opts.Limits = ResourceLimits::unlimited();
+  Opts.Limits.MaxStates = 2;
+  ExplicitCombinedResult R =
+      runExplicitCombined(File.System, File.Property, Opts);
+  EXPECT_EQ(R.Run.outcome(), Outcome::ResourceLimit);
+  EXPECT_TRUE(R.Run.Exhausted);
+  EXPECT_LE(R.Run.StatesStored, 3u); // The state over budget plus R_0.
+}
+
+TEST(Limits, SymbolicEngineExhaustsGracefully) {
+  CpdsFile File = models::buildFig1();
+  RunOptions Opts;
+  Opts.Limits = ResourceLimits::unlimited();
+  Opts.Limits.MaxSteps = 5;
+  SymbolicRunResult R = runAlg3Symbolic(File.System, File.Property, Opts);
+  EXPECT_EQ(R.Run.outcome(), Outcome::ResourceLimit);
+  EXPECT_TRUE(R.Run.Exhausted);
 }
 
 TEST(Timer, RSSProbesReportPlausibleValues) {
