@@ -20,14 +20,25 @@
 ///     --emit-cpds          print the (translated) system and exit
 ///     --stats              dump internal statistics counters
 ///
-/// Exit codes: 0 safety proved, 1 bug found, 2 resource limit,
-/// 64 usage or input error.
+/// The `fuzz` subcommand drives the randomized differential harness
+/// (testing/RandomCpds + testing/DifferentialOracle) instead of a file:
+///
+///   cuba fuzz [--count N] [--seed S] [--max-k K] [--emit-cpds]
+///
+/// The base seed comes from --seed, else the CUBA_FUZZ_SEED environment
+/// variable, else 1; a failure prints the offending seed and the exact
+/// command reproducing it.
+///
+/// Exit codes: 0 safety proved / all fuzz instances agree, 1 bug found
+/// or differential mismatch, 2 resource limit, 64 usage or input error.
 ///
 //===----------------------------------------------------------------------===//
 
 #include <cstdio>
 #include <cstring>
 #include <string>
+
+#include <cstdlib>
 
 #include "bp/AstPrinter.h"
 #include "bp/Parser.h"
@@ -37,6 +48,8 @@
 #include "support/Statistic.h"
 #include "support/StringUtils.h"
 #include "support/Timer.h"
+#include "testing/DifferentialOracle.h"
+#include "testing/RandomCpds.h"
 
 using namespace cuba;
 
@@ -62,7 +75,101 @@ void printUsage() {
       "  --continue-after-bug keep exploring to a convergence bound\n"
       "  --trace              print a concrete interleaving on a bug\n"
       "  --emit-cpds          print the (translated) system and exit\n"
-      "  --stats              dump internal statistics counters\n");
+      "  --stats              dump internal statistics counters\n"
+      "\n"
+      "usage: cuba fuzz [options]     randomized differential testing\n"
+      "  --count N            instances to check (default 200)\n"
+      "  --seed S             base seed (default: $CUBA_FUZZ_SEED, else 1)\n"
+      "  --max-k N            deepest context bound compared (default 4)\n"
+      "  --emit-cpds          print each generated instance\n");
+}
+
+//===----------------------------------------------------------------------===//
+// The fuzz subcommand: generate seeded instances and cross-check every
+// engine on each one.
+//===----------------------------------------------------------------------===//
+
+int runFuzz(int Argc, char **Argv) {
+  uint64_t Count = 200;
+  uint64_t BaseSeed = 1;
+  bool SeedWasSet = false;
+  bool EmitCpds = false;
+  testing::OracleOptions Oracle;
+  Oracle.MaxK = 4;
+  // No wall-clock cutoff: whether a mismatch is reached must depend only
+  // on the seed, never on machine speed (the step budget bounds runtime).
+  Oracle.Limits = ResourceLimits{10'000, 1'000'000, 8, 0};
+  if (const char *Env = std::getenv("CUBA_FUZZ_SEED")) {
+    if (auto V = parseUnsigned(Env)) {
+      BaseSeed = *V;
+      SeedWasSet = true;
+    } else {
+      std::fprintf(stderr, "cuba fuzz: ignoring malformed CUBA_FUZZ_SEED"
+                           " '%s'\n",
+                   Env);
+    }
+  }
+  for (int I = 2; I < Argc; ++I) {
+    std::string_view Arg = Argv[I];
+    auto NumArg = [&](uint64_t &Out) {
+      if (I + 1 >= Argc)
+        return false;
+      auto V = parseUnsigned(Argv[++I]);
+      if (!V)
+        return false;
+      Out = *V;
+      return true;
+    };
+    uint64_t N = 0;
+    if (Arg == "--count" && NumArg(N)) {
+      Count = N;
+    } else if (Arg == "--seed" && NumArg(N)) {
+      BaseSeed = N;
+      SeedWasSet = true;
+    } else if (Arg == "--max-k" && NumArg(N)) {
+      Oracle.MaxK = static_cast<unsigned>(N);
+    } else if (Arg == "--emit-cpds") {
+      EmitCpds = true;
+    } else {
+      printUsage();
+      return 64;
+    }
+  }
+
+  std::printf("fuzz: %llu instance(s) from base seed %llu%s\n",
+              static_cast<unsigned long long>(Count),
+              static_cast<unsigned long long>(BaseSeed),
+              SeedWasSet ? "" : " (set --seed or CUBA_FUZZ_SEED to vary)");
+  uint64_t Exhausted = 0;
+  for (uint64_t I = 0; I < Count; ++I) {
+    // Seeds wrap modulo 2^64 so a base near UINT64_MAX still runs the
+    // requested number of instances.
+    uint64_t Seed = BaseSeed + I;
+    CpdsFile File =
+        testing::generateRandomCpds(Seed, testing::cornerShapeOptions(Seed));
+    if (EmitCpds) {
+      std::printf("# seed %llu\n%s\n",
+                  static_cast<unsigned long long>(Seed),
+                  printCpds(File).c_str());
+    }
+    testing::OracleReport Rep = testing::runDifferentialOracle(File, Oracle);
+    Exhausted += Rep.ExplicitExhausted || Rep.SymbolicExhausted;
+    if (!Rep.ok()) {
+      std::fprintf(stderr,
+                   "fuzz: MISMATCH at seed %llu\n%s\n"
+                   "instance:\n%s\n"
+                   "reproduce: CUBA_FUZZ_SEED=%llu cuba fuzz --count 1"
+                   " --max-k %u\n",
+                   static_cast<unsigned long long>(Seed), Rep.str().c_str(),
+                   printCpds(File).c_str(),
+                   static_cast<unsigned long long>(Seed), Oracle.MaxK);
+      return 1;
+    }
+  }
+  std::printf("fuzz: all %llu instance(s) agree (%llu budget-truncated)\n",
+              static_cast<unsigned long long>(Count),
+              static_cast<unsigned long long>(Exhausted));
+  return 0;
 }
 
 bool parseArgs(int Argc, char **Argv, CliOptions &Cli) {
@@ -148,6 +255,9 @@ ErrorOr<CpdsFile> loadInput(const std::string &Path) {
 } // namespace
 
 int main(int Argc, char **Argv) {
+  if (Argc > 1 && std::string_view(Argv[1]) == "fuzz")
+    return runFuzz(Argc, Argv);
+
   CliOptions Cli;
   if (!parseArgs(Argc, Argv, Cli)) {
     printUsage();
