@@ -15,9 +15,7 @@
 #include <benchmark/benchmark.h>
 
 #include "bdd/BddSet.h"
-#include "core/CbaEngine.h"
 #include "fa/Dfa.h"
-#include "models/Models.h"
 #include "psa/PostStar.h"
 #include "support/Unreachable.h"
 
@@ -79,19 +77,6 @@ void BM_DeterminizeCanonicalize(benchmark::State &State) {
   }
 }
 BENCHMARK(BM_DeterminizeCanonicalize)->Arg(8)->Arg(16)->Arg(24);
-
-void BM_ExplicitRounds(benchmark::State &State) {
-  CpdsFile F = models::buildBluetooth(3, 1, 1);
-  unsigned K = static_cast<unsigned>(State.range(0));
-  for (auto _ : State) {
-    CbaEngine E(F.System, ResourceLimits::unlimited());
-    for (unsigned I = 0; I < K; ++I)
-      if (E.advance() != CbaEngine::RoundStatus::Ok)
-        break;
-    benchmark::DoNotOptimize(E.reachedSize());
-  }
-}
-BENCHMARK(BM_ExplicitRounds)->Arg(4)->Arg(8)->Arg(12);
 
 void BM_BddSetInsert(benchmark::State &State) {
   unsigned Width = 16;

@@ -8,80 +8,86 @@
 #include "core/CbaEngine.h"
 
 #include <algorithm>
-#include <deque>
-#include <unordered_set>
 
 #include "support/Statistic.h"
 
 using namespace cuba;
 
 CbaEngine::CbaEngine(const Cpds &C, const ResourceLimits &Limits)
-    : C(C), Limits(Limits) {
+    : C(C), Limits(Limits), VisibleSeen(C) {
   assert(C.frozen() && "CbaEngine requires a frozen CPDS");
-  GlobalState Init = C.initialState();
-  addState(Init, 0, UINT32_MAX, 0, 0);
-  Frontier.push_back(std::move(Init));
+  TopsBuf.resize(C.numThreads());
+  PackedGlobalState Init = packState(C.initialState(), Store);
+  auto [Slot, New] = Index.tryEmplace(Init, 0);
+  (void)Slot;
+  assert(New && "fresh index already holds the initial state");
+  (void)New;
+  appendState(std::move(Init), 0, UINT32_MAX, 0, 0);
+  this->Limits.chargeState();
+  Frontier.push_back(0);
 }
 
-bool CbaEngine::addState(const GlobalState &S, unsigned Round,
-                         uint32_t Parent, unsigned Thread,
-                         uint32_t ActionIdx) {
-  StateInfo Info;
-  Info.Id = static_cast<uint32_t>(StateById.size());
-  Info.Round = Round;
-  Info.Parent = Parent;
-  Info.Thread = Thread;
-  Info.ActionIdx = ActionIdx;
-  auto [It, New] = Reached.emplace(S, Info);
-  assert(New && "addState() requires a fresh state");
-  (void)New;
-  StateById.push_back(&It->first);
-  VisibleState V = project(S);
-  VisibleSeen.emplace(V, Round); // Keeps the earliest round if present.
-  return Limits.chargeState();
+uint32_t CbaEngine::appendState(PackedGlobalState &&S, unsigned Round,
+                                uint32_t Parent, unsigned Thread,
+                                uint32_t ActionIdx) {
+  uint32_t Id = static_cast<uint32_t>(States.size());
+  for (unsigned I = 0; I < TopsBuf.size(); ++I)
+    TopsBuf[I] = Store.topOf(S.Stacks[I]);
+  VisibleSeen.insertTops(S.Q, TopsBuf.data(), Round);
+  States.push_back(std::move(S));
+  Info.push_back({Round, Parent, Thread, ActionIdx});
+  LocalMark.push_back(0);
+  return Id;
 }
 
 CbaEngine::RoundStatus
-CbaEngine::closeUnderThread(unsigned I, const std::vector<GlobalState> &Seeds,
-                            std::vector<GlobalState> &NewFrontier) {
-  // Merged BFS over thread-I steps from all expansion seeds.  A local
-  // visited set (rather than pruning against R alone) is what makes the
-  // frontier optimisation exact: a state first added this round by a
-  // different thread's closure must still be traversed here if it also
-  // lies inside a thread-I closure of a frontier state.
-  std::unordered_set<GlobalState, GlobalStateHash> Local;
-  std::deque<GlobalState> Queue;
-  for (const GlobalState &S : Seeds) {
-    Local.insert(S);
-    Queue.push_back(S);
+CbaEngine::closeUnderThread(unsigned I, const std::vector<uint32_t> &Seeds,
+                            std::vector<uint32_t> &NewFrontier) {
+  // Merged BFS over thread-I steps from all expansion seeds.  The local
+  // visited set (epoch stamps on the dense ids, rather than pruning
+  // against R alone) is what makes the frontier optimisation exact: a
+  // state first added this round by a different thread's closure must
+  // still be traversed here if it also lies inside a thread-I closure of
+  // a frontier state.
+  ++Epoch;
+  QueueBuf.clear();
+  for (uint32_t Id : Seeds) {
+    LocalMark[Id] = Epoch;
+    QueueBuf.push_back(Id);
   }
 
-  std::vector<std::pair<GlobalState, uint32_t>> Succs;
-  while (!Queue.empty()) {
-    GlobalState S = std::move(Queue.front());
-    Queue.pop_front();
-    uint32_t ParentId = Reached.find(S)->second.Id;
-    Succs.clear();
-    C.threadSuccessorsWithActions(S, I, Succs);
-    if (!Limits.chargeStep(Succs.size() + 1))
+  for (size_t Head = 0; Head < QueueBuf.size(); ++Head) {
+    uint32_t Id = QueueBuf[Head];
+    // By value: the arena may grow (and move) while successors are added.
+    PackedGlobalState S = States[Id];
+    SuccsBuf.clear();
+    C.threadSuccessorsInterned(S, I, Store, SuccsBuf);
+    if (!Limits.chargeStep(SuccsBuf.size() + 1))
       return RoundStatus::Exhausted;
-    for (auto &[V, ActionIdx] : Succs) {
-      if (!Local.insert(V).second)
-        continue;
-      auto It = Reached.find(V);
-      if (It == Reached.end()) {
+    for (auto &[V, ActionIdx] : SuccsBuf) {
+      auto [Slot, New] =
+          Index.tryEmplace(V, static_cast<uint32_t>(States.size()));
+      if (New) {
         // Genuinely new: first reached with Bound+1 contexts.
-        if (!addState(V, Bound + 1, ParentId, I, ActionIdx))
+        uint32_t NewId =
+            appendState(std::move(V), Bound + 1, Id, I, ActionIdx);
+        LocalMark[NewId] = Epoch;
+        NewFrontier.push_back(NewId);
+        QueueBuf.push_back(NewId);
+        if (!Limits.chargeState())
           return RoundStatus::Exhausted;
-        NewFrontier.push_back(V);
-        Queue.push_back(std::move(V));
-      } else if (It->second.Round > Bound) {
-        // Added earlier this round by another thread's closure; continue
-        // through it, but it is already stored.
-        Queue.push_back(std::move(V));
+        continue;
       }
-      // Otherwise V is an older state: its thread-I closure was fully
-      // expanded in the round after its discovery, so prune here.
+      uint32_t SeenId = *Slot;
+      if (LocalMark[SeenId] == Epoch)
+        continue;
+      LocalMark[SeenId] = Epoch;
+      // Added earlier this round by another thread's closure: continue
+      // through it, though it is already stored.  Older states prune:
+      // their thread-I closure was fully expanded in the round after
+      // their discovery.
+      if (Info[SeenId].Round > Bound)
+        QueueBuf.push_back(SeenId);
     }
   }
   return RoundStatus::Ok;
@@ -92,15 +98,15 @@ CbaEngine::RoundStatus CbaEngine::advance() {
   // Seeds are snapshotted before the round: states discovered during
   // this round must not become seeds of a later thread's closure, or
   // the round would mix multiple context switches.
-  std::vector<GlobalState> Seeds;
+  std::vector<uint32_t> Seeds;
   if (ExpandAll) {
-    Seeds.reserve(Reached.size());
-    for (const auto &[S, Info] : Reached)
-      Seeds.push_back(S);
+    Seeds.resize(States.size());
+    for (uint32_t Id = 0; Id < Seeds.size(); ++Id)
+      Seeds[Id] = Id;
   } else {
     Seeds = Frontier;
   }
-  std::vector<GlobalState> NewFrontier;
+  std::vector<uint32_t> NewFrontier;
   for (unsigned I = 0; I < C.numThreads(); ++I)
     if (closeUnderThread(I, Seeds, NewFrontier) == RoundStatus::Exhausted)
       return RoundStatus::Exhausted;
@@ -109,48 +115,61 @@ CbaEngine::RoundStatus CbaEngine::advance() {
   return RoundStatus::Ok;
 }
 
-std::vector<VisibleState> CbaEngine::newVisibleThisRound() const {
-  std::vector<VisibleState> New;
-  for (const auto &[V, Round] : VisibleSeen)
-    if (Round == Bound)
-      New.push_back(V);
-  return New;
+std::vector<GlobalState> CbaEngine::frontier() const {
+  std::vector<GlobalState> Out;
+  Out.reserve(Frontier.size());
+  for (uint32_t Id : Frontier)
+    Out.push_back(unpackState(States[Id], Store));
+  return Out;
+}
+
+bool CbaEngine::stateReached(const GlobalState &S) const {
+  PackedGlobalState P;
+  P.Q = S.Q;
+  for (const Stack &W : S.Stacks) {
+    StackId Id;
+    if (!Store.findInterned(W, Id))
+      return false; // A never-interned stack cannot be part of any state.
+    P.Stacks.push_back(Id);
+  }
+  return Index.contains(P);
 }
 
 std::vector<TraceStep>
 CbaEngine::traceToVisible(const VisibleState &V) const {
-  // Find the earliest-discovered state projecting to V.
-  const StateInfo *Best = nullptr;
-  const GlobalState *BestState = nullptr;
-  for (const auto &[S, Info] : Reached) {
-    if (project(S) != V)
+  // Find the earliest-discovered state projecting to V; ids are ordered
+  // by discovery, so the first match wins.
+  uint32_t Best = UINT32_MAX;
+  for (uint32_t Id = 0; Id < States.size(); ++Id) {
+    const PackedGlobalState &S = States[Id];
+    if (S.Q != V.Q)
       continue;
-    if (!Best || Info.Round < Best->Round ||
-        (Info.Round == Best->Round && Info.Id < Best->Id)) {
-      Best = &Info;
-      BestState = &S;
-    }
+    bool Match = true;
+    for (unsigned I = 0; I < S.Stacks.size() && Match; ++I)
+      Match = Store.topOf(S.Stacks[I]) == V.Tops[I];
+    if (!Match)
+      continue;
+    if (Best == UINT32_MAX || Info[Id].Round < Info[Best].Round)
+      Best = Id;
   }
-  if (!Best)
+  if (Best == UINT32_MAX)
     return {};
 
   // Walk the first-discovery parent chain back to the initial state.
   std::vector<TraceStep> Trace;
-  const StateInfo *Cur = Best;
-  const GlobalState *CurState = BestState;
-  while (true) {
+  for (uint32_t Cur = Best;;) {
     TraceStep Step;
-    Step.State = *CurState;
-    if (Cur->Parent == UINT32_MAX) {
+    Step.State = unpackState(States[Cur], Store);
+    const StateInfo &I = Info[Cur];
+    if (I.Parent == UINT32_MAX) {
       Trace.push_back(std::move(Step)); // The initial state, no label.
       break;
     }
-    Step.Thread = Cur->Thread;
-    const Action &A = C.thread(Cur->Thread).actions()[Cur->ActionIdx];
+    Step.Thread = I.Thread;
+    const Action &A = C.thread(I.Thread).actions()[I.ActionIdx];
     Step.Label = A.Label.empty() ? "step" : A.Label;
     Trace.push_back(std::move(Step));
-    CurState = StateById[Cur->Parent];
-    Cur = &Reached.find(*CurState)->second;
+    Cur = I.Parent;
   }
   std::reverse(Trace.begin(), Trace.end());
   return Trace;

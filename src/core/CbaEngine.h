@@ -22,6 +22,14 @@
 /// closure can diverge, which the resource budget turns into an
 /// "exhausted" result.
 ///
+/// Data plane: states live in a dense arena of PackedGlobalState (one
+/// interned 32-bit stack id per thread, see pds/StackStore.h) and are
+/// deduplicated through a flat open-addressing index, so deriving,
+/// hashing and storing a successor costs O(threads) words rather than a
+/// deep copy of every stack.  Per-closure visited sets are epoch stamps
+/// on the dense state ids -- no per-round hashing at all.  T(R_k) is
+/// kept packed in single words (pds/VisibleSet.h).
+///
 /// Frontier optimisation: only states first reached in round k are
 /// expanded in round k+1; closures of older states were already expanded
 /// in their discovery round (their closure is idempotent and monotone),
@@ -33,11 +41,12 @@
 #ifndef CUBA_CORE_CBAENGINE_H
 #define CUBA_CORE_CBAENGINE_H
 
-#include <map>
-#include <unordered_map>
 #include <vector>
 
 #include "pds/Cpds.h"
+#include "pds/StackStore.h"
+#include "pds/VisibleSet.h"
+#include "support/FlatHash.h"
 #include "support/Limits.h"
 
 namespace cuba {
@@ -67,34 +76,34 @@ public:
   RoundStatus advance();
 
   /// |R_k| for the current bound.
-  size_t reachedSize() const { return Reached.size(); }
+  size_t reachedSize() const { return States.size(); }
 
   /// |T(R_k)| for the current bound.
   size_t visibleSize() const { return VisibleSeen.size(); }
 
   /// The frontier R_k \ R_{k-1}: states first reached in the current
-  /// round (the initial state for k = 0).
-  const std::vector<GlobalState> &frontier() const { return Frontier; }
+  /// round (the initial state for k = 0), materialised from the arena.
+  std::vector<GlobalState> frontier() const;
 
   /// Visible states first reached in the current round, sorted (the
   /// T(R_k) \ T(R_{k-1}) column of Fig. 1).
-  std::vector<VisibleState> newVisibleThisRound() const;
+  std::vector<VisibleState> newVisibleThisRound() const {
+    return VisibleSeen.statesInRound(Bound);
+  }
 
   /// All reachable visible states so far with the round each was first
-  /// seen in; iteration order is the VisibleState ordering.
-  const std::map<VisibleState, unsigned> &visibleFirstSeen() const {
-    return VisibleSeen;
+  /// seen in, sorted by the VisibleState ordering.
+  std::vector<std::pair<VisibleState, unsigned>> visibleFirstSeen() const {
+    return VisibleSeen.sortedEntries();
   }
 
   /// True when \p V has been reached within the current bound.
   bool visibleReached(const VisibleState &V) const {
-    return VisibleSeen.count(V) != 0;
+    return VisibleSeen.contains(V);
   }
 
   /// True when \p S has been reached within the current bound.
-  bool stateReached(const GlobalState &S) const {
-    return Reached.count(S) != 0;
-  }
+  bool stateReached(const GlobalState &S) const;
 
   /// When true, every known state is re-expanded each round instead of
   /// only the frontier (the ablation baseline; results are identical).
@@ -110,39 +119,52 @@ public:
   std::vector<TraceStep> traceToVisible(const VisibleState &V) const;
 
 private:
-  /// Discovery metadata per stored state: round, BFS parent and the
-  /// (thread, action) edge that first reached it.
+  /// Discovery metadata per stored state, indexed by the dense state id:
+  /// round (drives the frontier pruning rule), BFS parent and the
+  /// (thread, action) edge that first reached it (drive traces).
   struct StateInfo {
-    uint32_t Id = 0;
     unsigned Round = 0;
     uint32_t Parent = UINT32_MAX; // Id of the predecessor state.
     unsigned Thread = 0;
     uint32_t ActionIdx = 0;
   };
 
-  RoundStatus closeUnderThread(unsigned I,
-                               const std::vector<GlobalState> &Seeds,
-                               std::vector<GlobalState> &NewFrontier);
+  RoundStatus closeUnderThread(unsigned I, const std::vector<uint32_t> &Seeds,
+                               std::vector<uint32_t> &NewFrontier);
 
-  /// Inserts \p S into R if new; records visibility; returns true if
-  /// the budget allows continuing.
-  bool addState(const GlobalState &S, unsigned Round, uint32_t Parent,
-                unsigned Thread, uint32_t ActionIdx);
+  /// Stores the (fresh) state \p S with the given discovery metadata and
+  /// records its visible projection; returns its new id.  The caller has
+  /// already claimed the index slot.
+  uint32_t appendState(PackedGlobalState &&S, unsigned Round, uint32_t Parent,
+                       unsigned Thread, uint32_t ActionIdx);
 
   const Cpds &C;
   LimitTracker Limits;
   unsigned Bound = 0;
   bool ExpandAll = false;
 
-  /// R_k with discovery metadata (rounds drive the frontier pruning
-  /// rule; parent edges drive trace reconstruction).
-  std::unordered_map<GlobalState, StateInfo, GlobalStateHash> Reached;
-  /// Id -> map entry, for walking parent chains (map pointers are
-  /// stable under rehashing).
-  std::vector<const GlobalState *> StateById;
-  std::vector<GlobalState> Frontier;
-  /// T(R_k) with first-seen rounds; ordered for deterministic output.
-  std::map<VisibleState, unsigned> VisibleSeen;
+  /// The interning arena all stack ids below refer to.
+  StackStore Store;
+  /// R_k as a dense arena: state id -> interned state / metadata.
+  std::vector<PackedGlobalState> States;
+  std::vector<StateInfo> Info;
+  /// state -> id dedup index.
+  FlatMap<PackedGlobalState, uint32_t, PackedGlobalStateHash> Index;
+  /// Ids of the states first reached in the current round.
+  std::vector<uint32_t> Frontier;
+  /// T(R_k) with first-seen rounds, packed.
+  VisibleRoundSet VisibleSeen;
+
+  /// Per-closure visited stamps: LocalMark[id] == Epoch iff id was
+  /// traversed by the closure currently running (the merged-BFS local
+  /// set that makes the frontier optimisation exact).
+  std::vector<uint32_t> LocalMark;
+  uint32_t Epoch = 0;
+
+  /// Scratch buffers reused across rounds.
+  std::vector<std::pair<PackedGlobalState, uint32_t>> SuccsBuf;
+  std::vector<uint32_t> QueueBuf;
+  std::vector<Sym> TopsBuf;
 };
 
 } // namespace cuba

@@ -7,27 +7,21 @@
 
 #include "core/Generators.h"
 
-#include <algorithm>
-
 using namespace cuba;
 
-bool GeneratorSet::contains(const VisibleState &V) const {
-  for (unsigned I = 0; I < C.numThreads(); ++I) {
+GeneratorSet::GeneratorSet(const Cpds &C) : NumThreads(C.numThreads()) {
+  assert(C.frozen() && "GeneratorSet requires a frozen CPDS");
+  PopTargetFlag.resize(NumThreads);
+  EmergingFlag.resize(NumThreads);
+  for (unsigned I = 0; I < NumThreads; ++I) {
     const Pds &P = C.thread(I);
-    // (q, eps) must be the target of a pop edge of Delta_i ...
-    const std::vector<QState> &Pops = P.popTargets();
-    if (!std::binary_search(Pops.begin(), Pops.end(), V.Q))
-      continue;
-    // ... and s_i is eps or a symbol some push writes underneath its new
-    // top (the emerging candidates E of Alg. 2).
-    Sym S = V.Tops[I];
-    if (S == EpsSym)
-      return true;
-    const std::vector<Sym> &E = P.emergingSymbols();
-    if (std::binary_search(E.begin(), E.end(), S))
-      return true;
+    PopTargetFlag[I].assign(C.numSharedStates(), 0);
+    for (QState Q : P.popTargets())
+      PopTargetFlag[I][Q] = 1;
+    EmergingFlag[I].assign(P.numSymbols() + 1, 0);
+    for (Sym S : P.emergingSymbols())
+      EmergingFlag[I][S] = 1;
   }
-  return false;
 }
 
 std::vector<VisibleState>

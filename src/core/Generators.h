@@ -29,15 +29,29 @@
 
 namespace cuba {
 
-/// Membership oracle for the generator set G of a CPDS.
+/// Membership oracle for the generator set G of a CPDS.  The per-thread
+/// pop-target and emerging-symbol sets are precomputed into dense flag
+/// arrays, so one membership query is O(threads) array loads (the
+/// oracle filters every state of Z and runs inside Alg. 3's plateau
+/// test).
 class GeneratorSet {
 public:
-  explicit GeneratorSet(const Cpds &C) : C(C) {
-    assert(C.frozen() && "GeneratorSet requires a frozen CPDS");
-  }
+  explicit GeneratorSet(const Cpds &C);
 
   /// True iff \p V is a generator (Eq. 2).
-  bool contains(const VisibleState &V) const;
+  bool contains(const VisibleState &V) const {
+    for (unsigned I = 0; I < NumThreads; ++I) {
+      // (q, eps) must be the target of a pop edge of Delta_i ...
+      if (!PopTargetFlag[I][V.Q])
+        continue;
+      // ... and s_i is eps or a symbol some push writes underneath its
+      // new top (the emerging candidates E of Alg. 2).
+      Sym S = V.Tops[I];
+      if (S == EpsSym || EmergingFlag[I][S])
+        return true;
+    }
+    return false;
+  }
 
   /// Filters \p Candidates (e.g. the overapproximation Z) down to the
   /// generators among them; the relative order is preserved.
@@ -45,7 +59,10 @@ public:
   intersect(const std::vector<VisibleState> &Candidates) const;
 
 private:
-  const Cpds &C;
+  unsigned NumThreads;
+  /// Per thread: flag per shared state / per stack symbol (incl. eps).
+  std::vector<std::vector<uint8_t>> PopTargetFlag;
+  std::vector<std::vector<uint8_t>> EmergingFlag;
 };
 
 } // namespace cuba

@@ -31,7 +31,7 @@ static CanonicalDfa singleWordLanguage(uint32_t NumSymbols,
 }
 
 SymbolicEngine::SymbolicEngine(const Cpds &C, const ResourceLimits &Limits)
-    : C(C), Limits(Limits), TopsCache(C.numThreads()) {
+    : C(C), Limits(Limits), VisibleSeen(C), TopsCache(C.numThreads()) {
   assert(C.frozen() && "SymbolicEngine requires a frozen CPDS");
   for (unsigned I = 0; I < C.numThreads(); ++I)
     Bottomed.push_back(
@@ -97,7 +97,7 @@ void SymbolicEngine::recordVisible(const SymbolicState &S, unsigned Round) {
   while (true) {
     for (unsigned I = 0; I < N; ++I)
       V.Tops[I] = (*Sets[I])[Idx[I]];
-    VisibleSeen.emplace(V, Round);
+    VisibleSeen.insert(V, Round);
     unsigned I = 0;
     while (I < N && ++Idx[I] == Sets[I]->size()) {
       Idx[I] = 0;
@@ -131,6 +131,7 @@ SymbolicEngine::addState(SymbolicState S, unsigned Round, uint32_t Producer,
 static PAutomaton rootedInput(uint32_t NumShared, const CanonicalDfa &D,
                               QState Root) {
   PAutomaton A(NumShared, D.NumSymbols);
+  A.nfa().reserveStates(NumShared + D.numStates());
   assert(D.Start != CanonicalDfa::NoState && "empty language row");
   std::vector<uint32_t> Map(D.numStates());
   for (uint32_t U = 0; U < D.numStates(); ++U)
@@ -200,12 +201,4 @@ SymbolicEngine::RoundStatus SymbolicEngine::advance() {
   ++Bound;
   Frontier = std::move(NewFrontier);
   return RoundStatus::Ok;
-}
-
-std::vector<VisibleState> SymbolicEngine::newVisibleThisRound() const {
-  std::vector<VisibleState> New;
-  for (const auto &[V, Round] : VisibleSeen)
-    if (Round == Bound)
-      New.push_back(V);
-  return New;
 }

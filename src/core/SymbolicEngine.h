@@ -32,12 +32,12 @@
 #ifndef CUBA_CORE_SYMBOLICENGINE_H
 #define CUBA_CORE_SYMBOLICENGINE_H
 
-#include <map>
 #include <unordered_map>
 #include <vector>
 
 #include "fa/Dfa.h"
 #include "pds/Cpds.h"
+#include "pds/VisibleSet.h"
 #include "psa/BottomTransform.h"
 #include "support/Limits.h"
 
@@ -87,14 +87,18 @@ public:
   bool frontierEmpty() const { return Frontier.empty() && Bound > 0; }
 
   /// Visible states first reached in the current round, sorted.
-  std::vector<VisibleState> newVisibleThisRound() const;
-
-  bool visibleReached(const VisibleState &V) const {
-    return VisibleSeen.count(V) != 0;
+  std::vector<VisibleState> newVisibleThisRound() const {
+    return VisibleSeen.statesInRound(Bound);
   }
 
-  const std::map<VisibleState, unsigned> &visibleFirstSeen() const {
-    return VisibleSeen;
+  bool visibleReached(const VisibleState &V) const {
+    return VisibleSeen.contains(V);
+  }
+
+  /// All reachable visible states with first-seen rounds, sorted by the
+  /// VisibleState ordering.
+  std::vector<std::pair<VisibleState, unsigned>> visibleFirstSeen() const {
+    return VisibleSeen.sortedEntries();
   }
 
   const LimitTracker &limits() const { return Limits; }
@@ -132,7 +136,7 @@ private:
   /// their producer mask.
   std::unordered_map<SymbolicState, uint32_t, SymbolicStateHash> States;
   std::vector<SymbolicState> Frontier;
-  std::map<VisibleState, unsigned> VisibleSeen;
+  VisibleRoundSet VisibleSeen;
 
   /// Top-set cache, keyed per thread by canonical language.
   std::vector<std::unordered_map<CanonicalDfa, std::vector<Sym>,

@@ -8,32 +8,44 @@
 #include "core/ZOverapprox.h"
 
 #include <algorithm>
-#include <deque>
 #include <unordered_set>
+
+#include "pds/VisibleSet.h"
+#include "support/FlatHash.h"
 
 using namespace cuba;
 
 std::vector<VisibleState> cuba::computeZ(const Cpds &C,
                                          LimitTracker *Limits) {
   assert(C.frozen() && "computeZ requires a frozen CPDS");
-  VisibleState Init = project(C.initialState());
+  VisiblePacker Packer(C);
 
-  std::unordered_set<VisibleState, VisibleStateHash> Seen;
-  std::deque<VisibleState> Queue;
-  Seen.insert(Init);
+  // Exploration accumulates into Queue (every state enters it exactly
+  // once, so it doubles as the result buffer); membership is a packed
+  // flat set when the CPDS's visible states fit in one word, falling
+  // back to a node-based set for very wide systems.
+  FlatSet<uint64_t> PackedSeen;
+  std::unordered_set<VisibleState, VisibleStateHash> WideSeen;
+  auto FirstVisit = [&](const VisibleState &V) {
+    return Packer.packable() ? PackedSeen.insert(Packer.pack(V))
+                             : WideSeen.insert(V).second;
+  };
+
+  std::vector<VisibleState> Queue;
+  VisibleState Init = project(C.initialState());
+  FirstVisit(Init);
   Queue.push_back(std::move(Init));
 
   std::vector<VisibleState> Succs;
-  while (!Queue.empty()) {
-    VisibleState V = std::move(Queue.front());
-    Queue.pop_front();
+  for (size_t Head = 0; Head < Queue.size(); ++Head) {
     for (unsigned I = 0; I < C.numThreads(); ++I) {
       Succs.clear();
-      C.abstractSuccessors(V, I, Succs);
+      // Queue may grow (and move) below; index per iteration.
+      C.abstractSuccessors(Queue[Head], I, Succs);
       if (Limits && !Limits->chargeStep(Succs.size() + 1))
         return {}; // Budget exhausted: no usable overapproximation.
       for (VisibleState &S : Succs) {
-        if (!Seen.insert(S).second)
+        if (!FirstVisit(S))
           continue;
         if (Limits && !Limits->chargeState())
           return {};
@@ -42,7 +54,6 @@ std::vector<VisibleState> cuba::computeZ(const Cpds &C,
     }
   }
 
-  std::vector<VisibleState> Z(Seen.begin(), Seen.end());
-  std::sort(Z.begin(), Z.end());
-  return Z;
+  std::sort(Queue.begin(), Queue.end());
+  return Queue;
 }

@@ -45,6 +45,15 @@ public:
     return static_cast<uint32_t>(Adj.size() - 1);
   }
 
+  /// Pre-allocates the per-state bookkeeping for \p N total states
+  /// (callers that know the final state count up front, e.g. the PSA
+  /// constructors, avoid the incremental regrowth).
+  void reserveStates(uint32_t N) {
+    Adj.reserve(N);
+    Accepting.reserve(N);
+    Initial.reserve(N);
+  }
+
   uint32_t numStates() const { return static_cast<uint32_t>(Adj.size()); }
   uint32_t numSymbols() const { return NumSymbols; }
 

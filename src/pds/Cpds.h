@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "pds/Pds.h"
+#include "pds/StackStore.h"
 #include "pds/State.h"
 #include "support/ErrorOr.h"
 #include "support/SymbolTable.h"
@@ -103,6 +104,14 @@ public:
   void threadSuccessorsWithActions(
       const GlobalState &S, unsigned I,
       std::vector<std::pair<GlobalState, uint32_t>> &Out) const;
+
+  /// The interned counterpart of threadSuccessorsWithActions: stacks are
+  /// StackStore ids, so each successor is derived with O(1) stack work
+  /// (a pop is a field load; pushes share the untouched suffix) instead
+  /// of a deep copy of every thread's stack.
+  void threadSuccessorsInterned(
+      const PackedGlobalState &S, unsigned I, StackStore &Store,
+      std::vector<std::pair<PackedGlobalState, uint32_t>> &Out) const;
 
   /// Appends to \p Out every visible state reachable from visible state
   /// \p V by one thread-\p I action under the stack-of-size-<=1 cutoff of

@@ -55,12 +55,19 @@ ErrorOr<void> Pds::freeze(uint32_t NumSharedStates) {
                    "': empty-stack action must write at most one symbol");
   }
 
+  // Two passes: count per-source fan-out first, so every bucket is
+  // allocated exactly once at its final size.
   BySource.assign(static_cast<size_t>(NumSharedStates) * (NumSyms + 1), {});
-  for (uint32_t I = 0; I < Delta.size(); ++I) {
-    const Action &A = Delta[I];
-    size_t Key = static_cast<size_t>(A.SrcQ) * (NumSyms + 1) + A.SrcSym;
-    BySource[Key].push_back(I);
-  }
+  std::vector<uint32_t> Fanout(BySource.size(), 0);
+  auto SourceKey = [NumSyms](const Action &A) {
+    return static_cast<size_t>(A.SrcQ) * (NumSyms + 1) + A.SrcSym;
+  };
+  for (const Action &A : Delta)
+    ++Fanout[SourceKey(A)];
+  for (size_t Key = 0; Key < BySource.size(); ++Key)
+    BySource[Key].reserve(Fanout[Key]);
+  for (uint32_t I = 0; I < Delta.size(); ++I)
+    BySource[SourceKey(Delta[I])].push_back(I);
 
   // Build-then-query sorted vectors for the syntactic sets used by the
   // generator test (Eq. 2) and the Z overapproximation (Alg. 2).

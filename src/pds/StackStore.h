@@ -1,0 +1,139 @@
+//===-- pds/StackStore.h - Hash-consed prefix-sharing stacks ----*- C++ -*-===//
+//
+// Part of the CUBA project, an implementation of the PLDI 2018 paper
+// "CUBA: Interprocedural Context-UnBounded Analysis of Concurrent Programs".
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An interning arena for thread stacks.  A stack is a 32-bit StackId
+/// naming a (top symbol, rest-of-stack) node; structurally equal stacks
+/// always intern to the same id, so:
+///
+///   - deriving a successor stack (one push / pop / overwrite) is O(1)
+///     and shares the untouched suffix with its parent instead of
+///     deep-copying the whole vector<Sym>;
+///   - the top symbol (the T projection of Eq. 1) is a field load;
+///   - stack equality is id equality, making global-state hashing and
+///     comparison O(threads) instead of O(total stack depth).
+///
+/// Ids are dense and stable: nodes are only ever appended, so ids remain
+/// valid across arena growth.  PackedGlobalState is the interned
+/// counterpart of GlobalState used by the explicit engine's hot loops.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CUBA_PDS_STACKSTORE_H
+#define CUBA_PDS_STACKSTORE_H
+
+#include "pds/State.h"
+#include "support/FlatHash.h"
+#include "support/SmallVec.h"
+
+namespace cuba {
+
+/// Interned stack handle.  EmptyStackId names the empty stack.
+using StackId = uint32_t;
+inline constexpr StackId EmptyStackId = 0;
+
+/// The interning arena.  Not thread-safe; each engine owns one.
+class StackStore {
+public:
+  StackStore() {
+    Nodes.push_back({EpsSym, EmptyStackId}); // Slot 0: the empty stack.
+  }
+
+  /// Number of distinct interned stacks, including the empty stack.
+  size_t size() const { return Nodes.size(); }
+
+  /// The stack \p Top pushed onto \p Rest.
+  StackId push(StackId Rest, Sym Top) {
+    assert(Top != EpsSym && "cannot push the empty word");
+    uint64_t Key = (static_cast<uint64_t>(Top) << 32) | Rest;
+    auto [Slot, New] = Intern.tryEmplace(Key, 0);
+    if (New) {
+      *Slot = static_cast<StackId>(Nodes.size());
+      Nodes.push_back({Top, Rest});
+    }
+    return *Slot;
+  }
+
+  /// The stack below the top of \p W.
+  StackId pop(StackId W) const {
+    assert(W != EmptyStackId && "cannot pop the empty stack");
+    return Nodes[W].Rest;
+  }
+
+  /// The top symbol of \p W, or EpsSym for the empty stack (the function
+  /// T of Eq. 1 on one stack).
+  Sym topOf(StackId W) const { return Nodes[W].Top; }
+
+  /// Interns \p W (stored bottom-first, top at back, as in pds/State.h).
+  StackId intern(const Stack &W);
+
+  /// Looks up the id of \p W without creating nodes; returns false when
+  /// \p W (or one of its prefixes) was never interned -- by construction
+  /// no state over it can have been stored either.
+  bool findInterned(const Stack &W, StackId &Id) const;
+
+  /// Rebuilds the explicit bottom-first stack named by \p Id.
+  Stack materialise(StackId Id) const;
+
+  /// Number of symbols on stack \p Id.
+  size_t depth(StackId Id) const;
+
+private:
+  struct Node {
+    Sym Top;
+    StackId Rest;
+  };
+
+  std::vector<Node> Nodes;
+  /// (Top << 32 | Rest) -> node id.
+  FlatMap<uint64_t, StackId> Intern;
+};
+
+/// A global state <q | w1..wn> with interned stacks: the explicit
+/// engine's working representation.  Equality and hashing are O(threads);
+/// all stack ids must come from the same StackStore.
+struct PackedGlobalState {
+  QState Q = 0;
+  SmallVec<StackId, 4> Stacks;
+
+  bool operator==(const PackedGlobalState &Other) const {
+    return Q == Other.Q && Stacks == Other.Stacks;
+  }
+};
+
+struct PackedGlobalStateHash {
+  uint64_t operator()(const PackedGlobalState &S) const {
+    uint64_t H = splitMix64(S.Q);
+    for (StackId Id : S.Stacks)
+      H = hashCombine(H, Id);
+    return H;
+  }
+};
+
+/// Interns every stack of \p S into \p Store.
+inline PackedGlobalState packState(const GlobalState &S, StackStore &Store) {
+  PackedGlobalState P;
+  P.Q = S.Q;
+  for (const Stack &W : S.Stacks)
+    P.Stacks.push_back(Store.intern(W));
+  return P;
+}
+
+/// Rebuilds the explicit GlobalState named by \p P.
+inline GlobalState unpackState(const PackedGlobalState &P,
+                               const StackStore &Store) {
+  GlobalState S;
+  S.Q = P.Q;
+  S.Stacks.reserve(P.Stacks.size());
+  for (StackId Id : P.Stacks)
+    S.Stacks.push_back(Store.materialise(Id));
+  return S;
+}
+
+} // namespace cuba
+
+#endif // CUBA_PDS_STACKSTORE_H

@@ -1,0 +1,80 @@
+//===-- pds/VisibleSet.cpp - Packed visible-state sets --------------------===//
+//
+// Part of the CUBA project, an implementation of the PLDI 2018 paper
+// "CUBA: Interprocedural Context-UnBounded Analysis of Concurrent Programs".
+//
+//===----------------------------------------------------------------------===//
+
+#include "pds/VisibleSet.h"
+
+#include <algorithm>
+#include <bit>
+
+using namespace cuba;
+
+/// Bits needed to store values 0..Max.
+static unsigned bitsFor(uint64_t Max) {
+  return Max == 0 ? 1 : std::bit_width(Max);
+}
+
+VisiblePacker::VisiblePacker(const Cpds &C) {
+  unsigned Total = bitsFor(C.numSharedStates() - 1);
+  for (unsigned I = 0; I < C.numThreads(); ++I) {
+    // Top symbols range over 0 (EpsSym, the empty stack) .. numSymbols().
+    FieldBits.push_back(bitsFor(C.thread(I).numSymbols()));
+    Total += FieldBits.back();
+  }
+  Packable = Total <= 64;
+}
+
+VisibleState VisiblePacker::unpack(uint64_t Bits) const {
+  assert(Packable && "packer misuse");
+  VisibleState V;
+  V.Tops.resize(FieldBits.size());
+  for (size_t I = FieldBits.size(); I-- > 0;) {
+    V.Tops[I] = static_cast<Sym>(Bits & ((1ull << FieldBits[I]) - 1));
+    Bits >>= FieldBits[I];
+  }
+  V.Q = static_cast<QState>(Bits);
+  return V;
+}
+
+std::vector<std::pair<VisibleState, unsigned>>
+VisibleRoundSet::sortedEntries() const {
+  std::vector<std::pair<VisibleState, unsigned>> Out;
+  if (!Packer.packable()) {
+    Out.assign(Fallback.begin(), Fallback.end());
+    return Out;
+  }
+  std::vector<std::pair<uint64_t, unsigned>> Words;
+  Words.reserve(Packed.size());
+  Packed.forEach([&](uint64_t Bits, unsigned Round) {
+    Words.emplace_back(Bits, Round);
+  });
+  std::sort(Words.begin(), Words.end()); // Packed order == state order.
+  Out.reserve(Words.size());
+  for (auto [Bits, Round] : Words)
+    Out.emplace_back(Packer.unpack(Bits), Round);
+  return Out;
+}
+
+std::vector<VisibleState>
+VisibleRoundSet::statesInRound(unsigned Round) const {
+  std::vector<VisibleState> Out;
+  if (!Packer.packable()) {
+    for (const auto &[V, R] : Fallback)
+      if (R == Round)
+        Out.push_back(V);
+    return Out;
+  }
+  std::vector<uint64_t> Words;
+  Packed.forEach([&](uint64_t Bits, unsigned R) {
+    if (R == Round)
+      Words.push_back(Bits);
+  });
+  std::sort(Words.begin(), Words.end()); // Packed order == state order.
+  Out.reserve(Words.size());
+  for (uint64_t Bits : Words)
+    Out.push_back(Packer.unpack(Bits));
+  return Out;
+}

@@ -1,0 +1,121 @@
+//===-- pds/VisibleSet.h - Packed visible-state sets ------------*- C++ -*-===//
+//
+// Part of the CUBA project, an implementation of the PLDI 2018 paper
+// "CUBA: Interprocedural Context-UnBounded Analysis of Concurrent Programs".
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The engines' visible-state sets T(R_k) are keyed millions of times
+/// per run; a VisibleState is a heap-allocated vector per query.  This
+/// header packs visible states <q | s1..sn> into a single uint64_t
+/// whenever the CPDS's field widths fit (they essentially always do:
+/// seven 8-bit threads plus a shared state already fit), and stores them
+/// in flat open-addressing tables.  The packing is order-preserving --
+/// the shared state occupies the most significant field, then the tops
+/// in thread order -- so sorting packed words reproduces the exact
+/// VisibleState ordering the round-difference APIs promise.  Systems too
+/// wide to pack fall back to the ordered-map representation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CUBA_PDS_VISIBLESET_H
+#define CUBA_PDS_VISIBLESET_H
+
+#include <map>
+#include <vector>
+
+#include "pds/Cpds.h"
+#include "support/FlatHash.h"
+
+namespace cuba {
+
+/// Order-preserving bit layout for one CPDS's visible states.
+class VisiblePacker {
+public:
+  explicit VisiblePacker(const Cpds &C);
+
+  /// True when every visible state of the CPDS fits in one uint64_t.
+  bool packable() const { return Packable; }
+
+  unsigned numThreads() const {
+    return static_cast<unsigned>(FieldBits.size());
+  }
+
+  /// Packs <Q | Tops[0..N)>; requires packable() and N == numThreads().
+  uint64_t pack(QState Q, const Sym *Tops, size_t N) const {
+    assert(Packable && N == FieldBits.size() && "packer misuse");
+    uint64_t Bits = Q;
+    for (size_t I = 0; I < N; ++I)
+      Bits = (Bits << FieldBits[I]) | Tops[I];
+    return Bits;
+  }
+
+  uint64_t pack(const VisibleState &V) const {
+    return pack(V.Q, V.Tops.data(), V.Tops.size());
+  }
+
+  VisibleState unpack(uint64_t Bits) const;
+
+private:
+  bool Packable = false;
+  std::vector<unsigned> FieldBits; // Per-thread top width; Q gets the rest.
+};
+
+/// The set T(R_k) with the round each visible state was first seen in.
+/// Insertions keep the earliest round (rounds are visited in order by
+/// the engines, but re-insertions happen within a round).
+class VisibleRoundSet {
+public:
+  explicit VisibleRoundSet(const Cpds &C)
+      : Packer(C), NumThreads(Packer.numThreads()) {}
+
+  size_t size() const {
+    return Packer.packable() ? Packed.size() : Fallback.size();
+  }
+
+  void reserve(size_t N) {
+    if (Packer.packable())
+      Packed.reserve(N);
+  }
+
+  /// Fast path: record <Q | Tops[0..NumThreads)> at \p Round if absent.
+  void insertTops(QState Q, const Sym *Tops, unsigned Round) {
+    if (Packer.packable()) {
+      Packed.tryEmplace(Packer.pack(Q, Tops, NumThreads), Round);
+      return;
+    }
+    VisibleState V;
+    V.Q = Q;
+    V.Tops.assign(Tops, Tops + NumThreads);
+    Fallback.emplace(std::move(V), Round);
+  }
+
+  void insert(const VisibleState &V, unsigned Round) {
+    if (Packer.packable())
+      Packed.tryEmplace(Packer.pack(V), Round);
+    else
+      Fallback.emplace(V, Round);
+  }
+
+  bool contains(const VisibleState &V) const {
+    return Packer.packable() ? Packed.contains(Packer.pack(V))
+                             : Fallback.count(V) != 0;
+  }
+
+  /// All entries sorted by VisibleState order (the packing preserves it).
+  std::vector<std::pair<VisibleState, unsigned>> sortedEntries() const;
+
+  /// The visible states first seen in \p Round, sorted.
+  std::vector<VisibleState> statesInRound(unsigned Round) const;
+
+private:
+  VisiblePacker Packer;
+  unsigned NumThreads;
+  FlatMap<uint64_t, unsigned> Packed;
+  std::map<VisibleState, unsigned> Fallback;
+};
+
+} // namespace cuba
+
+#endif // CUBA_PDS_VISIBLESET_H

@@ -34,6 +34,7 @@ class PAutomaton {
 public:
   PAutomaton(uint32_t NumShared, uint32_t NumSymbols)
       : NumShared(NumShared), A(NumSymbols) {
+    A.reserveStates(NumShared);
     for (uint32_t I = 0; I < NumShared; ++I)
       A.addState();
   }

@@ -7,10 +7,8 @@
 
 #include "psa/PostStar.h"
 
-#include <deque>
-#include <unordered_map>
-#include <unordered_set>
-
+#include "support/FlatHash.h"
+#include "support/RingQueue.h"
 #include "support/Statistic.h"
 #include "support/Unreachable.h"
 
@@ -26,29 +24,42 @@ struct Trans {
 };
 
 /// The saturation engine; see the header for the algorithm description.
+///
+/// The relation Rel deduplicates at *enqueue* time, so every transition
+/// enters the worklist (and is processed) exactly once, and new edges
+/// are appended to the result automaton as they are discovered -- there
+/// is no separate materialisation pass.  Adjacency (EpsIn / OutRel) is
+/// index-addressed by state id in flat vectors grown alongside
+/// Result.addState(); the worklist is a vector-backed ring of packed
+/// transitions.
 class Saturator {
 public:
   Saturator(const Pds &P, const PAutomaton &In, LimitTracker *Limits)
-      : P(P), Limits(Limits), Result(In), NumShared(In.numShared()) {}
+      : P(P), Limits(Limits), Result(In), NumShared(In.numShared()) {
+    uint32_t N = Result.nfa().numStates();
+    EpsIn.resize(N);
+    OutRel.resize(N);
+  }
 
   PostStarResult run() {
+    // Resolved once: the registry lookup costs a string hash, which is
+    // too expensive for the per-transition hot loop.
+    static uint64_t &TransCounter =
+        Statistics::counter("poststar.transitions");
     seedFromInput();
+    Seeding = false;
     while (!Worklist.empty()) {
       if (Limits && !Limits->chargeStep()) {
         Complete = false;
         break;
       }
-      Trans T = Worklist.front();
-      Worklist.pop_front();
-      if (!relInsert(T))
-        continue;
-      ++Statistics::counter("poststar.transitions");
+      Trans T = unkey(Worklist.pop());
+      ++TransCounter;
       if (T.Label != EpsSym)
         processSymbolTransition(T);
       else
         processEpsilonTransition(T);
     }
-    materialise();
     return {std::move(Result), Complete};
   }
 
@@ -62,47 +73,71 @@ private:
            (static_cast<uint64_t>(T.Label) << 21) | T.To;
   }
 
+  static Trans unkey(uint64_t K) {
+    return {static_cast<uint32_t>(K >> 42),
+            static_cast<Sym>((K >> 21) & 0x1fffff),
+            static_cast<uint32_t>(K & 0x1fffff)};
+  }
+
   void seedFromInput() {
     const Nfa &A = Result.nfa();
+    size_t InputEdges = 0;
+    for (uint32_t S = 0; S < A.numStates(); ++S)
+      InputEdges += A.edgesFrom(S).size();
+    // Capacity hints: the saturated relation grows with the input edges
+    // and the pushdown program; |Delta| bounds the per-target fan-out.
+    Worklist.reserve(InputEdges + 2 * P.actions().size());
+    Rel.reserve(InputEdges + 4 * P.actions().size());
     for (uint32_t S = 0; S < A.numStates(); ++S) {
       for (const Nfa::Edge &E : A.edgesFrom(S)) {
         assert(E.Label != EpsSym &&
                "post* input automaton must be epsilon-free");
         assert(E.To >= NumShared &&
                "post* input automaton may not enter shared states");
-        Worklist.push_back({S, E.Label, E.To});
+        enqueue({S, E.Label, E.To});
       }
     }
   }
 
-  bool relInsert(const Trans &T) {
-    if (!Rel.insert(key(T)).second)
-      return false;
+  /// Records \p T if it is new: relation membership, adjacency, result
+  /// edge (the input pass skips this -- the seeds are already in the
+  /// automaton), and one worklist entry.
+  void enqueue(const Trans &T) {
+    uint64_t K = key(T);
+    if (!Rel.insert(K))
+      return;
     if (T.Label == EpsSym)
       EpsIn[T.To].push_back(T.From);
     OutRel[T.From].push_back({T.Label, T.To});
-    return true;
+    if (!Seeding)
+      Result.addEdge(T.From, T.Label, T.To);
+    Worklist.push(K);
   }
 
-  void enqueue(Trans T) { Worklist.push_back(T); }
+  /// Adds an automaton state together with its adjacency rows.
+  uint32_t newState() {
+    uint32_t S = Result.addState();
+    EpsIn.emplace_back();
+    OutRel.emplace_back();
+    return S;
+  }
 
   /// Returns the helper state s(p', y1) shared by all pushes that write
   /// (p', y1 ...), creating it on first use.
   uint32_t helperState(QState DstQ, Sym Top) {
     uint64_t K = (static_cast<uint64_t>(DstQ) << 32) | Top;
-    auto It = Helpers.find(K);
-    if (It != Helpers.end())
-      return It->second;
-    uint32_t S = Result.addState();
-    Helpers.emplace(K, S);
-    return S;
+    auto [Slot, New] = Helpers.tryEmplace(K, 0);
+    if (New)
+      *Slot = newState();
+    return *Slot;
   }
 
   void processSymbolTransition(const Trans &T) {
     // Symmetric epsilon composition: (x, eps, From) + T => (x, Label, To).
-    if (auto It = EpsIn.find(T.From); It != EpsIn.end())
-      for (uint32_t X : It->second)
-        enqueue({X, T.Label, T.To});
+    // Indexed loops throughout: enqueue() appends to the adjacency rows,
+    // so range-for iterators could dangle on reallocation.
+    for (size_t K = 0; K < EpsIn[T.From].size(); ++K)
+      enqueue({EpsIn[T.From][K], T.Label, T.To});
     // PDS rules fire only from shared states.
     if (T.From >= NumShared)
       return;
@@ -131,27 +166,13 @@ private:
 
   void processEpsilonTransition(const Trans &T) {
     // (From, eps, To) composes with everything leaving To...
-    if (auto It = OutRel.find(T.To); It != OutRel.end())
-      for (const auto &[Label, Dst] : It->second)
-        enqueue({T.From, Label, Dst});
+    for (size_t K = 0; K < OutRel[T.To].size(); ++K) {
+      auto [Label, Dst] = OutRel[T.To][K];
+      enqueue({T.From, Label, Dst});
+    }
     // ... and with epsilon edges entering From (epsilon chains).
-    if (auto It = EpsIn.find(T.From); It != EpsIn.end())
-      for (uint32_t X : It->second)
-        enqueue({X, EpsSym, T.To});
-  }
-
-  /// Copies the saturated relation into the result automaton (the input
-  /// edges are already there; only new edges are appended).
-  void materialise() {
-    const Nfa &A = Result.nfa();
-    std::unordered_set<uint64_t> Existing;
-    for (uint32_t S = 0; S < A.numStates(); ++S)
-      for (const Nfa::Edge &E : A.edgesFrom(S))
-        Existing.insert(key({S, E.Label, E.To}));
-    for (auto &[From, Edges] : OutRel)
-      for (const auto &[Label, To] : Edges)
-        if (!Existing.count(key({From, Label, To})))
-          Result.addEdge(From, Label, To);
+    for (size_t K = 0; K < EpsIn[T.From].size(); ++K)
+      enqueue({EpsIn[T.From][K], EpsSym, T.To});
   }
 
   const Pds &P;
@@ -159,12 +180,15 @@ private:
   PAutomaton Result;
   uint32_t NumShared;
   bool Complete = true;
+  bool Seeding = true;
 
-  std::deque<Trans> Worklist;
-  std::unordered_set<uint64_t> Rel;
-  std::unordered_map<uint32_t, std::vector<uint32_t>> EpsIn;
-  std::unordered_map<uint32_t, std::vector<std::pair<Sym, uint32_t>>> OutRel;
-  std::unordered_map<uint64_t, uint32_t> Helpers;
+  /// Packed (From, Label, To) worklist; every entry is already in Rel.
+  RingQueue<uint64_t> Worklist;
+  FlatSet<uint64_t> Rel;
+  /// Per-state adjacency, indexed by automaton state id.
+  std::vector<std::vector<uint32_t>> EpsIn;
+  std::vector<std::vector<std::pair<Sym, uint32_t>>> OutRel;
+  FlatMap<uint64_t, uint32_t> Helpers;
 };
 
 } // namespace
@@ -180,6 +204,7 @@ PAutomaton cuba::singleStateAutomaton(uint32_t NumShared, uint32_t NumSymbols,
                                       QState Q,
                                       const std::vector<Sym> &TopFirst) {
   PAutomaton A(NumShared, NumSymbols);
+  A.nfa().reserveStates(NumShared + static_cast<uint32_t>(TopFirst.size()));
   uint32_t Cur = Q;
   for (Sym S : TopFirst) {
     uint32_t Next = A.addState();

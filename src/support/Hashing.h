@@ -20,11 +20,25 @@
 
 namespace cuba {
 
-/// Mixes \p Value into the running hash \p Seed (boost-style combinator
-/// strengthened with a 64-bit finaliser multiplier).
+/// The SplitMix64 finaliser: a full-avalanche bijection on 64-bit words.
+/// Every output bit depends on every input bit, so truncating the result
+/// to any slice (the open-addressing tables mask to the low bits, the
+/// legacy node-based containers to size_t) keeps uniform occupancy.
+inline uint64_t splitMix64(uint64_t X) {
+  X += 0x9e3779b97f4a7c15ULL;
+  X = (X ^ (X >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  X = (X ^ (X >> 27)) * 0x94d049bb133111ebULL;
+  return X ^ (X >> 31);
+}
+
+/// Mixes \p Value into the running hash \p Seed.  The combination step is
+/// boost-style (order-sensitive), finalised through SplitMix64 so high
+/// bits carry as much entropy as low bits; the previous multiply-only
+/// finaliser leaked structure into the high bits, inflating probe lengths
+/// in power-of-two-capacity tables.
 inline uint64_t hashCombine(uint64_t Seed, uint64_t Value) {
-  Seed ^= Value + 0x9e3779b97f4a7c15ULL + (Seed << 12) + (Seed >> 4);
-  return Seed * 0xff51afd7ed558ccdULL;
+  return splitMix64(Seed ^ (Value + 0x9e3779b97f4a7c15ULL + (Seed << 6) +
+                            (Seed >> 2)));
 }
 
 /// Hashes the range [First, Last) of integer-convertible elements.

@@ -1,0 +1,84 @@
+//===-- support/RingQueue.h - Vector-backed FIFO ring -----------*- C++ -*-===//
+//
+// Part of the CUBA project, an implementation of the PLDI 2018 paper
+// "CUBA: Interprocedural Context-UnBounded Analysis of Concurrent Programs".
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A FIFO queue over one contiguous power-of-two buffer.  std::deque
+/// allocates fixed-size chunks and chases a map of chunk pointers on
+/// every access; the saturation worklists push and pop millions of
+/// 8-byte entries, where a masked ring index over one flat allocation is
+/// both faster and denser.  Restricted to trivially copyable elements.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CUBA_SUPPORT_RINGQUEUE_H
+#define CUBA_SUPPORT_RINGQUEUE_H
+
+#include <cassert>
+#include <cstddef>
+#include <type_traits>
+#include <vector>
+
+namespace cuba {
+
+template <typename T> class RingQueue {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "RingQueue is restricted to trivially copyable elements");
+
+public:
+  bool empty() const { return Count == 0; }
+  size_t size() const { return Count; }
+
+  /// Grows the buffer so \p N entries fit without reallocation.
+  void reserve(size_t N) {
+    if (N > Buf.size())
+      grow(capacityFor(N));
+  }
+
+  void push(T Value) {
+    if (Count == Buf.size())
+      grow(capacityFor(Count + 1));
+    Buf[(Head + Count) & (Buf.size() - 1)] = Value;
+    ++Count;
+  }
+
+  T pop() {
+    assert(Count > 0 && "pop() from an empty queue");
+    T Value = Buf[Head];
+    Head = (Head + 1) & (Buf.size() - 1);
+    --Count;
+    return Value;
+  }
+
+  void clear() {
+    Head = 0;
+    Count = 0;
+  }
+
+private:
+  static size_t capacityFor(size_t N) {
+    size_t Cap = 16;
+    while (Cap < N)
+      Cap <<= 1;
+    return Cap;
+  }
+
+  void grow(size_t NewCap) {
+    std::vector<T> Fresh(NewCap);
+    for (size_t I = 0; I < Count; ++I)
+      Fresh[I] = Buf[(Head + I) & (Buf.size() - 1)];
+    Buf = std::move(Fresh);
+    Head = 0;
+  }
+
+  std::vector<T> Buf;
+  size_t Head = 0;
+  size_t Count = 0;
+};
+
+} // namespace cuba
+
+#endif // CUBA_SUPPORT_RINGQUEUE_H

@@ -1,0 +1,225 @@
+//===-- tests/StackStoreTest.cpp - Stack interning tests -------------------=//
+//
+// Part of the CUBA project, an implementation of the PLDI 2018 paper
+// "CUBA: Interprocedural Context-UnBounded Analysis of Concurrent Programs".
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Unit tests for the hash-consed stack arena (pds/StackStore.h) and the
+/// packed visible-state sets built on top of it (pds/VisibleSet.h).
+///
+//===----------------------------------------------------------------------===//
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+
+#include "pds/StackStore.h"
+#include "pds/VisibleSet.h"
+
+using namespace cuba;
+
+//===----------------------------------------------------------------------===//
+// StackStore
+//===----------------------------------------------------------------------===//
+
+TEST(StackStore, EmptyStack) {
+  StackStore S;
+  EXPECT_EQ(S.topOf(EmptyStackId), EpsSym);
+  EXPECT_EQ(S.depth(EmptyStackId), 0u);
+  EXPECT_TRUE(S.materialise(EmptyStackId).empty());
+  EXPECT_EQ(S.intern({}), EmptyStackId);
+}
+
+TEST(StackStore, InterningIsCanonical) {
+  StackStore S;
+  // The same stack reached along different derivations is the same id.
+  StackId A = S.push(S.push(EmptyStackId, 1), 2);
+  StackId B = S.intern({1, 2}); // Bottom-first: 2 is the top.
+  EXPECT_EQ(A, B);
+  // Pushing then popping returns the original id, not a twin.
+  EXPECT_EQ(S.pop(S.push(A, 3)), A);
+  // Distinct stacks intern distinctly.
+  EXPECT_NE(S.intern({1}), S.intern({2}));
+  EXPECT_NE(S.intern({1, 2}), S.intern({2, 1}));
+}
+
+TEST(StackStore, PushPopRoundTrip) {
+  StackStore S;
+  StackId W = EmptyStackId;
+  for (Sym X = 1; X <= 40; ++X) {
+    W = S.push(W, X);
+    EXPECT_EQ(S.topOf(W), X);
+    EXPECT_EQ(S.depth(W), X);
+  }
+  Stack Full = S.materialise(W);
+  ASSERT_EQ(Full.size(), 40u);
+  for (Sym X = 1; X <= 40; ++X)
+    EXPECT_EQ(Full[X - 1], X); // Bottom-first storage.
+  for (Sym X = 40; X >= 1; --X) {
+    EXPECT_EQ(S.topOf(W), X);
+    W = S.pop(W);
+  }
+  EXPECT_EQ(W, EmptyStackId);
+}
+
+TEST(StackStore, IdsStableUnderGrowth) {
+  StackStore S;
+  // Record early ids, force the intern table through many growth
+  // rounds, then verify the early ids still name the same stacks.
+  std::vector<StackId> Early;
+  for (Sym X = 1; X <= 8; ++X)
+    Early.push_back(S.intern({X}));
+  std::mt19937 Rng(42);
+  for (int I = 0; I < 20'000; ++I) {
+    Stack W;
+    for (int D = 0; D < 6; ++D)
+      W.push_back(1 + Rng() % 1000);
+    S.intern(W);
+  }
+  for (Sym X = 1; X <= 8; ++X) {
+    EXPECT_EQ(S.materialise(Early[X - 1]), Stack{X});
+    EXPECT_EQ(S.intern({X}), Early[X - 1]);
+  }
+}
+
+TEST(StackStore, PrefixSharing) {
+  StackStore S;
+  size_t Before = S.size();
+  StackId W = S.intern({1, 2, 3, 4, 5, 6, 7, 8});
+  size_t AfterFirst = S.size();
+  EXPECT_EQ(AfterFirst - Before, 8u);
+  // A sibling stack differing in the top shares all 7 suffix nodes.
+  S.push(S.pop(W), 9);
+  EXPECT_EQ(S.size(), AfterFirst + 1);
+}
+
+TEST(StackStore, FindInternedNeverCreates) {
+  StackStore S;
+  StackId W = S.intern({3, 1, 4});
+  size_t N = S.size();
+  StackId Found = EmptyStackId;
+  EXPECT_TRUE(S.findInterned({3, 1, 4}, Found));
+  EXPECT_EQ(Found, W);
+  EXPECT_FALSE(S.findInterned({3, 1, 5}, Found));
+  EXPECT_FALSE(S.findInterned({9}, Found));
+  EXPECT_EQ(S.size(), N) << "findInterned must not intern";
+}
+
+TEST(StackStore, PackUnpackGlobalState) {
+  StackStore S;
+  GlobalState G;
+  G.Q = 3;
+  G.Stacks = {{1, 2}, {}, {5}};
+  PackedGlobalState P = packState(G, S);
+  EXPECT_EQ(P.Q, 3u);
+  ASSERT_EQ(P.Stacks.size(), 3u);
+  EXPECT_EQ(S.topOf(P.Stacks[0]), 2u);
+  EXPECT_EQ(P.Stacks[1], EmptyStackId);
+  GlobalState Back = unpackState(P, S);
+  EXPECT_EQ(Back, G);
+
+  // Equal states pack to equal representations with equal hashes.
+  PackedGlobalState P2 = packState(G, S);
+  EXPECT_TRUE(P == P2);
+  EXPECT_EQ(PackedGlobalStateHash()(P), PackedGlobalStateHash()(P2));
+}
+
+//===----------------------------------------------------------------------===//
+// VisiblePacker / VisibleRoundSet
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// A tiny frozen CPDS with Q = {0..4} and two threads of 3 / 6 symbols.
+Cpds makeCpds() {
+  Cpds C;
+  for (int Q = 0; Q < 5; ++Q)
+    C.addSharedState("q" + std::to_string(Q));
+  unsigned T0 = C.addThread("t0");
+  unsigned T1 = C.addThread("t1");
+  for (int X = 0; X < 3; ++X)
+    C.thread(T0).addSymbol("a" + std::to_string(X));
+  for (int X = 0; X < 6; ++X)
+    C.thread(T1).addSymbol("b" + std::to_string(X));
+  EXPECT_TRUE(bool(C.freeze()));
+  return C;
+}
+
+} // namespace
+
+TEST(VisiblePacker, RoundTripAllStates) {
+  Cpds C = makeCpds();
+  VisiblePacker P(C);
+  ASSERT_TRUE(P.packable());
+  for (QState Q = 0; Q < 5; ++Q)
+    for (Sym A = 0; A <= 3; ++A)
+      for (Sym B = 0; B <= 6; ++B) {
+        VisibleState V;
+        V.Q = Q;
+        V.Tops = {A, B};
+        EXPECT_EQ(P.unpack(P.pack(V)), V);
+      }
+}
+
+TEST(VisiblePacker, PackingPreservesOrder) {
+  // The round-difference APIs promise VisibleState-sorted output; the
+  // packed representation sorts as raw words, so packing must be
+  // monotone in the (Q, Tops) lexicographic order.
+  Cpds C = makeCpds();
+  VisiblePacker P(C);
+  std::vector<VisibleState> All;
+  for (QState Q = 0; Q < 5; ++Q)
+    for (Sym A = 0; A <= 3; ++A)
+      for (Sym B = 0; B <= 6; ++B) {
+        VisibleState V;
+        V.Q = Q;
+        V.Tops = {A, B};
+        All.push_back(V);
+      }
+  std::mt19937 Rng(1);
+  std::shuffle(All.begin(), All.end(), Rng);
+  std::vector<std::pair<uint64_t, VisibleState>> Packed;
+  for (const VisibleState &V : All)
+    Packed.emplace_back(P.pack(V), V);
+  std::sort(Packed.begin(), Packed.end(),
+            [](const auto &X, const auto &Y) { return X.first < Y.first; });
+  std::sort(All.begin(), All.end());
+  for (size_t I = 0; I < All.size(); ++I)
+    EXPECT_EQ(Packed[I].second, All[I]) << "order diverges at " << I;
+}
+
+TEST(VisibleRoundSet, KeepsEarliestRoundAndSortsPerRound) {
+  Cpds C = makeCpds();
+  VisibleRoundSet S(C);
+  auto Vs = [](QState Q, Sym A, Sym B) {
+    VisibleState V;
+    V.Q = Q;
+    V.Tops = {A, B};
+    return V;
+  };
+  S.insert(Vs(1, 0, 2), 0);
+  S.insert(Vs(0, 1, 1), 1);
+  S.insert(Vs(2, 3, 0), 1);
+  S.insert(Vs(1, 0, 2), 1); // Re-insertion: round 0 must win.
+  EXPECT_EQ(S.size(), 3u);
+  EXPECT_TRUE(S.contains(Vs(1, 0, 2)));
+  EXPECT_FALSE(S.contains(Vs(1, 0, 3)));
+
+  EXPECT_EQ(S.statesInRound(0), std::vector<VisibleState>{Vs(1, 0, 2)});
+  std::vector<VisibleState> Round1 = {Vs(0, 1, 1), Vs(2, 3, 0)};
+  EXPECT_EQ(S.statesInRound(1), Round1);
+
+  auto Entries = S.sortedEntries();
+  ASSERT_EQ(Entries.size(), 3u);
+  EXPECT_TRUE(std::is_sorted(
+      Entries.begin(), Entries.end(),
+      [](const auto &X, const auto &Y) { return X.first < Y.first; }));
+  for (const auto &[V, Round] : Entries) {
+    if (V == Vs(1, 0, 2)) {
+      EXPECT_EQ(Round, 0u);
+    }
+  }
+}
