@@ -88,5 +88,6 @@ SymbolicRunResult cuba::runAlg3Symbolic(const Cpds &C,
   R.Run.VisibleStates = Engine.visibleSize();
   R.Run.Millis = Timer.millis();
   R.SymbolicStates = Engine.symbolicStateCount();
+  R.DistinctLanguages = Engine.languageStore().size();
   return R;
 }

@@ -33,6 +33,9 @@ struct SymbolicRunResult {
   std::optional<unsigned> SFixpoint;
   /// Number of symbolic states stored at the end of the run.
   size_t SymbolicStates = 0;
+  /// Number of distinct stack languages interned by the engine's
+  /// DfaStore arena (every canonical form ever computed, deduplicated).
+  size_t DistinctLanguages = 0;
 };
 
 /// Runs Alg. 3 with symbolic state sets on \p C.

@@ -31,7 +31,8 @@ static CanonicalDfa singleWordLanguage(uint32_t NumSymbols,
 }
 
 SymbolicEngine::SymbolicEngine(const Cpds &C, const ResourceLimits &Limits)
-    : C(C), Limits(Limits), VisibleSeen(C), TopsCache(C.numThreads()) {
+    : C(C), Limits(Limits), VisibleSeen(C), TopsCache(C.numThreads()),
+      TransCache(C.numThreads()) {
   assert(C.frozen() && "SymbolicEngine requires a frozen CPDS");
   for (unsigned I = 0; I < C.numThreads(); ++I)
     Bottomed.push_back(
@@ -46,22 +47,25 @@ SymbolicEngine::SymbolicEngine(const Cpds &C, const ResourceLimits &Limits)
     // Stacks are stored bottom-first; automata read top-first.
     std::vector<Sym> Word(Init.Stacks[I].rbegin(), Init.Stacks[I].rend());
     Word.push_back(Bottomed[I].Bottom);
-    S.Langs.push_back(
-        singleWordLanguage(Bottomed[I].P.numSymbols(), Word));
+    S.Langs.push_back(Store.intern(
+        singleWordLanguage(Bottomed[I].P.numSymbols(), Word)));
   }
   addState(std::move(S), 0, UINT32_MAX, &Frontier);
 }
 
-const std::vector<Sym> &SymbolicEngine::topsOf(unsigned Thread,
-                                               const CanonicalDfa &D) {
-  auto &Cache = TopsCache[Thread];
-  auto It = Cache.find(D);
-  if (It != Cache.end())
-    return It->second;
+const std::vector<Sym> &SymbolicEngine::topsOf(unsigned Thread, DfaId Lang) {
+  TopsCacheEntry &Cache = TopsCache[Thread];
+  if (Cache.Filled.size() < Store.size()) {
+    Cache.Filled.resize(Store.size(), 0);
+    Cache.Tops.resize(Store.size());
+  }
+  if (Cache.Filled[Lang])
+    return Cache.Tops[Lang];
 
   // All canonical states are useful, so every edge leaving the start
   // lies on an accepting path; its label is a reachable top.  The
   // bottom marker on top encodes the empty original stack.
+  const CanonicalDfa &D = Store.get(Lang);
   std::vector<Sym> Tops;
   Sym Bottom = Bottomed[Thread].Bottom;
   if (D.Start != CanonicalDfa::NoState) {
@@ -76,7 +80,9 @@ const std::vector<Sym> &SymbolicEngine::topsOf(unsigned Thread,
   }
   std::sort(Tops.begin(), Tops.end());
   Tops.erase(std::unique(Tops.begin(), Tops.end()), Tops.end());
-  return Cache.emplace(D, std::move(Tops)).first->second;
+  Cache.Filled[Lang] = 1;
+  Cache.Tops[Lang] = std::move(Tops);
+  return Cache.Tops[Lang];
 }
 
 void SymbolicEngine::recordVisible(const SymbolicState &S, unsigned Round) {
@@ -111,16 +117,17 @@ void SymbolicEngine::recordVisible(const SymbolicState &S, unsigned Round) {
 std::pair<bool, bool>
 SymbolicEngine::addState(SymbolicState S, unsigned Round, uint32_t Producer,
                          std::vector<SymbolicState> *NewFrontier) {
+  static uint64_t &StateCounter = Statistics::counter("symbolic.states");
   uint32_t Mask = Producer == UINT32_MAX ? 0u : (1u << Producer);
-  auto [It, New] = States.emplace(std::move(S), Mask);
+  auto [Slot, New] = States.tryEmplace(S, Mask);
   if (!New) {
-    It->second |= Mask;
+    *Slot |= Mask;
     return {false, true};
   }
-  ++Statistics::counter("symbolic.states");
-  recordVisible(It->first, Round);
+  ++StateCounter;
+  recordVisible(S, Round);
   if (NewFrontier)
-    NewFrontier->push_back(It->first);
+    NewFrontier->push_back(std::move(S));
   return {true, Limits.chargeState()};
 }
 
@@ -159,28 +166,79 @@ static PAutomaton rootedInput(uint32_t NumShared, const CanonicalDfa &D,
 
 bool SymbolicEngine::expand(const SymbolicState &S, unsigned I,
                             std::vector<SymbolicState> &NewFrontier) {
-  ++Statistics::counter("symbolic.transactions");
-  PAutomaton In = rootedInput(C.numSharedStates(), S.Langs[I], S.Q);
+  // Resolved once: the registry lookup costs a string hash, which is
+  // too expensive now that cache hits make expand() itself cheap.
+  static uint64_t &TransCounter = Statistics::counter("symbolic.transactions");
+  static uint64_t &HitCounter =
+      Statistics::counter("symbolic.transactions.cached");
+  ++TransCounter;
+
+  // An empty stack language admits no configuration at all, hence no
+  // transaction.  Unreachable through the real pipeline (rooted
+  // languages are non-empty by construction), but cheap, and it keeps
+  // the engine well-defined under the fa_testing minimize mutation.
+  if (Store.get(S.Langs[I]).Start == CanonicalDfa::NoState)
+    return true;
+
+  // Replays a successor: derive the symbolic state and register it.
+  auto AddSucc = [&](QState Q2, DfaId Lang) {
+    SymbolicState Succ;
+    Succ.Q = Q2;
+    Succ.Langs = S.Langs;
+    Succ.Langs[I] = Lang;
+    auto [New, Ok] = addState(std::move(Succ), Bound + 1, I, &NewFrontier);
+    (void)New;
+    return Ok;
+  };
+
+  // A transaction's successors depend only on (expanding thread, shared
+  // root, thread i's language): probe the per-thread cache first.  A hit
+  // replays the recorded charge schedule interleaved with the successor
+  // insertions, so an engine with a tight budget stores exactly the
+  // states -- and exhausts at exactly the point -- a fresh re-expansion
+  // would.
+  uint64_t Key = (static_cast<uint64_t>(S.Q) << 32) | S.Langs[I];
+  if (const uint32_t *Cached = TransCache[I].find(Key)) {
+    ++HitCounter;
+    const Transaction &T = Transactions[*Cached];
+    if (!Limits.chargeStep(T.BaseSteps))
+      return false;
+    for (const Transaction::Succ &Succ : T.Succs) {
+      if (!Limits.chargeStep(Succ.StepCost))
+        return false;
+      if (!AddSucc(Succ.Q, Succ.Lang))
+        return false;
+    }
+    return true;
+  }
+
+  uint64_t StepsBefore = Limits.steps();
+  PAutomaton In =
+      rootedInput(C.numSharedStates(), Store.get(S.Langs[I]), S.Q);
   PostStarResult R = postStar(Bottomed[I].P, In, &Limits);
   if (!R.Complete)
     return false;
 
+  Transaction T;
+  T.BaseSteps = Limits.steps() - StepsBefore;
   for (QState Q2 = 0; Q2 < C.numSharedStates(); ++Q2) {
     Nfa Rooted = R.Automaton.rootedNfa({Q2});
     if (Rooted.isLanguageEmpty())
       continue;
-    if (!Limits.chargeStep(Rooted.numStates()))
+    uint64_t Cost = Rooted.numStates();
+    // Exhaustion mid-transaction leaves the entry uncached: a prefix of
+    // the successors was computed (and, matching the pre-cache engine,
+    // already added above), and the engine is stopping anyway.
+    if (!Limits.chargeStep(Cost))
       return false;
-    CanonicalDfa Lang = Rooted.determinize().canonicalize();
-    SymbolicState Succ;
-    Succ.Q = Q2;
-    Succ.Langs = S.Langs;
-    Succ.Langs[I] = std::move(Lang);
-    auto [New, Ok] = addState(std::move(Succ), Bound + 1, I, &NewFrontier);
-    (void)New;
-    if (!Ok)
+    DfaId Lang = Store.intern(Rooted.determinize().canonicalize());
+    T.Succs.push_back({Q2, Lang, Cost});
+    if (!AddSucc(Q2, Lang))
       return false;
   }
+  Transactions.push_back(std::move(T));
+  TransCache[I].tryEmplace(Key,
+                           static_cast<uint32_t>(Transactions.size() - 1));
   return true;
 }
 
@@ -188,7 +246,7 @@ SymbolicEngine::RoundStatus SymbolicEngine::advance() {
   ++Statistics::counter("symbolic.rounds");
   std::vector<SymbolicState> NewFrontier;
   for (const SymbolicState &S : Frontier) {
-    uint32_t Produced = States.find(S)->second;
+    uint32_t Produced = *States.find(S);
     for (unsigned I = 0; I < C.numThreads(); ++I) {
       // Skip the producer thread: its post* is transitively closed, so
       // re-expanding yields only language-subsumed rows.

@@ -16,12 +16,19 @@
 /// in that transaction, a successor symbolic state.
 ///
 /// Stack languages are stored as canonical minimal DFAs over the
-/// bottom-extended alphabets, so symbolic states are deduplicated by
-/// exact language equality (a cheap sufficient alternative to the
-/// doubly-exponential automata-equivalence convergence test the paper
-/// rules out for Scheme 1).  Expansion by a thread that produced the
-/// state is skipped: the production was itself a post* closure, so
-/// re-running the same thread adds only subsumed rows.
+/// bottom-extended alphabets, hash-consed into 32-bit DfaIds by a
+/// DfaStore arena, so symbolic states are deduplicated by exact language
+/// equality (a cheap sufficient alternative to the doubly-exponential
+/// automata-equivalence convergence test the paper rules out for
+/// Scheme 1) with O(threads) equality and hashing.  Expansion by a
+/// thread that produced the state is skipped: the production was itself
+/// a post* closure, so re-running the same thread adds only subsumed
+/// rows.  A per-thread transaction cache keyed by (shared root q, input
+/// DfaId) re-plays previously computed transactions -- identical rooted
+/// languages recur across symbolic states that differ only in other
+/// threads' stacks, and each replay skips the whole post* +
+/// determinize/minimize pipeline while charging the same step budget the
+/// original run did, keeping budget-sensitive behaviour unchanged.
 ///
 /// The visible projections T(S_k) are computed per App. E, formula (4):
 /// the product of per-thread top-symbol sets extracted from the
@@ -32,32 +39,35 @@
 #ifndef CUBA_CORE_SYMBOLICENGINE_H
 #define CUBA_CORE_SYMBOLICENGINE_H
 
-#include <unordered_map>
 #include <vector>
 
-#include "fa/Dfa.h"
+#include "fa/DfaStore.h"
 #include "pds/Cpds.h"
 #include "pds/VisibleSet.h"
 #include "psa/BottomTransform.h"
+#include "support/FlatHash.h"
 #include "support/Limits.h"
+#include "support/SmallVec.h"
 
 namespace cuba {
 
-/// A symbolic state <q | A_1..A_n> with canonical per-thread stack
-/// languages (over the bottom-extended alphabets).
+/// A symbolic state <q | A_1..A_n> with interned canonical per-thread
+/// stack languages (over the bottom-extended alphabets).  All ids come
+/// from the owning engine's DfaStore, so equality and hashing are
+/// O(threads) id comparisons.
 struct SymbolicState {
   QState Q = 0;
-  std::vector<CanonicalDfa> Langs;
+  SmallVec<DfaId, 4> Langs;
 
   bool operator==(const SymbolicState &) const = default;
 };
 
 struct SymbolicStateHash {
-  size_t operator()(const SymbolicState &S) const {
+  uint64_t operator()(const SymbolicState &S) const {
     uint64_t H = hashCombine(0x517, S.Q);
-    for (const CanonicalDfa &D : S.Langs)
-      H = hashCombine(H, D.hash());
-    return static_cast<size_t>(H);
+    for (DfaId Id : S.Langs)
+      H = hashCombine(H, Id);
+    return H;
   }
 };
 
@@ -103,7 +113,27 @@ public:
 
   const LimitTracker &limits() const { return Limits; }
 
+  /// The language arena; exposed for statistics (number of distinct
+  /// stack languages ever canonicalised).
+  const DfaStore &languageStore() const { return Store; }
+
 private:
+  /// One cached transaction: the successors a post* expansion produced
+  /// plus the exact step-charge schedule of the original computation
+  /// (the post* saturation cost, then one charge per successor), so a
+  /// replay charges the budget in the same order a fresh re-expansion
+  /// would and exhausts at exactly the same point, states-added and
+  /// all.
+  struct Transaction {
+    struct Succ {
+      QState Q;
+      DfaId Lang;
+      uint64_t StepCost; // The charge for this root's rooted NFA.
+    };
+    std::vector<Succ> Succs;
+    uint64_t BaseSteps = 0; // The post* saturation charge.
+  };
+
   /// Expands symbolic state \p S by thread \p I; new successors are
   /// pushed onto NewFrontier.  Returns false on budget exhaustion.
   bool expand(const SymbolicState &S, unsigned I,
@@ -119,9 +149,14 @@ private:
   /// Records the visible projections T(tau) of a symbolic state.
   void recordVisible(const SymbolicState &S, unsigned Round);
 
-  /// Per-thread top set of a canonical stack language (bottom marker
-  /// reported as EpsSym); cached by canonical form.
-  const std::vector<Sym> &topsOf(unsigned Thread, const CanonicalDfa &D);
+  /// Per-thread top set of an interned stack language (bottom marker
+  /// reported as EpsSym); cached densely by id.  The returned reference
+  /// lives inside TopsCache[Thread] and is invalidated by a later
+  /// topsOf call for the SAME thread once the arena has grown (the
+  /// dense cache then resizes); callers may hold references across
+  /// calls for other threads only, which is exactly the recordVisible
+  /// pattern.
+  const std::vector<Sym> &topsOf(unsigned Thread, DfaId Lang);
 
   const Cpds &C;
   LimitTracker Limits;
@@ -131,17 +166,29 @@ private:
   /// the extended alphabets).
   std::vector<BottomedPds> Bottomed;
 
+  /// The hash-consing arena all per-thread languages live in.
+  DfaStore Store;
+
   /// All symbolic states with the set of threads that produced them
   /// (as a bitmask); states are expanded once, by every thread not in
   /// their producer mask.
-  std::unordered_map<SymbolicState, uint32_t, SymbolicStateHash> States;
+  FlatMap<SymbolicState, uint32_t, SymbolicStateHash> States;
   std::vector<SymbolicState> Frontier;
   VisibleRoundSet VisibleSeen;
 
-  /// Top-set cache, keyed per thread by canonical language.
-  std::vector<std::unordered_map<CanonicalDfa, std::vector<Sym>,
-                                 CanonicalDfaHash>>
-      TopsCache;
+  /// Top-set cache: per thread, indexed densely by DfaId (grown lazily
+  /// to the arena size; Filled marks computed entries).
+  struct TopsCacheEntry {
+    std::vector<std::vector<Sym>> Tops;
+    std::vector<uint8_t> Filled;
+  };
+  std::vector<TopsCacheEntry> TopsCache;
+
+  /// Transaction cache: per thread, (shared root q << 32 | input DfaId)
+  /// -> index into Transactions.  A hit replays the recorded successors
+  /// instead of re-running post* + determinize/minimize.
+  std::vector<FlatMap<uint64_t, uint32_t>> TransCache;
+  std::vector<Transaction> Transactions;
 };
 
 } // namespace cuba

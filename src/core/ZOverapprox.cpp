@@ -31,7 +31,18 @@ std::vector<VisibleState> cuba::computeZ(const Cpds &C,
                              : WideSeen.insert(V).second;
   };
 
+  // Size the membership table and result buffer from the (finite)
+  // visible-state domain |Q| * prod(|Sigma_i| + 1), capped so very wide
+  // systems don't pre-commit absurd allocations.
+  uint64_t Domain = C.numSharedStates();
+  for (unsigned I = 0; I < C.numThreads() && Domain < (1u << 16); ++I)
+    Domain *= C.thread(I).numSymbols() + 1;
+  size_t Hint = static_cast<size_t>(std::min<uint64_t>(Domain, 1u << 16));
+  if (Packer.packable())
+    PackedSeen.reserve(Hint);
+
   std::vector<VisibleState> Queue;
+  Queue.reserve(Hint);
   VisibleState Init = project(C.initialState());
   FirstVisit(Init);
   Queue.push_back(std::move(Init));

@@ -8,48 +8,160 @@
 #include "fa/Dfa.h"
 
 #include <algorithm>
-#include <map>
 
 using namespace cuba;
 
-Dfa Dfa::minimize() const {
-  // Moore partition refinement.  O(n^2 * |Sigma|) worst case, which is
-  // ample for the automata the engines produce (hundreds of states).
-  uint32_t N = numStates();
-  std::vector<uint32_t> Class(N);
-  for (uint32_t S = 0; S < N; ++S)
-    Class[S] = Accepting[S] ? 1 : 0;
+bool cuba::fa_testing::InjectMinimizeUnderRefine = false;
 
-  while (true) {
-    // Signature: current class plus the classes of all successors.
-    std::map<std::vector<uint32_t>, uint32_t> NewIds;
-    std::vector<uint32_t> NewClass(N);
-    for (uint32_t S = 0; S < N; ++S) {
-      std::vector<uint32_t> Sig;
-      Sig.reserve(NumSymbols + 1);
-      Sig.push_back(Class[S]);
-      for (Sym X = 1; X <= NumSymbols; ++X)
-        Sig.push_back(Class[next(S, X)]);
-      auto [It, New] =
-          NewIds.emplace(std::move(Sig), static_cast<uint32_t>(NewIds.size()));
-      (void)New;
-      NewClass[S] = It->second;
-    }
-    bool Changed = false;
-    for (uint32_t S = 0; S < N && !Changed; ++S)
-      Changed = NewClass[S] != Class[S];
-    Class = std::move(NewClass);
-    if (!Changed)
-      break;
+Dfa Dfa::minimize() const {
+  // Hopcroft partition refinement on flat arrays.  Blocks live as
+  // contiguous spans of one state array; the worklist holds splitter
+  // blocks, and each splitter refines every block that maps into it on
+  // some symbol via a per-symbol predecessor CSR, marking the affected
+  // states to the front of their block span by swap.  The smaller half
+  // of every split re-enters the worklist, giving the O(|Sigma| n log n)
+  // bound; the loop is allocation-free once the scratch buffers reach
+  // their high-water marks.  This replaces the Moore pass scheme over a
+  // std::map<std::vector<uint32_t>, uint32_t> (one vector allocation
+  // plus O(log n) lexicographic compares per state per pass).  The
+  // result is the unique coarsest partition, and the final classes are
+  // renumbered in first-occurrence order over the state ids -- exactly
+  // the numbering the Moore scheme produced, so the output is
+  // bit-identical.
+  const uint32_t N = numStates();
+
+  // Per-symbol predecessor CSR: entry (T, X) lists the states S with
+  // next(S, X) == T (counted fill, no per-state vectors).
+  std::vector<uint32_t> PredOff(static_cast<size_t>(N) * NumSymbols + 1, 0);
+  std::vector<uint32_t> PredDat(static_cast<size_t>(N) * NumSymbols);
+  for (uint32_t S = 0; S < N; ++S)
+    for (uint32_t X = 0; X < NumSymbols; ++X)
+      ++PredOff[static_cast<size_t>(
+                    Table[static_cast<size_t>(S) * NumSymbols + X]) *
+                    NumSymbols +
+                X + 1];
+  for (size_t I = 1; I < PredOff.size(); ++I)
+    PredOff[I] += PredOff[I - 1];
+  {
+    std::vector<uint32_t> Cursor(PredOff.begin(), PredOff.end() - 1);
+    for (uint32_t S = 0; S < N; ++S)
+      for (uint32_t X = 0; X < NumSymbols; ++X)
+        PredDat[Cursor[static_cast<size_t>(
+                           Table[static_cast<size_t>(S) * NumSymbols + X]) *
+                           NumSymbols +
+                       X]++] = S;
   }
 
-  uint32_t NumClasses = *std::max_element(Class.begin(), Class.end()) + 1;
-  Dfa M(NumSymbols, NumClasses, Class[Start]);
+  // The partition: StateAt is ordered by block, block B spans
+  // [BlockLo[B], BlockHi[B]); Marked[B] counts states swapped to the
+  // front of the span by the current splitter.  Seeded with the
+  // acceptance split.
+  std::vector<uint32_t> Class(N), StateAt(N), PosOf(N);
+  std::vector<uint32_t> BlockLo, BlockHi, Marked;
+  {
+    uint32_t NumAcc = 0;
+    for (uint32_t S = 0; S < N; ++S)
+      NumAcc += Accepting[S] ? 1 : 0;
+    uint32_t NonAccCursor = 0, AccCursor = N - NumAcc;
+    for (uint32_t S = 0; S < N; ++S) {
+      uint32_t P = Accepting[S] ? AccCursor++ : NonAccCursor++;
+      StateAt[P] = S;
+      PosOf[S] = P;
+      Class[S] = Accepting[S] && NumAcc != N ? 1 : 0;
+    }
+    BlockLo.push_back(0);
+    BlockHi.push_back(NumAcc == N ? N : N - NumAcc);
+    Marked.push_back(0);
+    if (NumAcc != 0 && NumAcc != N) {
+      BlockLo.push_back(N - NumAcc);
+      BlockHi.push_back(N);
+      Marked.push_back(0);
+    }
+  }
+
+  std::vector<uint32_t> Work;
+  std::vector<uint8_t> InWork(BlockLo.size(), 1);
+  for (uint32_t B = 0; B < BlockLo.size(); ++B)
+    Work.push_back(B);
+
+  // Scratch: the splitter's member snapshot (it may itself split while
+  // being processed; splitting by the snapshot -- then a union of
+  // blocks -- remains sound) and the blocks touched per symbol.
+  std::vector<uint32_t> Splitter, Touched;
+
+  if (fa_testing::InjectMinimizeUnderRefine)
+    Work.clear(); // Simulated bug: never refine past the acceptance split.
+
+  while (!Work.empty()) {
+    uint32_t C = Work.back();
+    Work.pop_back();
+    InWork[C] = 0;
+    Splitter.assign(StateAt.begin() + BlockLo[C],
+                    StateAt.begin() + BlockHi[C]);
+    for (uint32_t X = 0; X < NumSymbols; ++X) {
+      // Mark the preimage of the splitter under symbol X.
+      for (uint32_t T : Splitter) {
+        size_t Key = static_cast<size_t>(T) * NumSymbols + X;
+        for (uint32_t I = PredOff[Key]; I < PredOff[Key + 1]; ++I) {
+          uint32_t P = PredDat[I];
+          uint32_t B = Class[P];
+          uint32_t MarkPos = BlockLo[B] + Marked[B];
+          uint32_t Pos = PosOf[P];
+          if (Pos < MarkPos)
+            continue; // Already marked (multiple edges into C).
+          uint32_t Other = StateAt[MarkPos];
+          StateAt[MarkPos] = P;
+          StateAt[Pos] = Other;
+          PosOf[P] = MarkPos;
+          PosOf[Other] = Pos;
+          if (Marked[B]++ == 0)
+            Touched.push_back(B);
+        }
+      }
+      // Split every partially marked block; the marked front becomes a
+      // fresh block, the unmarked rest keeps the old id.
+      for (uint32_t B : Touched) {
+        uint32_t M = Marked[B];
+        Marked[B] = 0;
+        uint32_t Size = BlockHi[B] - BlockLo[B];
+        if (M == Size)
+          continue; // The whole block maps into the splitter.
+        uint32_t NewB = static_cast<uint32_t>(BlockLo.size());
+        BlockLo.push_back(BlockLo[B]);
+        BlockHi.push_back(BlockLo[B] + M);
+        Marked.push_back(0);
+        InWork.push_back(0);
+        BlockLo[B] += M;
+        for (uint32_t P = BlockLo[NewB]; P < BlockHi[NewB]; ++P)
+          Class[StateAt[P]] = NewB;
+        if (InWork[B]) {
+          // B awaits processing: both halves must be processed.
+          InWork[NewB] = 1;
+          Work.push_back(NewB);
+        } else {
+          uint32_t Push = M <= Size - M ? NewB : B;
+          InWork[Push] = 1;
+          Work.push_back(Push);
+        }
+      }
+      Touched.clear();
+    }
+  }
+
+  // Renumber classes by first occurrence over ascending state ids: the
+  // numbering the former Moore pass scheme produced.
+  std::vector<uint32_t> Renum(BlockLo.size(), UINT32_MAX);
+  uint32_t NumClasses = 0;
+  for (uint32_t S = 0; S < N; ++S)
+    if (Renum[Class[S]] == UINT32_MAX)
+      Renum[Class[S]] = NumClasses++;
+
+  Dfa M(NumSymbols, NumClasses, Renum[Class[Start]]);
   for (uint32_t S = 0; S < N; ++S) {
-    uint32_t C = Class[S];
+    uint32_t C = Renum[Class[S]];
     M.setAccepting(C, Accepting[S]);
     for (Sym X = 1; X <= NumSymbols; ++X)
-      M.setNext(C, X, Class[next(S, X)]);
+      M.setNext(C, X, Renum[Class[next(S, X)]]);
   }
   return M;
 }
@@ -58,13 +170,26 @@ CanonicalDfa Dfa::canonicalize() const {
   Dfa M = minimize();
 
   // Dead states: states from which no accepting state is reachable.
+  // The reversed transition graph is built as a counted-fill CSR (two
+  // flat arrays) -- every state has exactly NumSymbols outgoing edges,
+  // so the shape is known up front and no per-state vector is needed.
   uint32_t N = M.numStates();
   std::vector<bool> Alive(N, false);
-  std::vector<std::vector<uint32_t>> Rev(N);
+  std::vector<uint32_t> RevOff(N + 1, 0);
+  std::vector<uint32_t> RevDat(static_cast<size_t>(N) * NumSymbols);
   for (uint32_t S = 0; S < N; ++S)
     for (Sym X = 1; X <= NumSymbols; ++X)
-      Rev[M.next(S, X)].push_back(S);
+      ++RevOff[M.next(S, X) + 1];
+  for (uint32_t S = 0; S < N; ++S)
+    RevOff[S + 1] += RevOff[S];
+  {
+    std::vector<uint32_t> Cursor(RevOff.begin(), RevOff.end() - 1);
+    for (uint32_t S = 0; S < N; ++S)
+      for (Sym X = 1; X <= NumSymbols; ++X)
+        RevDat[Cursor[M.next(S, X)]++] = S;
+  }
   std::vector<uint32_t> Work;
+  Work.reserve(N);
   for (uint32_t S = 0; S < N; ++S) {
     if (M.isAccepting(S)) {
       Alive[S] = true;
@@ -74,7 +199,8 @@ CanonicalDfa Dfa::canonicalize() const {
   while (!Work.empty()) {
     uint32_t S = Work.back();
     Work.pop_back();
-    for (uint32_t P : Rev[S]) {
+    for (uint32_t I = RevOff[S]; I < RevOff[S + 1]; ++I) {
+      uint32_t P = RevDat[I];
       if (Alive[P])
         continue;
       Alive[P] = true;
@@ -92,6 +218,7 @@ CanonicalDfa Dfa::canonicalize() const {
   // minimal automaton, so structural equality is language equality.
   std::vector<uint32_t> NewId(N, CanonicalDfa::NoState);
   std::vector<uint32_t> Order;
+  Order.reserve(N);
   NewId[M.start()] = 0;
   Order.push_back(M.start());
   for (size_t Head = 0; Head < Order.size(); ++Head) {

@@ -25,6 +25,16 @@
 
 namespace cuba {
 
+namespace fa_testing {
+/// Testing hook for the differential suite's mutation-sensitivity check
+/// (the minimize analogue of OracleOptions::InjectDropVisible): when
+/// true, Dfa::minimize() deliberately stops refining at the acceptance
+/// split, simulating an under-refinement bug that conflates distinct
+/// languages.  A correct differential oracle must then report T(R_k) /
+/// T(S_k) mismatches.  Never set outside tests.
+extern bool InjectMinimizeUnderRefine;
+} // namespace fa_testing
+
 /// The canonical form of a regular language: the minimal partial DFA with
 /// states numbered in BFS order from the start (exploring symbols in
 /// increasing order) and dead states removed.  Two languages are equal
@@ -50,12 +60,6 @@ struct CanonicalDfa {
     uint64_t H = hashCombine(NumSymbols, Start);
     H = hashCombine(H, hashRange(Table.begin(), Table.end()));
     return hashCombine(H, hashRange(Accepting.begin(), Accepting.end()));
-  }
-};
-
-struct CanonicalDfaHash {
-  size_t operator()(const CanonicalDfa &D) const {
-    return static_cast<size_t>(D.hash());
   }
 };
 

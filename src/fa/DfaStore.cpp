@@ -1,0 +1,23 @@
+//===-- fa/DfaStore.cpp - Hash-consed canonical DFAs ----------------------===//
+//
+// Part of the CUBA project, an implementation of the PLDI 2018 paper
+// "CUBA: Interprocedural Context-UnBounded Analysis of Concurrent Programs".
+//
+//===----------------------------------------------------------------------===//
+
+#include "fa/DfaStore.h"
+
+using namespace cuba;
+
+DfaId DfaStore::intern(CanonicalDfa D) {
+  uint64_t H = D.hash();
+  uint32_t Found =
+      Index.find(H, Hashes, [&](uint32_t Id) { return Dfas[Id] == D; });
+  if (Found != UINT32_MAX)
+    return Found;
+  DfaId Id = static_cast<DfaId>(Dfas.size());
+  Dfas.push_back(std::move(D));
+  Hashes.push_back(H);
+  Index.insert(H, Id, Hashes);
+  return Id;
+}

@@ -1,0 +1,67 @@
+//===-- fa/DfaStore.h - Hash-consed canonical DFAs --------------*- C++ -*-===//
+//
+// Part of the CUBA project, an implementation of the PLDI 2018 paper
+// "CUBA: Interprocedural Context-UnBounded Analysis of Concurrent Programs".
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An interning arena for canonical DFAs, mirroring pds/StackStore for
+/// the symbolic data plane.  A regular stack language is a 32-bit DfaId
+/// naming an interned CanonicalDfa; because canonical forms are unique
+/// per language, two ids are equal iff the languages are equal, so:
+///
+///   - symbolic-state equality/hashing is O(threads) over ids instead of
+///     re-hashing whole transition tables per probe;
+///   - every distinct language's table is stored exactly once, however
+///     many symbolic states <q | A_1..A_n> share it;
+///   - ids key the engine's per-transaction and top-set caches as plain
+///     integers.
+///
+/// Ids are dense and stable: entries are only ever appended, so ids
+/// remain valid across arena growth.  Not thread-safe; each engine owns
+/// one.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CUBA_FA_DFASTORE_H
+#define CUBA_FA_DFASTORE_H
+
+#include <vector>
+
+#include "fa/Dfa.h"
+#include "support/FlatHash.h"
+
+namespace cuba {
+
+/// Interned canonical-DFA handle.
+using DfaId = uint32_t;
+
+/// The interning arena.
+class DfaStore {
+public:
+  /// Number of distinct interned languages.
+  size_t size() const { return Dfas.size(); }
+
+  /// Interns \p D: structurally equal canonical forms (i.e. equal
+  /// languages) always receive the same id.
+  DfaId intern(CanonicalDfa D);
+
+  /// The canonical form named by \p Id.  The id stays valid forever; the
+  /// returned reference only until the next intern() (the arena vector
+  /// may then grow and relocate its elements), so consume it before
+  /// interning again rather than holding it.
+  const CanonicalDfa &get(DfaId Id) const { return Dfas[Id]; }
+
+  /// The cached structural hash of \p Id (computed once at interning).
+  uint64_t hashOf(DfaId Id) const { return Hashes[Id]; }
+
+private:
+  std::vector<CanonicalDfa> Dfas;
+  std::vector<uint64_t> Hashes;
+  InternIndex Index;
+};
+
+} // namespace cuba
+
+#endif // CUBA_FA_DFASTORE_H

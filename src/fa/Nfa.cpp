@@ -8,10 +8,9 @@
 #include "fa/Nfa.h"
 
 #include <algorithm>
-#include <map>
-#include <set>
 
 #include "fa/Dfa.h"
+#include "support/FlatHash.h" // InternIndex + hashRange.
 
 using namespace cuba;
 
@@ -219,52 +218,166 @@ bool Nfa::isLanguageFinite() const {
   return true;
 }
 
-Dfa Nfa::determinize() const {
-  // Subset construction with epsilon closures; subsets are interned via a
-  // sorted-vector key.  The empty subset is the explicit sink, so the
-  // resulting DFA is complete.
-  std::map<std::vector<uint32_t>, uint32_t> Id;
-  std::vector<std::vector<uint32_t>> Subsets;
-  auto Intern = [&](std::vector<uint32_t> Subset) {
-    auto [It, New] = Id.emplace(Subset, static_cast<uint32_t>(Subsets.size()));
-    if (New)
-      Subsets.push_back(std::move(Subset));
-    return It->second;
-  };
+namespace {
 
-  std::vector<uint32_t> Init;
-  for (uint32_t S = 0; S < numStates(); ++S)
-    if (Initial[S])
-      Init.push_back(S);
-  epsilonClosure(Init);
-  uint32_t StartId = Intern(std::move(Init));
-
-  // Rows of (subset-id, per-symbol successor subset-id).
-  std::vector<std::vector<uint32_t>> Rows;
-  for (uint32_t Cur = 0; Cur < Subsets.size(); ++Cur) {
-    std::vector<uint32_t> Row(NumSymbols);
-    for (Sym X = 1; X <= NumSymbols; ++X) {
-      std::vector<uint32_t> Next;
-      for (uint32_t S : Subsets[Cur])
-        for (const Edge &E : Adj[S])
-          if (E.Label == X)
-            Next.push_back(E.To);
-      epsilonClosure(Next);
-      Row[X - 1] = Intern(std::move(Next));
-    }
-    Rows.push_back(std::move(Row));
+/// Interner for the subset construction: subsets are sorted
+/// duplicate-free state vectors stored back to back in one flat pool
+/// and named by dense 32-bit ids through a shared InternIndex probe
+/// table.  Replaces the former std::map<std::vector<uint32_t>,
+/// uint32_t> (a node allocation plus O(log n) lexicographic vector
+/// comparisons per probe) with hashed probes over contiguous storage;
+/// stored hashes filter almost all probe-chain comparisons down to one
+/// word.
+class SubsetInterner {
+public:
+  explicit SubsetInterner(uint32_t ExpectedStatesPerSubset) {
+    Pool.reserve(64 * static_cast<size_t>(
+                          ExpectedStatesPerSubset ? ExpectedStatesPerSubset
+                                                  : 1));
+    Off.reserve(65);
+    Off.push_back(0);
+    Hashes.reserve(64);
   }
 
-  Dfa D(NumSymbols, static_cast<uint32_t>(Subsets.size()), StartId);
-  for (uint32_t S = 0; S < Subsets.size(); ++S) {
-    for (Sym X = 1; X <= NumSymbols; ++X)
-      D.setNext(S, X, Rows[S][X - 1]);
-    for (uint32_t N : Subsets[S]) {
-      if (Accepting[N]) {
-        D.setAccepting(S);
-        break;
+  uint32_t numSubsets() const {
+    return static_cast<uint32_t>(Off.size() - 1);
+  }
+
+  const uint32_t *begin(uint32_t Id) const { return Pool.data() + Off[Id]; }
+  const uint32_t *end(uint32_t Id) const { return Pool.data() + Off[Id + 1]; }
+
+  /// Interns the sorted duplicate-free \p Subset; returns its id and
+  /// whether it was newly added.
+  std::pair<uint32_t, bool> intern(const std::vector<uint32_t> &Subset) {
+    uint64_t H = hashRange(Subset.begin(), Subset.end());
+    uint32_t Found = Index.find(H, Hashes, [&](uint32_t Id) {
+      size_t Len = Off[Id + 1] - Off[Id];
+      return Len == Subset.size() &&
+             std::equal(Subset.begin(), Subset.end(), Pool.begin() + Off[Id]);
+    });
+    if (Found != UINT32_MAX)
+      return {Found, false};
+    uint32_t Id = numSubsets();
+    Pool.insert(Pool.end(), Subset.begin(), Subset.end());
+    Off.push_back(static_cast<uint32_t>(Pool.size()));
+    Hashes.push_back(H);
+    Index.insert(H, Id, Hashes);
+    return {Id, true};
+  }
+
+private:
+  std::vector<uint32_t> Pool;
+  std::vector<uint32_t> Off; // Subset Id spans Pool[Off[Id], Off[Id+1]).
+  std::vector<uint64_t> Hashes;
+  InternIndex Index;
+};
+
+} // namespace
+
+Dfa Nfa::determinize() const {
+  // Subset construction with epsilon closures over flat-hash interned
+  // subsets.  The empty subset is the explicit sink, so the resulting
+  // DFA is complete.  All scratch (epoch marks, closure worklist,
+  // per-symbol successor buckets) is sized once from the subject NFA
+  // and reused across every subset row -- the loop allocates only when
+  // a genuinely new subset is interned.
+  const uint32_t NStates = numStates();
+  std::vector<uint32_t> Mark(NStates, 0);
+  uint32_t Epoch = 0;
+  std::vector<uint32_t> Work, Cur;
+  Work.reserve(NStates);
+  Cur.reserve(NStates);
+
+  // Epsilon-closes \p States in place (deduplicating the input), then
+  // sorts: the canonical subset key, identical to epsilonClosure()'s
+  // output but without the per-call Seen allocation.
+  auto Close = [&](std::vector<uint32_t> &States) {
+    ++Epoch;
+    size_t Keep = 0;
+    Work.clear();
+    for (uint32_t S : States) {
+      if (Mark[S] == Epoch)
+        continue;
+      Mark[S] = Epoch;
+      States[Keep++] = S;
+      Work.push_back(S);
+    }
+    States.resize(Keep);
+    while (!Work.empty()) {
+      uint32_t S = Work.back();
+      Work.pop_back();
+      for (const Edge &E : Adj[S]) {
+        if (E.Label != EpsSym || Mark[E.To] == Epoch)
+          continue;
+        Mark[E.To] = Epoch;
+        States.push_back(E.To);
+        Work.push_back(E.To);
       }
     }
+    std::sort(States.begin(), States.end());
+  };
+
+  auto SubsetAccepts = [&](const std::vector<uint32_t> &Subset) -> uint8_t {
+    for (uint32_t S : Subset)
+      if (Accepting[S])
+        return 1;
+    return 0;
+  };
+
+  SubsetInterner Intern(NStates ? NStates / 2 + 1 : 1);
+  std::vector<uint8_t> SubsetAccepting;
+
+  for (uint32_t S = 0; S < NStates; ++S)
+    if (Initial[S])
+      Cur.push_back(S);
+  Close(Cur);
+  uint32_t StartId = Intern.intern(Cur).first;
+  SubsetAccepting.push_back(SubsetAccepts(Cur));
+
+  // Row-major (subset id, symbol) -> successor subset id, appended as
+  // subsets are discovered.  Successors of one subset are bucketed by
+  // symbol in a single edge sweep instead of one full sweep per symbol.
+  std::vector<uint32_t> RowData;
+  RowData.reserve(static_cast<size_t>(NumSymbols) * 16);
+  std::vector<std::vector<uint32_t>> BySym(NumSymbols + 1);
+  std::vector<Sym> Touched;
+  std::vector<uint32_t> Next;
+
+  for (uint32_t Row = 0; Row < Intern.numSubsets(); ++Row) {
+    size_t Base = RowData.size();
+    RowData.resize(Base + NumSymbols);
+    for (const uint32_t *P = Intern.begin(Row), *E = Intern.end(Row); P != E;
+         ++P) {
+      for (const Edge &Ed : Adj[*P]) {
+        if (Ed.Label == EpsSym)
+          continue;
+        std::vector<uint32_t> &B = BySym[Ed.Label];
+        if (B.empty())
+          Touched.push_back(Ed.Label);
+        B.push_back(Ed.To);
+      }
+    }
+    for (Sym X = 1; X <= NumSymbols; ++X) {
+      const std::vector<uint32_t> &B = BySym[X];
+      Next.assign(B.begin(), B.end());
+      Close(Next);
+      auto [Id, New] = Intern.intern(Next);
+      if (New)
+        SubsetAccepting.push_back(SubsetAccepts(Next));
+      RowData[Base + X - 1] = Id;
+    }
+    for (Sym X : Touched)
+      BySym[X].clear();
+    Touched.clear();
+  }
+
+  uint32_t NumSubsets = Intern.numSubsets();
+  Dfa D(NumSymbols, NumSubsets, StartId);
+  for (uint32_t S = 0; S < NumSubsets; ++S) {
+    if (SubsetAccepting[S])
+      D.setAccepting(S);
+    for (Sym X = 1; X <= NumSymbols; ++X)
+      D.setNext(S, X, RowData[static_cast<size_t>(S) * NumSymbols + X - 1]);
   }
   return D;
 }

@@ -181,6 +181,55 @@ private:
   size_t Size = 0;
 };
 
+/// Probe-table core shared by the hash-consing arenas (fa/DfaStore and
+/// Nfa::determinize's subset interner): open addressing over dense
+/// 32-bit ids whose entry storage lives with the caller.  The caller
+/// keeps one stored 64-bit hash per id (so probe chains compare one
+/// word before touching the entry) and supplies the entry-equality
+/// predicate; the index only owns the slot array.  Growth at 3/4 load,
+/// like FlatMap; no erase -- arenas only ever append.
+class InternIndex {
+public:
+  InternIndex() : Slots(64, 0) {}
+
+  /// The id interned under hash \p H for which \p Eq(id) holds, or
+  /// UINT32_MAX when absent.  \p Hashes are the caller's per-id stored
+  /// hashes.
+  template <typename EqualFn>
+  uint32_t find(uint64_t H, const std::vector<uint64_t> &Hashes,
+                EqualFn Eq) const {
+    size_t Mask = Slots.size() - 1;
+    for (size_t I = H & Mask; Slots[I] != 0; I = (I + 1) & Mask) {
+      uint32_t Id = Slots[I] - 1;
+      if (Hashes[Id] == H && Eq(Id))
+        return Id;
+    }
+    return UINT32_MAX;
+  }
+
+  /// Records the freshly appended id \p Id under \p H, growing (and
+  /// rehashing from \p Hashes) past 3/4 load.
+  void insert(uint64_t H, uint32_t Id, const std::vector<uint64_t> &Hashes) {
+    place(H, Id);
+    if (Hashes.size() > Slots.size() - Slots.size() / 4) {
+      Slots.assign(Slots.size() * 2, 0);
+      for (uint32_t J = 0; J < Hashes.size(); ++J)
+        place(Hashes[J], J);
+    }
+  }
+
+private:
+  void place(uint64_t H, uint32_t Id) {
+    size_t Mask = Slots.size() - 1;
+    size_t I = H & Mask;
+    while (Slots[I] != 0)
+      I = (I + 1) & Mask;
+    Slots[I] = Id + 1;
+  }
+
+  std::vector<uint32_t> Slots; // Dense id + 1; 0 = empty slot.
+};
+
 /// Open-addressing hash set over the same machinery.
 template <typename K, typename HashFn = IntKeyHash> class FlatSet {
 public:

@@ -134,7 +134,7 @@ CpdsFile cuba::testing::generateRandomCpds(uint64_t Seed,
 
 RandomCpdsOptions cuba::testing::cornerShapeOptions(uint64_t Seed) {
   RandomCpdsOptions O;
-  switch (Seed % 6) {
+  switch (Seed % 7) {
   case 0: // The default mixed shape.
     break;
   case 1: // Recursion-free: stacks never grow, R_k always finite.
@@ -159,6 +159,15 @@ RandomCpdsOptions cuba::testing::cornerShapeOptions(uint64_t Seed) {
     O.MinShared = 5;
     O.MaxShared = 7;
     O.RuleDensity = 0.25;
+    break;
+  case 6: // Symbolic-heavy: deep recursion over wide visible alphabets,
+          // so stack languages get big and the symbolic engine's
+          // determinize/minimize/canonicalize pipeline dominates.
+    O.MinThreads = 2;
+    O.MinSymbols = 3;
+    O.MaxSymbols = 5;
+    O.MaxInitDepth = 4;
+    O.RuleDensity = 0.6;
     break;
   }
   return O;

@@ -86,7 +86,8 @@ CpdsFile generateRandomCpds(uint64_t Seed, const RandomCpdsOptions &Opts = {});
 
 /// Derives one of a rotating set of corner-shape option presets from
 /// \p Seed (default mix, recursion-free, single-thread, empty-start with
-/// empty-stack rules, dense two-state, wide shared space, ...).  Feeding
+/// empty-stack rules, dense two-state, wide shared space,
+/// symbolic-heavy deep recursion over wide alphabets, ...).  Feeding
 /// consecutive seeds through this covers the corner shapes evenly while
 /// staying fully reproducible.
 RandomCpdsOptions cornerShapeOptions(uint64_t Seed);

@@ -22,6 +22,7 @@
 
 #include <cstdlib>
 
+#include "fa/Dfa.h"
 #include "models/Models.h"
 #include "support/StringUtils.h"
 #include "testing/DifferentialOracle.h"
@@ -81,6 +82,26 @@ TEST(Differential, RandomInstancesShard3) {
   runSeedRange(baseSeed() + 180, 60);
 }
 
+// The symbolic-heavy corner shape (deep recursion, wide visible
+// alphabets) concentrates work in the determinize / minimize /
+// canonicalize pipeline of the symbolic engine; run it explicitly so
+// every suite execution exercises the flat automata plane hard, not
+// just the 1-in-7 rotation slots.
+TEST(Differential, SymbolicHeavyPreset) {
+  cuba::testing::RandomCpdsOptions O =
+      cornerShapeOptions(6); // The %7 == 6 slot.
+  ASSERT_EQ(O.MaxSymbols, 5u) << "preset rotation changed; fix this test";
+  for (uint64_t I = 0; I < 40; ++I) {
+    uint64_t Seed = baseSeed() + I;
+    CpdsFile File = generateRandomCpds(Seed, O);
+    OracleReport Rep = runDifferentialOracle(File, quickOracle());
+    EXPECT_TRUE(Rep.ok())
+        << "seed " << Seed << " (symbolic-heavy preset)\n"
+        << Rep.str() << "\ninstance:\n"
+        << printCpds(File);
+  }
+}
+
 // The oracle also holds on the hand-built paper models, tying the
 // randomized harness back to the known-good benchmarks.
 TEST(Differential, PaperModels) {
@@ -104,6 +125,31 @@ TEST(Differential, OracleCatchesInjectedEngineBug) {
   OracleReport Rep = runDifferentialOracle(File, O);
   EXPECT_FALSE(Rep.ok())
       << "the oracle accepted an engine that lost a visible state";
+}
+
+// The symbolic-plane mutation check: an under-refining Dfa::minimize
+// (injected via the fa_testing hook) conflates distinct stack
+// languages, so the symbolic engine's canonical dedup merges states it
+// must not and T(S_k) diverges from T(R_k).  The oracle has to catch
+// this on the paper's Fig. 1 model and on a healthy majority of fixed
+// symbolic-heavy seeds (fixed literals, not baseSeed: tiny instances
+// may legitimately be insensitive to the mutation, so the set is
+// pinned to stay deterministic under CI seed rotation).
+TEST(Differential, OracleCatchesInjectedMinimizeBug) {
+  fa_testing::InjectMinimizeUnderRefine = true;
+  OracleOptions O = quickOracle();
+  O.CheckBaselines = false; // The mutation is engine-side; phase 1
+  O.CheckDrivers = false;   // (T(R_k) vs T(S_k)) is the detector.
+  OracleReport Fig1 = runDifferentialOracle(models::buildFig1(), O);
+  unsigned Caught = Fig1.ok() ? 0 : 1;
+  cuba::testing::RandomCpdsOptions Shape = cornerShapeOptions(6);
+  for (uint64_t Seed = 500; Seed < 520; ++Seed)
+    Caught += !runDifferentialOracle(generateRandomCpds(Seed, Shape), O).ok();
+  fa_testing::InjectMinimizeUnderRefine = false;
+  EXPECT_FALSE(Fig1.ok())
+      << "the oracle accepted an under-refining minimize on Fig. 1";
+  EXPECT_GE(Caught, 12u) << "only " << Caught
+                         << "/21 mutated runs were flagged";
 }
 
 TEST(Differential, OracleCatchesInjectedBugOnRandomInstances) {
