@@ -29,6 +29,7 @@ public:
       : C(C), Prop(Prop), Opts(Opts), UseScheme1(UseScheme1),
         UseAlg3(UseAlg3), Engine(C, Opts.Limits), Gen(C) {
     Engine.setExpandAll(Opts.ExpandAll);
+    Engine.setParallel(Opts.Pool);
     if (UseAlg3) {
       // The generator test compares against G cap Z, an overapproximation
       // of the reachable generators (Sec. 4.1.3).  Entries are removed as

@@ -33,6 +33,10 @@
 
 namespace cuba {
 
+namespace exec {
+class ThreadPool;
+} // namespace exec
+
 /// Options shared by the CUBA procedures.
 struct RunOptions {
   ResourceLimits Limits;
@@ -44,6 +48,10 @@ struct RunOptions {
   /// On a bug, reconstruct a concrete interleaving into
   /// RunResult::Trace (explicit engines only).
   bool BuildTrace = false;
+  /// When set (and holding more than one job), the engines fan each
+  /// round out across this pool's workers; results are bit-identical to
+  /// a serial run (see src/exec/).  The pool must outlive the run.
+  exec::ThreadPool *Pool = nullptr;
 };
 
 /// Result of running both explicit procedures over one engine.

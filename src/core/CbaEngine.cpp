@@ -9,6 +9,7 @@
 
 #include <algorithm>
 
+#include "exec/ParallelRound.h"
 #include "support/Statistic.h"
 
 using namespace cuba;
@@ -38,6 +39,14 @@ uint32_t CbaEngine::appendState(PackedGlobalState &&S, unsigned Round,
   Info.push_back({Round, Parent, Thread, ActionIdx});
   LocalMark.push_back(0);
   return Id;
+}
+
+void CbaEngine::setParallel(exec::ThreadPool *P) {
+  Pool = P && P->jobs() > 1 ? P : nullptr;
+  if (Pool)
+    Scratch = std::make_unique<exec::WorkerLocal<DeriveScratch>>(*Pool);
+  else
+    Scratch.reset();
 }
 
 CbaEngine::RoundStatus
@@ -93,8 +102,140 @@ CbaEngine::closeUnderThread(unsigned I, const std::vector<uint32_t> &Seeds,
   return RoundStatus::Ok;
 }
 
+void CbaEngine::deriveChunk(unsigned Worker, ChunkOut &Out, unsigned I,
+                            const std::vector<uint32_t> &Level, size_t Begin,
+                            size_t End) {
+  DeriveScratch &SC = Scratch->get(Worker);
+  if (SC.Gen != DeriveGen) {
+    SC.Overlay.rebase(Store);
+    SC.Gen = DeriveGen;
+  }
+  Out.Worker = Worker;
+  Out.Parents.clear();
+  Out.CandEnd.clear();
+  Out.Cands.clear();
+  const uint32_t BaseSize = SC.Overlay.baseSize();
+  for (size_t P = Begin; P < End; ++P) {
+    uint32_t ParentId = Level[P];
+    // By value: cheap (ids), and independent of arena relocation.
+    PackedGlobalState S = States[ParentId];
+    SC.SuccsBuf.clear();
+    C.threadSuccessorsVia(S, I, SC.Overlay, SC.SuccsBuf);
+    Out.Parents.emplace_back(ParentId,
+                             static_cast<uint32_t>(SC.SuccsBuf.size()));
+    for (auto &[V, ActionIdx] : SC.SuccsBuf) {
+      uint32_t Known = UINT32_MAX;
+      // Only thread I's stack can be new; a base-id stack makes the
+      // whole state probeable against the frozen index.
+      if (V.Stacks[I] < BaseSize) {
+        if (const uint32_t *Found = Index.find(V)) {
+          uint32_t Id = *Found;
+          // Marked in an earlier (committed) level: the serial BFS
+          // skips it here too.  Old states (discovered in an earlier
+          // round) are never re-traversed; their mark is inert, so the
+          // candidate can be dropped outright -- its charge is already
+          // carried by the parent's successor count.
+          if (LocalMark[Id] == Epoch || Info[Id].Round <= Bound)
+            continue;
+          Known = Id;
+        }
+      }
+      Candidate Cand;
+      Cand.KnownId = Known;
+      Cand.ActionIdx = ActionIdx;
+      if (Known == UINT32_MAX)
+        Cand.S = std::move(V);
+      Out.Cands.push_back(std::move(Cand));
+    }
+    Out.CandEnd.push_back(static_cast<uint32_t>(Out.Cands.size()));
+  }
+}
+
+CbaEngine::RoundStatus
+CbaEngine::closeUnderThreadParallel(unsigned I,
+                                    const std::vector<uint32_t> &Seeds,
+                                    std::vector<uint32_t> &NewFrontier) {
+  // The serial merged BFS processed level by level: derive each level's
+  // successors in parallel from frozen state, then replay the commit --
+  // charges, dedup, id assignment, next-level appends -- in the exact
+  // serial order (chunk index order == level order).
+  ++Epoch;
+  std::vector<uint32_t> &Level = LevelBuf, &Next = NextLevelBuf;
+  Level.clear();
+  Next.clear();
+  for (uint32_t Id : Seeds) {
+    LocalMark[Id] = Epoch;
+    Level.push_back(Id);
+  }
+
+  while (!Level.empty()) {
+    ++DeriveGen; // Invalidates every worker's overlay (arena has grown).
+    size_t Grain = exec::adaptiveGrain(Level.size(), Pool->jobs());
+    size_t NumChunks = exec::chunkCount(Level.size(), Grain);
+    if (ChunksBuf.size() < NumChunks)
+      ChunksBuf.resize(NumChunks);
+    exec::parallelChunks(*Pool, Level.size(), Grain,
+                         [&](unsigned Worker, size_t Chunk, size_t Begin,
+                             size_t End) {
+                           deriveChunk(Worker, ChunksBuf[Chunk], I, Level,
+                                       Begin, End);
+                         });
+
+    // Serial ordered commit.
+    Next.clear();
+    for (size_t Chunk = 0; Chunk < NumChunks; ++Chunk) {
+      ChunkOut &CO = ChunksBuf[Chunk];
+      StackOverlay &OV = Scratch->get(CO.Worker).Overlay;
+      size_t CandBegin = 0;
+      for (size_t P = 0; P < CO.Parents.size(); ++P) {
+        auto [ParentId, SuccCount] = CO.Parents[P];
+        size_t CandEnd = CO.CandEnd[P];
+        if (!Limits.chargeStep(SuccCount + 1))
+          return RoundStatus::Exhausted;
+        for (size_t CI = CandBegin; CI < CandEnd; ++CI) {
+          Candidate &Cand = CO.Cands[CI];
+          if (Cand.KnownId != UINT32_MAX) {
+            uint32_t Id = Cand.KnownId;
+            if (LocalMark[Id] == Epoch)
+              continue;
+            LocalMark[Id] = Epoch;
+            // Derive only kept known candidates with Round > Bound.
+            Next.push_back(Id);
+            continue;
+          }
+          PackedGlobalState V = std::move(Cand.S);
+          V.Stacks[I] = OV.translate(V.Stacks[I], Store);
+          auto [Slot, New] =
+              Index.tryEmplace(V, static_cast<uint32_t>(States.size()));
+          if (New) {
+            uint32_t NewId =
+                appendState(std::move(V), Bound + 1, ParentId, I,
+                            Cand.ActionIdx);
+            LocalMark[NewId] = Epoch;
+            NewFrontier.push_back(NewId);
+            Next.push_back(NewId);
+            if (!Limits.chargeState())
+              return RoundStatus::Exhausted;
+            continue;
+          }
+          uint32_t SeenId = *Slot;
+          if (LocalMark[SeenId] == Epoch)
+            continue;
+          LocalMark[SeenId] = Epoch;
+          if (Info[SeenId].Round > Bound)
+            Next.push_back(SeenId);
+        }
+        CandBegin = CandEnd;
+      }
+    }
+    std::swap(Level, Next);
+  }
+  return RoundStatus::Ok;
+}
+
 CbaEngine::RoundStatus CbaEngine::advance() {
-  ++Statistics::counter("cba.rounds");
+  static Statistic Rounds("cba.rounds");
+  ++Rounds;
   // Seeds are snapshotted before the round: states discovered during
   // this round must not become seeds of a later thread's closure, or
   // the round would mix multiple context switches.
@@ -107,9 +248,12 @@ CbaEngine::RoundStatus CbaEngine::advance() {
     Seeds = Frontier;
   }
   std::vector<uint32_t> NewFrontier;
-  for (unsigned I = 0; I < C.numThreads(); ++I)
-    if (closeUnderThread(I, Seeds, NewFrontier) == RoundStatus::Exhausted)
+  for (unsigned I = 0; I < C.numThreads(); ++I) {
+    RoundStatus St = Pool ? closeUnderThreadParallel(I, Seeds, NewFrontier)
+                          : closeUnderThread(I, Seeds, NewFrontier);
+    if (St == RoundStatus::Exhausted)
       return RoundStatus::Exhausted;
+  }
   ++Bound;
   Frontier = std::move(NewFrontier);
   return RoundStatus::Ok;

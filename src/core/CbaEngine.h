@@ -36,13 +36,26 @@
 /// so R_k is computed exactly.  bench_ablation_frontier measures the
 /// effect; setExpandAll(true) disables it.
 ///
+/// Parallel rounds (setParallel): the serial merged BFS is exactly
+/// level-synchronous -- the queue is the concatenation of BFS levels,
+/// each processed in the append order of the previous one -- so a round
+/// can fan a level's successor derivation out across workers (each with
+/// a StackOverlay over the frozen arena) and then commit the per-chunk
+/// candidate lists serially in level order.  The commit performs every
+/// order-sensitive effect (stack/state id assignment, dedup, budget
+/// charges, first-seen bookkeeping) in exactly the serial sequence, so
+/// results are bit-identical to a serial run for any job count; see
+/// ParallelDeterminismTest.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef CUBA_CORE_CBAENGINE_H
 #define CUBA_CORE_CBAENGINE_H
 
+#include <memory>
 #include <vector>
 
+#include "exec/WorkerLocal.h"
 #include "pds/Cpds.h"
 #include "pds/StackStore.h"
 #include "pds/VisibleSet.h"
@@ -109,6 +122,12 @@ public:
   /// only the frontier (the ablation baseline; results are identical).
   void setExpandAll(bool B) { ExpandAll = B; }
 
+  /// Fans subsequent rounds out across \p Pool's workers (nullptr, or a
+  /// one-job pool, restores the serial path).  Results are bit-identical
+  /// either way; the pool must outlive the engine or the next
+  /// setParallel call.
+  void setParallel(exec::ThreadPool *Pool);
+
   const LimitTracker &limits() const { return Limits; }
 
   /// Reconstructs a run from the initial state to the earliest-found
@@ -131,6 +150,49 @@ private:
 
   RoundStatus closeUnderThread(unsigned I, const std::vector<uint32_t> &Seeds,
                                std::vector<uint32_t> &NewFrontier);
+
+  /// One successor surfaced by the parallel derive phase.  Known
+  /// candidates name a state that was already stored when the level's
+  /// derive began; new candidates carry the derived state, whose thread
+  /// stack may be an overlay id until the commit translates it.
+  struct Candidate {
+    PackedGlobalState S;
+    uint32_t ActionIdx = 0;
+    uint32_t KnownId = UINT32_MAX;
+  };
+
+  /// Output of one derive chunk: per-parent successor counts (the
+  /// serial charge schedule) plus the filtered candidate list, with
+  /// CandEnd[i] delimiting parent i's candidates.  Self-delimiting, so
+  /// commits concatenate chunks in index order regardless of where the
+  /// grain cut the level.
+  struct ChunkOut {
+    unsigned Worker = 0;
+    std::vector<std::pair<uint32_t, uint32_t>> Parents; // (id, succs)
+    std::vector<uint32_t> CandEnd;
+    std::vector<Candidate> Cands;
+  };
+
+  /// Per-worker derive scratch; the overlay is rebased once per level
+  /// (Gen tracks which level it is valid for) and must stay alive until
+  /// that level's commit has translated every candidate out of it.
+  struct DeriveScratch {
+    StackOverlay Overlay;
+    uint64_t Gen = 0;
+    std::vector<std::pair<PackedGlobalState, uint32_t>> SuccsBuf;
+  };
+
+  /// The parallel counterpart of closeUnderThread: identical observable
+  /// behaviour, pinned by ParallelDeterminismTest.
+  RoundStatus closeUnderThreadParallel(unsigned I,
+                                       const std::vector<uint32_t> &Seeds,
+                                       std::vector<uint32_t> &NewFrontier);
+
+  /// Derives successors of Level[Begin..End) by thread \p I into \p Out,
+  /// reading only state frozen for the level (arena, index, marks).
+  void deriveChunk(unsigned Worker, ChunkOut &Out, unsigned I,
+                   const std::vector<uint32_t> &Level, size_t Begin,
+                   size_t End);
 
   /// Stores the (fresh) state \p S with the given discovery metadata and
   /// records its visible projection; returns its new id.  The caller has
@@ -165,6 +227,13 @@ private:
   std::vector<std::pair<PackedGlobalState, uint32_t>> SuccsBuf;
   std::vector<uint32_t> QueueBuf;
   std::vector<Sym> TopsBuf;
+
+  /// Parallel execution (null/absent on the serial path).
+  exec::ThreadPool *Pool = nullptr;
+  std::unique_ptr<exec::WorkerLocal<DeriveScratch>> Scratch;
+  uint64_t DeriveGen = 0;
+  std::vector<ChunkOut> ChunksBuf;
+  std::vector<uint32_t> LevelBuf, NextLevelBuf;
 };
 
 } // namespace cuba

@@ -22,6 +22,7 @@ SymbolicRunResult cuba::runAlg3Symbolic(const Cpds &C,
   WallTimer Timer;
   SymbolicRunResult R;
   SymbolicEngine Engine(C, Opts.Limits);
+  Engine.setParallel(Opts.Pool);
   GeneratorSet Gen(C);
   std::vector<VisibleState> Pending = Gen.intersect(computeZ(C));
   ObservationTracker TkSizes;

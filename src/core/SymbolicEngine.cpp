@@ -9,6 +9,7 @@
 
 #include <algorithm>
 
+#include "exec/ParallelRound.h"
 #include "psa/PAutomaton.h"
 #include "psa/PostStar.h"
 #include "support/Statistic.h"
@@ -117,7 +118,7 @@ void SymbolicEngine::recordVisible(const SymbolicState &S, unsigned Round) {
 std::pair<bool, bool>
 SymbolicEngine::addState(SymbolicState S, unsigned Round, uint32_t Producer,
                          std::vector<SymbolicState> *NewFrontier) {
-  static uint64_t &StateCounter = Statistics::counter("symbolic.states");
+  static Statistic StateCounter("symbolic.states");
   uint32_t Mask = Producer == UINT32_MAX ? 0u : (1u << Producer);
   auto [Slot, New] = States.tryEmplace(S, Mask);
   if (!New) {
@@ -129,6 +130,30 @@ SymbolicEngine::addState(SymbolicState S, unsigned Round, uint32_t Producer,
   if (NewFrontier)
     NewFrontier->push_back(std::move(S));
   return {true, Limits.chargeState()};
+}
+
+bool SymbolicEngine::addSuccessor(const SymbolicState &S, unsigned I,
+                                  QState Q2, DfaId Lang,
+                                  std::vector<SymbolicState> &NewFrontier) {
+  SymbolicState Succ;
+  Succ.Q = Q2;
+  Succ.Langs = S.Langs;
+  Succ.Langs[I] = Lang;
+  return addState(std::move(Succ), Bound + 1, I, &NewFrontier).second;
+}
+
+bool SymbolicEngine::replayTransaction(const Transaction &TR,
+                                       const SymbolicState &S, unsigned I,
+                                       std::vector<SymbolicState> &NewFrontier) {
+  if (!Limits.chargeStep(TR.BaseSteps))
+    return false;
+  for (const Transaction::Succ &Succ : TR.Succs) {
+    if (!Limits.chargeStep(Succ.StepCost))
+      return false;
+    if (!addSuccessor(S, I, Succ.Q, Succ.Lang, NewFrontier))
+      return false;
+  }
+  return true;
 }
 
 /// Renders a canonical DFA as a P-automaton rooted at \p Root.  The
@@ -168,9 +193,8 @@ bool SymbolicEngine::expand(const SymbolicState &S, unsigned I,
                             std::vector<SymbolicState> &NewFrontier) {
   // Resolved once: the registry lookup costs a string hash, which is
   // too expensive now that cache hits make expand() itself cheap.
-  static uint64_t &TransCounter = Statistics::counter("symbolic.transactions");
-  static uint64_t &HitCounter =
-      Statistics::counter("symbolic.transactions.cached");
+  static Statistic TransCounter("symbolic.transactions");
+  static Statistic HitCounter("symbolic.transactions.cached");
   ++TransCounter;
 
   // An empty stack language admits no configuration at all, hence no
@@ -179,17 +203,6 @@ bool SymbolicEngine::expand(const SymbolicState &S, unsigned I,
   // the engine well-defined under the fa_testing minimize mutation.
   if (Store.get(S.Langs[I]).Start == CanonicalDfa::NoState)
     return true;
-
-  // Replays a successor: derive the symbolic state and register it.
-  auto AddSucc = [&](QState Q2, DfaId Lang) {
-    SymbolicState Succ;
-    Succ.Q = Q2;
-    Succ.Langs = S.Langs;
-    Succ.Langs[I] = Lang;
-    auto [New, Ok] = addState(std::move(Succ), Bound + 1, I, &NewFrontier);
-    (void)New;
-    return Ok;
-  };
 
   // A transaction's successors depend only on (expanding thread, shared
   // root, thread i's language): probe the per-thread cache first.  A hit
@@ -200,16 +213,7 @@ bool SymbolicEngine::expand(const SymbolicState &S, unsigned I,
   uint64_t Key = (static_cast<uint64_t>(S.Q) << 32) | S.Langs[I];
   if (const uint32_t *Cached = TransCache[I].find(Key)) {
     ++HitCounter;
-    const Transaction &T = Transactions[*Cached];
-    if (!Limits.chargeStep(T.BaseSteps))
-      return false;
-    for (const Transaction::Succ &Succ : T.Succs) {
-      if (!Limits.chargeStep(Succ.StepCost))
-        return false;
-      if (!AddSucc(Succ.Q, Succ.Lang))
-        return false;
-    }
-    return true;
+    return replayTransaction(Transactions[*Cached], S, I, NewFrontier);
   }
 
   uint64_t StepsBefore = Limits.steps();
@@ -219,32 +223,52 @@ bool SymbolicEngine::expand(const SymbolicState &S, unsigned I,
   if (!R.Complete)
     return false;
 
-  Transaction T;
-  T.BaseSteps = Limits.steps() - StepsBefore;
+  PendingTrans P;
+  P.Thread = I;
+  P.Root = S.Q;
+  P.InLang = S.Langs[I];
+  P.BaseSteps = Limits.steps() - StepsBefore;
+  collectSuccessors(R, P);
+  return commitFreshTransaction(P, S, I, Key, NewFrontier);
+}
+
+void SymbolicEngine::collectSuccessors(const PostStarResult &R,
+                                       PendingTrans &P) const {
   for (QState Q2 = 0; Q2 < C.numSharedStates(); ++Q2) {
     Nfa Rooted = R.Automaton.rootedNfa({Q2});
     if (Rooted.isLanguageEmpty())
       continue;
     uint64_t Cost = Rooted.numStates();
+    CanonicalDfa D = Rooted.determinize().canonicalize();
+    uint64_t Hash = D.hash();
+    P.Succs.push_back({Q2, std::move(D), Hash, Cost});
+  }
+}
+
+bool SymbolicEngine::commitFreshTransaction(
+    PendingTrans &P, const SymbolicState &S, unsigned I, uint64_t Key,
+    std::vector<SymbolicState> &NewFrontier) {
+  Transaction TR;
+  TR.BaseSteps = P.BaseSteps;
+  for (PendingTrans::PSucc &PS : P.Succs) {
     // Exhaustion mid-transaction leaves the entry uncached: a prefix of
-    // the successors was computed (and, matching the pre-cache engine,
-    // already added above), and the engine is stopping anyway.
-    if (!Limits.chargeStep(Cost))
+    // the successors was charged and registered, and the engine is
+    // stopping anyway.
+    if (!Limits.chargeStep(PS.StepCost))
       return false;
-    DfaId Lang = Store.intern(Rooted.determinize().canonicalize());
-    T.Succs.push_back({Q2, Lang, Cost});
-    if (!AddSucc(Q2, Lang))
+    DfaId Lang = Store.intern(std::move(PS.D), PS.Hash);
+    TR.Succs.push_back({PS.Q, Lang, PS.StepCost});
+    if (!addSuccessor(S, I, PS.Q, Lang, NewFrontier))
       return false;
   }
-  Transactions.push_back(std::move(T));
+  Transactions.push_back(std::move(TR));
   TransCache[I].tryEmplace(Key,
                            static_cast<uint32_t>(Transactions.size() - 1));
   return true;
 }
 
-SymbolicEngine::RoundStatus SymbolicEngine::advance() {
-  ++Statistics::counter("symbolic.rounds");
-  std::vector<SymbolicState> NewFrontier;
+SymbolicEngine::RoundStatus
+SymbolicEngine::advanceRoundSerial(std::vector<SymbolicState> &NewFrontier) {
   for (const SymbolicState &S : Frontier) {
     uint32_t Produced = *States.find(S);
     for (unsigned I = 0; I < C.numThreads(); ++I) {
@@ -256,6 +280,106 @@ SymbolicEngine::RoundStatus SymbolicEngine::advance() {
         return RoundStatus::Exhausted;
     }
   }
+  return RoundStatus::Ok;
+}
+
+void SymbolicEngine::computeTransaction(PendingTrans &P) const {
+  // Everything here reads only state frozen for the round: the
+  // bottom-transformed PDSs, the DfaStore arena (no interning happens
+  // until the commit), and the pds structure.  The budget is a local
+  // unlimited recorder -- the commit replays its unit-charge count
+  // against the real tracker in serial order.
+  LimitTracker Recorder((ResourceLimits::unlimited()));
+  PAutomaton In =
+      rootedInput(C.numSharedStates(), Store.get(P.InLang), P.Root);
+  PostStarResult R = postStar(Bottomed[P.Thread].P, In, &Recorder);
+  P.BaseSteps = Recorder.steps();
+  assert(R.Complete && "unlimited saturation cannot exhaust");
+  collectSuccessors(R, P);
+}
+
+SymbolicEngine::RoundStatus
+SymbolicEngine::advanceRoundParallel(std::vector<SymbolicState> &NewFrontier) {
+  static Statistic TransCounter("symbolic.transactions");
+  static Statistic HitCounter("symbolic.transactions.cached");
+
+  // Phase 1 (serial): collect the distinct keys no cached transaction
+  // covers, skipping expansions the *round-start* producer masks rule
+  // out.  Masks only gain bits as the round commits (a frontier state
+  // re-derived mid-round absorbs its producer), so this is a superset
+  // of what the serial path computes fresh -- the commit below re-reads
+  // the live mask and is what decides.
+  std::vector<PendingTrans> Pending;
+  std::vector<FlatMap<uint64_t, uint32_t>> FreshIdx(C.numThreads());
+  for (const SymbolicState &S : Frontier) {
+    uint32_t Produced = *States.find(S);
+    for (unsigned I = 0; I < C.numThreads(); ++I) {
+      if (Produced & (1u << I))
+        continue;
+      if (Store.get(S.Langs[I]).Start == CanonicalDfa::NoState)
+        continue;
+      uint64_t Key = (static_cast<uint64_t>(S.Q) << 32) | S.Langs[I];
+      if (TransCache[I].contains(Key))
+        continue;
+      auto [Slot, New] = FreshIdx[I].tryEmplace(
+          Key, static_cast<uint32_t>(Pending.size()));
+      (void)Slot;
+      if (New)
+        Pending.push_back({I, S.Q, S.Langs[I], 0, {}});
+    }
+  }
+
+  // Phase 2 (parallel): speculative transactions, one task per key.
+  // Tasks the serial run would never reach (it exhausted earlier) are
+  // computed and discarded; the budget replay below is what decides.
+  exec::parallelFor(*Pool, Pending.size(), 1, [&](unsigned, size_t T) {
+    computeTransaction(Pending[T]);
+  });
+
+  // Phase 3 (serial): replay the round's expansion sequence in serial
+  // order against the real budget -- live producer masks, the empty
+  // -language guard, cache hits, interning (DfaId assignment order ==
+  // serial order) and successor registration, exactly as expand() would.
+  for (const SymbolicState &S : Frontier) {
+    uint32_t Produced = *States.find(S);
+    for (unsigned I = 0; I < C.numThreads(); ++I) {
+      if (Produced & (1u << I))
+        continue;
+      ++TransCounter;
+      if (Store.get(S.Langs[I]).Start == CanonicalDfa::NoState)
+        continue;
+      uint64_t Key = (static_cast<uint64_t>(S.Q) << 32) | S.Langs[I];
+      if (const uint32_t *Cached = TransCache[I].find(Key)) {
+        // Cached before the round, or committed earlier within it: the
+        // serial hit path (shared with expand(), so the two charge
+        // schedules cannot drift apart).
+        ++HitCounter;
+        if (!replayTransaction(Transactions[*Cached], S, I, NewFrontier))
+          return RoundStatus::Exhausted;
+        continue;
+      }
+      // First occurrence of a fresh key: post* charged one unit per
+      // saturation pop, so replaying the count leaves the engine
+      // exactly where a mid-saturation exhaustion would; the rest of
+      // the sequence is the code expand() itself runs.
+      PendingTrans &P = Pending[*FreshIdx[I].find(Key)];
+      if (!Limits.chargeStepsUnit(P.BaseSteps))
+        return RoundStatus::Exhausted;
+      if (!commitFreshTransaction(P, S, I, Key, NewFrontier))
+        return RoundStatus::Exhausted;
+    }
+  }
+  return RoundStatus::Ok;
+}
+
+SymbolicEngine::RoundStatus SymbolicEngine::advance() {
+  static Statistic Rounds("symbolic.rounds");
+  ++Rounds;
+  std::vector<SymbolicState> NewFrontier;
+  RoundStatus St = Pool ? advanceRoundParallel(NewFrontier)
+                        : advanceRoundSerial(NewFrontier);
+  if (St == RoundStatus::Exhausted)
+    return RoundStatus::Exhausted;
   ++Bound;
   Frontier = std::move(NewFrontier);
   return RoundStatus::Ok;

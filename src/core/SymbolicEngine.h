@@ -34,6 +34,19 @@
 /// the product of per-thread top-symbol sets extracted from the
 /// automata, with the bottom marker reported as the empty stack.
 ///
+/// Parallel rounds (setParallel): a round's transactions only interact
+/// through the States / DfaStore interning and the budget, and their
+/// *content* depends only on (thread, shared root, input language).  The
+/// parallel path therefore computes each distinct uncached key's
+/// transaction speculatively across workers -- post*, per-root
+/// determinize/minimize/canonicalize, structural hashing, all against
+/// the frozen arena -- and then replays the round's (frontier, thread)
+/// sequence serially, charging budgets and interning canonical forms in
+/// exactly the serial order.  Keys repeated within the round become
+/// cache hits at the replay, just as they do serially, so verdicts,
+/// first-seen rounds, budget exhaustion points and DfaId assignment are
+/// bit-identical to `--jobs 1` (pinned by ParallelDeterminismTest).
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef CUBA_CORE_SYMBOLICENGINE_H
@@ -41,6 +54,7 @@
 
 #include <vector>
 
+#include "exec/ThreadPool.h"
 #include "fa/DfaStore.h"
 #include "pds/Cpds.h"
 #include "pds/VisibleSet.h"
@@ -50,6 +64,8 @@
 #include "support/SmallVec.h"
 
 namespace cuba {
+
+struct PostStarResult;
 
 /// A symbolic state <q | A_1..A_n> with interned canonical per-thread
 /// stack languages (over the bottom-extended alphabets).  All ids come
@@ -117,6 +133,14 @@ public:
   /// stack languages ever canonicalised).
   const DfaStore &languageStore() const { return Store; }
 
+  /// Fans subsequent rounds' transactions out across \p Pool's workers
+  /// (nullptr, or a one-job pool, restores the serial path).  Results
+  /// are bit-identical either way; the pool must outlive the engine or
+  /// the next setParallel call.
+  void setParallel(exec::ThreadPool *Pool) {
+    this->Pool = Pool && Pool->jobs() > 1 ? Pool : nullptr;
+  }
+
 private:
   /// One cached transaction: the successors a post* expansion produced
   /// plus the exact step-charge schedule of the original computation
@@ -139,12 +163,75 @@ private:
   bool expand(const SymbolicState &S, unsigned I,
               std::vector<SymbolicState> &NewFrontier);
 
+  /// A speculatively computed transaction for one distinct uncached
+  /// (thread, shared root, input language) key: everything the serial
+  /// fresh-expansion path computes *before* it starts charging the
+  /// budget and interning -- canonical successor languages carried by
+  /// value with their structural hashes, and the post* saturation's
+  /// unit-charge count.
+  struct PendingTrans {
+    unsigned Thread = 0;
+    QState Root = 0;
+    DfaId InLang = 0;
+    uint64_t BaseSteps = 0;
+    struct PSucc {
+      QState Q;
+      CanonicalDfa D;
+      uint64_t Hash;
+      uint64_t StepCost;
+    };
+    std::vector<PSucc> Succs;
+  };
+
+  /// Extracts, for every shared root with a non-empty rooted language,
+  /// the canonical successor language, its structural hash and its step
+  /// cost from a completed saturation.  Pure; shared by the serial
+  /// fresh path and the parallel speculative phase.
+  void collectSuccessors(const PostStarResult &R, PendingTrans &P) const;
+
+  /// The budget-charging tail of a fresh transaction -- per-successor
+  /// charge -> intern -> register, then record it under \p Key.  The
+  /// base post* charge has already been applied (incrementally against
+  /// the live tracker in expand(), via chargeStepsUnit in the parallel
+  /// commit); sharing this sequence is what keeps the two paths
+  /// bit-identical by construction.  Returns false on exhaustion,
+  /// leaving the entry uncached with the successor prefix registered.
+  bool commitFreshTransaction(PendingTrans &P, const SymbolicState &S,
+                              unsigned I, uint64_t Key,
+                              std::vector<SymbolicState> &NewFrontier);
+
+  /// The serial round loop (the original expand() sequence).
+  RoundStatus advanceRoundSerial(std::vector<SymbolicState> &NewFrontier);
+
+  /// The parallel round: speculative per-key transactions, then a
+  /// serial ordered replay.  Observable behaviour identical to
+  /// advanceRoundSerial.
+  RoundStatus advanceRoundParallel(std::vector<SymbolicState> &NewFrontier);
+
+  /// Computes \p P's transaction against the frozen arena (parallel
+  /// phase; must not touch engine state).
+  void computeTransaction(PendingTrans &P) const;
+
   /// Registers \p S (if new) at round \p Round, recording its visible
   /// projections; \p Producer is the expanding thread (UINT32_MAX for
   /// the initial state).  Returns {isNew, budgetOk}.
   std::pair<bool, bool> addState(SymbolicState S, unsigned Round,
                                  uint32_t Producer,
                                  std::vector<SymbolicState> *NewFrontier);
+
+  /// Registers the successor of \p S produced by thread \p I reaching
+  /// shared state \p Q2 with language \p Lang; returns false on budget
+  /// exhaustion.
+  bool addSuccessor(const SymbolicState &S, unsigned I, QState Q2,
+                    DfaId Lang, std::vector<SymbolicState> &NewFrontier);
+
+  /// Replays the recorded transaction \p TR as an expansion of \p S by
+  /// thread \p I -- the cache-hit charge schedule (lump-sum base, then
+  /// one charge per successor, each interleaved with registration).
+  /// Shared by the serial hit path and the parallel commit so the two
+  /// cannot drift apart.  Returns false on budget exhaustion.
+  bool replayTransaction(const Transaction &TR, const SymbolicState &S,
+                         unsigned I, std::vector<SymbolicState> &NewFrontier);
 
   /// Records the visible projections T(tau) of a symbolic state.
   void recordVisible(const SymbolicState &S, unsigned Round);
@@ -189,6 +276,9 @@ private:
   /// instead of re-running post* + determinize/minimize.
   std::vector<FlatMap<uint64_t, uint32_t>> TransCache;
   std::vector<Transaction> Transactions;
+
+  /// Parallel execution (null on the serial path).
+  exec::ThreadPool *Pool = nullptr;
 };
 
 } // namespace cuba

@@ -1,0 +1,112 @@
+//===-- exec/ParallelRound.h - Deterministic fork-join helpers --*- C++ -*-===//
+//
+// Part of the CUBA project, an implementation of the PLDI 2018 paper
+// "CUBA: Interprocedural Context-UnBounded Analysis of Concurrent Programs".
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The fork-join layer the engines' round loops are written against:
+/// index-ordered parallel iteration whose outputs land in slots keyed by
+/// task (or chunk) index, never by worker or completion order.  A round
+/// then has the shape
+///
+///   derive:  parallelChunks(...) fills Out[chunk] from frozen state,
+///   commit:  a serial walk of Out[0..N) in index order performs every
+///            order-sensitive effect (id assignment, dedup, budgets),
+///
+/// which is what makes `--jobs N` bit-identical to `--jobs 1`: the
+/// parallel phase is a pure function of the chunk index, and the merge
+/// order is the serial order by construction.  Chunk *boundaries* may
+/// depend on the grain and job count; the engines keep per-chunk outputs
+/// self-delimiting so concatenation in chunk order is independent of
+/// where the cuts fall.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CUBA_EXEC_PARALLELROUND_H
+#define CUBA_EXEC_PARALLELROUND_H
+
+#include <algorithm>
+#include <cassert>
+#include <vector>
+
+#include "exec/ThreadPool.h"
+
+namespace cuba::exec {
+
+/// Number of chunks parallelChunks() splits \p N items into at grain
+/// \p Grain (the last chunk may be short).
+inline size_t chunkCount(size_t N, size_t Grain) {
+  assert(Grain > 0 && "chunk grain must be positive");
+  return (N + Grain - 1) / Grain;
+}
+
+/// A grain that yields a few chunks per participant (for dynamic load
+/// balance) without letting tiny chunks drown the work in scheduling:
+/// clamped to [MinGrain, MaxGrain].
+inline size_t adaptiveGrain(size_t N, unsigned Jobs, size_t MinGrain = 16,
+                            size_t MaxGrain = 2048) {
+  size_t Target = N / (4 * static_cast<size_t>(Jobs ? Jobs : 1));
+  return std::clamp(Target, MinGrain, MaxGrain);
+}
+
+/// Runs Fn(Worker, Chunk, Begin, End) over [0, N) split into Grain-sized
+/// half-open ranges, chunk c covering [c*Grain, min(N, (c+1)*Grain)).
+template <typename Fn>
+void parallelChunks(ThreadPool &Pool, size_t N, size_t Grain, Fn &&F) {
+  if (N == 0)
+    return;
+  size_t Chunks = chunkCount(N, Grain);
+  Pool.run(Chunks, [&](unsigned Worker, size_t Chunk) {
+    size_t Begin = Chunk * Grain;
+    size_t End = std::min(N, Begin + Grain);
+    F(Worker, Chunk, Begin, End);
+  });
+}
+
+/// Runs Fn(Worker, I) for every I in [0, N), Grain indices per task.
+template <typename Fn>
+void parallelFor(ThreadPool &Pool, size_t N, size_t Grain, Fn &&F) {
+  parallelChunks(Pool, N, Grain,
+                 [&](unsigned Worker, size_t, size_t Begin, size_t End) {
+                   for (size_t I = Begin; I < End; ++I)
+                     F(Worker, I);
+                 });
+}
+
+/// Deterministic map: Out[I] = F(Worker, I), with results slotted by
+/// index regardless of execution order.
+template <typename T, typename Fn>
+std::vector<T> parallelMap(ThreadPool &Pool, size_t N, size_t Grain, Fn &&F) {
+  std::vector<T> Out(N);
+  parallelFor(Pool, N, Grain,
+              [&](unsigned Worker, size_t I) { Out[I] = F(Worker, I); });
+  return Out;
+}
+
+/// Deterministic reduce: per-chunk partials are folded serially in chunk
+/// index order, so non-commutative merges (first-seen semantics, ordered
+/// appends) behave exactly as a serial left fold over [0, N).
+/// \p Map is Fn(Worker, I, T &Partial); \p Merge is Fn(T &Acc, T &&Partial).
+template <typename T, typename MapFn, typename MergeFn>
+T parallelReduce(ThreadPool &Pool, size_t N, size_t Grain, T Init, MapFn &&Map,
+                 MergeFn &&Merge) {
+  if (N == 0)
+    return Init;
+  std::vector<T> Partials(chunkCount(N, Grain));
+  parallelChunks(Pool, N, Grain,
+                 [&](unsigned Worker, size_t Chunk, size_t Begin, size_t End) {
+                   T &P = Partials[Chunk];
+                   for (size_t I = Begin; I < End; ++I)
+                     Map(Worker, I, P);
+                 });
+  T Acc = std::move(Init);
+  for (T &P : Partials)
+    Merge(Acc, std::move(P));
+  return Acc;
+}
+
+} // namespace cuba::exec
+
+#endif // CUBA_EXEC_PARALLELROUND_H

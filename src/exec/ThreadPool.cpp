@@ -1,0 +1,193 @@
+//===-- exec/ThreadPool.cpp - Deterministic fork-join thread pool ---------===//
+//
+// Part of the CUBA project, an implementation of the PLDI 2018 paper
+// "CUBA: Interprocedural Context-UnBounded Analysis of Concurrent Programs".
+//
+//===----------------------------------------------------------------------===//
+
+#include "exec/ThreadPool.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdlib>
+
+#include "support/StringUtils.h"
+
+using namespace cuba;
+using namespace cuba::exec;
+
+namespace {
+
+/// Set while a thread is executing tasks of some batch; nested run()
+/// calls detect it and execute inline under the same worker id.
+struct ActiveParticipant {
+  const ThreadPool *Pool = nullptr;
+  unsigned Worker = 0;
+};
+
+thread_local ActiveParticipant CurrentParticipant;
+
+/// RAII for the participant marker (exception-safe restore).
+struct ParticipantScope {
+  ParticipantScope(const ThreadPool *P, unsigned W)
+      : Saved(CurrentParticipant) {
+    CurrentParticipant = {P, W};
+  }
+  ~ParticipantScope() { CurrentParticipant = Saved; }
+  ActiveParticipant Saved;
+};
+
+} // namespace
+
+ThreadPool::ThreadPool(unsigned Jobs) {
+  assert(Jobs >= 1 && "a pool needs at least the calling thread");
+  // One cap for every source of the value (--jobs, CUBA_JOBS, tests):
+  // beyond it extra workers only oversubscribe.
+  unsigned Target = std::clamp(Jobs, 1u, 256u);
+  Workers.reserve(Target - 1);
+  try {
+    for (unsigned I = 1; I < Target; ++I)
+      Workers.emplace_back([this, I] { workerLoop(I); });
+  } catch (...) {
+    // A spawn failed (thread-limited environment): shut down the
+    // workers that did start -- a vector of joinable threads would
+    // std::terminate on destruction -- and surface the error.
+    {
+      std::lock_guard<std::mutex> L(M);
+      Stop = true;
+    }
+    WorkCv.notify_all();
+    for (std::thread &T : Workers)
+      T.join();
+    throw;
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> L(M);
+    Stop = true;
+  }
+  WorkCv.notify_all();
+  for (std::thread &T : Workers)
+    T.join();
+}
+
+unsigned ThreadPool::defaultJobs() {
+  if (const char *Env = std::getenv("CUBA_JOBS"))
+    if (auto V = parseUnsigned(Env); V && *V >= 1)
+      return static_cast<unsigned>(std::min<uint64_t>(*V, 256));
+  unsigned H = std::thread::hardware_concurrency();
+  return H ? H : 1;
+}
+
+void ThreadPool::recordException(size_t Task) {
+  std::lock_guard<std::mutex> L(M);
+  if (!FirstExc || Task < FirstExcTask) {
+    FirstExc = std::current_exception();
+    FirstExcTask = Task;
+  }
+}
+
+size_t ThreadPool::participate(unsigned Worker, const TaskRef &Fn,
+                               size_t NumTasks) {
+  ParticipantScope Scope(this, Worker);
+  size_t Done = 0;
+  for (;;) {
+    size_t T = NextTask.fetch_add(1, std::memory_order_relaxed);
+    if (T >= NumTasks)
+      break;
+    try {
+      Fn(Worker, T);
+    } catch (...) {
+      recordException(T);
+    }
+    ++Done;
+  }
+  return Done;
+}
+
+void ThreadPool::workerLoop(unsigned Worker) {
+  uint64_t SeenGeneration = 0;
+  std::unique_lock<std::mutex> L(M);
+  for (;;) {
+    WorkCv.wait(L, [&] { return Stop || Generation != SeenGeneration; });
+    if (Stop)
+      return;
+    SeenGeneration = Generation;
+    // A wakeup can arrive after the batch it was meant for has already
+    // drained and joined (the caller only waits for *entered* workers).
+    // The batch is gone once run() cleared Fn; skip back to waiting.
+    if (Fn == nullptr)
+      continue;
+    ++ActiveWorkers; // From here run() will wait for our retirement.
+    const TaskRef *F = Fn;
+    size_t N = NumTasks;
+    L.unlock();
+    size_t Done = participate(Worker, *F, N);
+    L.lock();
+    Unfinished -= Done;
+    --ActiveWorkers;
+    if (Unfinished == 0 && ActiveWorkers == 0)
+      DoneCv.notify_all();
+  }
+}
+
+void ThreadPool::run(size_t N, TaskRef F) {
+  if (N == 0)
+    return;
+  // Nested fork-join (a task forking its own batch on the SAME pool),
+  // a pool without workers, or a single-task batch: execute inline.
+  // Inline execution propagates the first throw directly, which for a
+  // serial loop is also the smallest task index -- the same exception
+  // the parallel path would choose.  The N == 1 shortcut keeps tiny
+  // phases (small BFS levels, single-transaction rounds) free of
+  // dispatch latency.  A task running on a *different* pool falls
+  // through to normal dispatch: reusing its foreign worker id here
+  // could exceed this pool's jobs() and alias WorkerLocal slots.
+  bool Nested = CurrentParticipant.Pool == this;
+  if (N == 1 || Workers.empty() || Nested) {
+    unsigned Worker = Nested ? CurrentParticipant.Worker : 0;
+    ParticipantScope Scope(this, Worker);
+    for (size_t T = 0; T < N; ++T)
+      F(Worker, T);
+    return;
+  }
+
+  {
+    std::lock_guard<std::mutex> L(M);
+    assert(Fn == nullptr && "run() is not reentrant across threads");
+    Fn = &F;
+    NumTasks = N;
+    Unfinished = N;
+    ActiveWorkers = 0;
+    FirstExc = nullptr;
+    NextTask.store(0, std::memory_order_relaxed);
+    ++Generation;
+  }
+  // Waking more workers than there are remaining tasks only buys
+  // wakeup latency; the ones left asleep skip this generation entirely
+  // (the predicate still fires for the next one).
+  size_t ToWake = std::min(N - 1, Workers.size());
+  if (ToWake == Workers.size())
+    WorkCv.notify_all();
+  else
+    for (size_t I = 0; I < ToWake; ++I)
+      WorkCv.notify_one();
+  size_t Done = participate(0, F, N);
+
+  std::exception_ptr Exc;
+  {
+    std::unique_lock<std::mutex> L(M);
+    Unfinished -= Done;
+    // Join on task completion AND worker retirement: a worker that was
+    // woken but has not yet claimed a task must leave the batch before
+    // F (a reference into this frame) can die and NextTask be reused.
+    DoneCv.wait(L, [&] { return Unfinished == 0 && ActiveWorkers == 0; });
+    Fn = nullptr;
+    Exc = FirstExc;
+    FirstExc = nullptr;
+  }
+  if (Exc)
+    std::rethrow_exception(Exc);
+}

@@ -1,0 +1,130 @@
+//===-- exec/ThreadPool.h - Deterministic fork-join thread pool -*- C++ -*-===//
+//
+// Part of the CUBA project, an implementation of the PLDI 2018 paper
+// "CUBA: Interprocedural Context-UnBounded Analysis of Concurrent Programs".
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The execution substrate for the parallel round loops of the CBA
+/// engines.  A ThreadPool owns jobs-1 long-lived worker threads; run()
+/// executes a batch of indexed tasks with the calling thread
+/// participating as worker 0, and returns only when every task has
+/// finished (fork-join).  Idle participants steal the next unclaimed
+/// task index from a shared atomic counter, so load balance is dynamic
+/// while the task *indexing* -- the only thing the engines' ordered
+/// merges depend on -- is fixed by the caller.
+///
+/// Determinism contract: a task may depend only on its index and on
+/// state that is frozen for the duration of the batch; anything
+/// order-sensitive (id assignment, budget accounting, container growth)
+/// belongs in the serial commit between batches.  Under that contract
+/// the results of a parallel phase are identical for every pool size,
+/// including 1 (see exec/ParallelRound.h for the round harness built on
+/// top of this, and ParallelDeterminismTest for the pinning suite).
+///
+/// Exceptions thrown by tasks are captured and the one with the
+/// smallest task index is rethrown from run() after the batch drains --
+/// again independent of timing.  Nested run() calls (a task forking its
+/// own batch) execute inline on the calling participant, which keeps
+/// fork-join composable without a second scheduling layer.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CUBA_EXEC_THREADPOOL_H
+#define CUBA_EXEC_THREADPOOL_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace cuba::exec {
+
+/// Non-owning view of a `void(unsigned Worker, size_t Task)` callable;
+/// run() takes this instead of std::function so per-batch dispatch never
+/// allocates.
+class TaskRef {
+public:
+  /// Implicit by design, mirroring function_ref; disabled for TaskRef
+  /// itself so copies use the copy constructor instead of wrapping a
+  /// pointer to the (possibly shorter-lived) source wrapper.
+  template <typename Fn,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::remove_cvref_t<Fn>, TaskRef>>>
+  TaskRef(Fn &&F) // NOLINT: implicit by design.
+      : Obj(const_cast<void *>(static_cast<const void *>(&F))),
+        Call([](void *O, unsigned Worker, size_t Task) {
+          (*static_cast<std::remove_reference_t<Fn> *>(O))(Worker, Task);
+        }) {}
+
+  void operator()(unsigned Worker, size_t Task) const {
+    Call(Obj, Worker, Task);
+  }
+
+private:
+  void *Obj;
+  void (*Call)(void *, unsigned, size_t);
+};
+
+/// A fixed-size fork-join pool.  Not itself thread-safe: run() must be
+/// called from one owning thread at a time (the engines each run their
+/// rounds from a single driver thread).
+class ThreadPool {
+public:
+  /// Creates a pool of total parallelism \p Jobs (clamped to 256): the
+  /// caller of run() plus Jobs-1 workers.  Jobs == 1 spawns no threads
+  /// and makes run() a plain serial loop.  Throws std::system_error
+  /// (after joining any workers that did start) when the platform
+  /// refuses a thread.
+  explicit ThreadPool(unsigned Jobs);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  /// Total parallelism (worker ids passed to tasks lie in [0, jobs())).
+  unsigned jobs() const { return static_cast<unsigned>(Workers.size()) + 1; }
+
+  /// Executes Fn(worker, t) for every t in [0, NumTasks), blocking until
+  /// all tasks finished.  Every task runs exactly once; the smallest
+  /// -indexed captured exception is rethrown.  Reentrant calls from
+  /// inside a task run the nested batch inline on that participant.
+  void run(size_t NumTasks, TaskRef Fn);
+
+  /// The parallelism the `--jobs` default resolves to: the CUBA_JOBS
+  /// environment variable when set to a positive integer, otherwise the
+  /// hardware concurrency (at least 1).
+  static unsigned defaultJobs();
+
+private:
+  void workerLoop(unsigned Worker);
+  /// Claims and executes tasks until the batch is drained; returns the
+  /// number executed (the caller settles the batch accounting).
+  size_t participate(unsigned Worker, const TaskRef &Fn, size_t NumTasks);
+  void recordException(size_t Task);
+
+  std::vector<std::thread> Workers;
+
+  std::mutex M;
+  std::condition_variable WorkCv;
+  std::condition_variable DoneCv;
+  const TaskRef *Fn = nullptr; // Valid while a batch is live.
+  size_t NumTasks = 0;
+  uint64_t Generation = 0;  // Bumped per batch; workers wait on it.
+  size_t Unfinished = 0;    // Tasks not yet executed (guarded by M).
+  size_t ActiveWorkers = 0; // Workers inside the current batch.
+  bool Stop = false;
+  std::exception_ptr FirstExc;
+  size_t FirstExcTask = 0;
+
+  std::atomic<size_t> NextTask{0};
+};
+
+} // namespace cuba::exec
+
+#endif // CUBA_EXEC_THREADPOOL_H

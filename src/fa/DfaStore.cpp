@@ -11,13 +11,18 @@ using namespace cuba;
 
 DfaId DfaStore::intern(CanonicalDfa D) {
   uint64_t H = D.hash();
+  return intern(std::move(D), H);
+}
+
+DfaId DfaStore::intern(CanonicalDfa D, uint64_t Hash) {
+  assert(Hash == D.hash() && "prehashed intern with a stale hash");
   uint32_t Found =
-      Index.find(H, Hashes, [&](uint32_t Id) { return Dfas[Id] == D; });
+      Index.find(Hash, Hashes, [&](uint32_t Id) { return Dfas[Id] == D; });
   if (Found != UINT32_MAX)
     return Found;
   DfaId Id = static_cast<DfaId>(Dfas.size());
   Dfas.push_back(std::move(D));
-  Hashes.push_back(H);
-  Index.insert(H, Id, Hashes);
+  Hashes.push_back(Hash);
+  Index.insert(Hash, Id, Hashes);
   return Id;
 }

@@ -47,6 +47,12 @@ public:
   /// languages) always receive the same id.
   DfaId intern(CanonicalDfa D);
 
+  /// intern() with the structural hash precomputed (it must equal
+  /// D.hash()).  The symbolic engine's parallel transactions hash their
+  /// canonical forms off the serial commit path and intern here, so the
+  /// ordered commit only probes and compares.
+  DfaId intern(CanonicalDfa D, uint64_t Hash);
+
   /// The canonical form named by \p Id.  The id stays valid forever; the
   /// returned reference only until the next intern() (the arena vector
   /// may then grow and relocate its elements), so consume it before

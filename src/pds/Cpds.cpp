@@ -113,34 +113,7 @@ void Cpds::threadSuccessorsWithActions(
 void Cpds::threadSuccessorsInterned(
     const PackedGlobalState &S, unsigned I, StackStore &Store,
     std::vector<std::pair<PackedGlobalState, uint32_t>> &Out) const {
-  assert(Frozen && "freeze() must run before threadSuccessors()");
-  assert(I < Threads.size() && "thread index out of range");
-  const Pds &P = Threads[I];
-  StackId W = S.Stacks[I];
-  for (uint32_t AI : P.actionsFrom(S.Q, Store.topOf(W))) {
-    const Action &A = P.actions()[AI];
-    PackedGlobalState Succ = S;
-    Succ.Q = A.DstQ;
-    StackId &WS = Succ.Stacks[I];
-    switch (A.kind()) {
-    case ActionKind::Pop:
-      WS = Store.pop(W);
-      break;
-    case ActionKind::Overwrite:
-      WS = Store.push(Store.pop(W), A.Dst0);
-      break;
-    case ActionKind::Push:
-      // (q, s) -> (q', r0 r1): s is overwritten by r1, then r0 is pushed.
-      WS = Store.push(Store.push(Store.pop(W), A.Dst1), A.Dst0);
-      break;
-    case ActionKind::EmptyChange:
-      break;
-    case ActionKind::EmptyPush:
-      WS = Store.push(W, A.Dst0);
-      break;
-    }
-    Out.emplace_back(std::move(Succ), AI);
-  }
+  threadSuccessorsVia(S, I, Store, Out);
 }
 
 void Cpds::abstractSuccessors(const VisibleState &V, unsigned I,

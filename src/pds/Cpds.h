@@ -113,6 +113,45 @@ public:
       const PackedGlobalState &S, unsigned I, StackStore &Store,
       std::vector<std::pair<PackedGlobalState, uint32_t>> &Out) const;
 
+  /// threadSuccessorsInterned generalised over the interning arena:
+  /// \p StoreT is StackStore on the serial path and StackOverlay in the
+  /// parallel derive phase, where workers must not write the shared
+  /// arena.  Identical derivation either way (the overlay resolves
+  /// already-interned nodes to their real ids).
+  template <typename StoreT>
+  void threadSuccessorsVia(
+      const PackedGlobalState &S, unsigned I, StoreT &Store,
+      std::vector<std::pair<PackedGlobalState, uint32_t>> &Out) const {
+    assert(Frozen && "freeze() must run before threadSuccessors()");
+    assert(I < Threads.size() && "thread index out of range");
+    const Pds &P = Threads[I];
+    StackId W = S.Stacks[I];
+    for (uint32_t AI : P.actionsFrom(S.Q, Store.topOf(W))) {
+      const Action &A = P.actions()[AI];
+      PackedGlobalState Succ = S;
+      Succ.Q = A.DstQ;
+      StackId &WS = Succ.Stacks[I];
+      switch (A.kind()) {
+      case ActionKind::Pop:
+        WS = Store.pop(W);
+        break;
+      case ActionKind::Overwrite:
+        WS = Store.push(Store.pop(W), A.Dst0);
+        break;
+      case ActionKind::Push:
+        // (q, s) -> (q', r0 r1): s is overwritten by r1, then r0 pushed.
+        WS = Store.push(Store.push(Store.pop(W), A.Dst1), A.Dst0);
+        break;
+      case ActionKind::EmptyChange:
+        break;
+      case ActionKind::EmptyPush:
+        WS = Store.push(W, A.Dst0);
+        break;
+      }
+      Out.emplace_back(std::move(Succ), AI);
+    }
+  }
+
   /// Appends to \p Out every visible state reachable from visible state
   /// \p V by one thread-\p I action under the stack-of-size-<=1 cutoff of
   /// Alg. 2.  This is the transition relation of the finite-state

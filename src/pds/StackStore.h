@@ -76,6 +76,18 @@ public:
   /// no state over it can have been stored either.
   bool findInterned(const Stack &W, StackId &Id) const;
 
+  /// Looks up the node (\p Top pushed onto \p Rest) without creating it;
+  /// the read-only counterpart of push() used by StackOverlay during the
+  /// parallel derive phases, when the arena is frozen.
+  bool findNode(Sym Top, StackId Rest, StackId &Id) const {
+    uint64_t Key = (static_cast<uint64_t>(Top) << 32) | Rest;
+    const StackId *Found = Intern.find(Key);
+    if (!Found)
+      return false;
+    Id = *Found;
+    return true;
+  }
+
   /// Rebuilds the explicit bottom-first stack named by \p Id.
   Stack materialise(StackId Id) const;
 
@@ -90,6 +102,85 @@ private:
 
   std::vector<Node> Nodes;
   /// (Top << 32 | Rest) -> node id.
+  FlatMap<uint64_t, StackId> Intern;
+};
+
+/// A worker-private overlay on a frozen StackStore: reads resolve
+/// against the base arena, pushes that miss the base are interned into
+/// local nodes whose ids continue past the base size.  This is what lets
+/// the explicit engine's parallel derive phase run successor derivation
+/// concurrently with zero synchronisation -- the shared arena is never
+/// written -- while the serial commit later re-interns only the
+/// genuinely new nodes (translate(), memoised per node) in serial order,
+/// so StackStore id assignment stays bit-identical to a serial run.
+///
+/// Overlay ids are only meaningful against the base-size snapshot taken
+/// by rebase(); rebase again whenever the base arena may have grown
+/// (i.e. once per derive phase).
+class StackOverlay {
+public:
+  /// Snapshots \p B's current size and drops all local nodes.
+  void rebase(const StackStore &B) {
+    Base = &B;
+    BaseSize = static_cast<uint32_t>(B.size());
+    Nodes.clear();
+    Memo.clear();
+    Intern.clear();
+  }
+
+  uint32_t baseSize() const { return BaseSize; }
+
+  Sym topOf(StackId W) const {
+    return W < BaseSize ? Base->topOf(W) : Nodes[W - BaseSize].Top;
+  }
+
+  StackId pop(StackId W) const {
+    return W < BaseSize ? Base->pop(W) : Nodes[W - BaseSize].Rest;
+  }
+
+  StackId push(StackId Rest, Sym Top) {
+    assert(Top != EpsSym && "cannot push the empty word");
+    // A node whose rest is itself local cannot exist in the frozen base
+    // (base rests all precede the snapshot), so only base rests probe it.
+    if (Rest < BaseSize) {
+      StackId Id;
+      if (Base->findNode(Top, Rest, Id))
+        return Id;
+    }
+    uint64_t Key = (static_cast<uint64_t>(Top) << 32) | Rest;
+    auto [Slot, New] = Intern.tryEmplace(Key, 0);
+    if (New) {
+      *Slot = BaseSize + static_cast<uint32_t>(Nodes.size());
+      Nodes.push_back({Top, Rest});
+      Memo.push_back(UINT32_MAX);
+    }
+    return *Slot;
+  }
+
+  /// Maps an overlay id to a real id, interning local nodes into \p Real
+  /// (which must be the rebased-on store) on first use.  Serial-commit
+  /// only; memoised so each local node costs one real push ever.
+  StackId translate(StackId W, StackStore &Real) {
+    if (W < BaseSize)
+      return W;
+    uint32_t L = W - BaseSize;
+    if (Memo[L] != UINT32_MAX)
+      return Memo[L];
+    StackId R = Real.push(translate(Nodes[L].Rest, Real), Nodes[L].Top);
+    Memo[L] = R;
+    return R;
+  }
+
+private:
+  struct Node {
+    Sym Top;
+    StackId Rest;
+  };
+
+  const StackStore *Base = nullptr;
+  uint32_t BaseSize = 0;
+  std::vector<Node> Nodes;          // Local node ids: BaseSize + index.
+  std::vector<StackId> Memo;        // Local node -> real id (commit).
   FlatMap<uint64_t, StackId> Intern;
 };
 

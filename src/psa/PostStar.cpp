@@ -43,9 +43,10 @@ public:
 
   PostStarResult run() {
     // Resolved once: the registry lookup costs a string hash, which is
-    // too expensive for the per-transition hot loop.
-    static uint64_t &TransCounter =
-        Statistics::counter("poststar.transitions");
+    // too expensive for the per-transition hot loop.  The handle bumps a
+    // thread-local shard, so concurrent saturations (the symbolic
+    // engine's parallel transactions) never contend.
+    static Statistic TransCounter("poststar.transitions");
     seedFromInput();
     Seeding = false;
     while (!Worklist.empty()) {

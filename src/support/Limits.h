@@ -66,6 +66,30 @@ public:
     return !TimedOut;
   }
 
+  /// Semantically equivalent to \p N successive chargeStep() calls:
+  /// the step counter, and the exact value it stops at when the step
+  /// budget is crossed mid-sequence, match the unit-charge sequence
+  /// bit for bit.  Used by the parallel round commits to replay a
+  /// speculatively executed phase's recorded charges in serial order
+  /// without paying N function calls.  Wall-clock probing is coarser
+  /// (one probe per call instead of one per 4096 steps), which can only
+  /// matter under a nonzero MaxMillis -- where exhaustion is
+  /// timing-dependent and thus non-reproducible anyway.
+  bool chargeStepsUnit(uint64_t N) {
+    if (Limits.MaxSteps && Steps + N > Limits.MaxSteps) {
+      // A unit-charge sequence fails at the first step past the budget.
+      Steps = Limits.MaxSteps + 1;
+      return false;
+    }
+    Steps += N;
+    if (TimedOut)
+      return false;
+    if (Limits.MaxMillis &&
+        Timer.millis() > static_cast<double>(Limits.MaxMillis))
+      TimedOut = true;
+    return !TimedOut;
+  }
+
   bool exhausted() const {
     return TimedOut || stateBudgetExceeded() ||
            (Limits.MaxSteps && Steps > Limits.MaxSteps);

@@ -8,8 +8,15 @@
 /// \file
 /// A tiny registry of named counters in the spirit of LLVM's Statistic:
 /// engines bump counters ("poststar.transitions", "cba.closures", ...) and
-/// tools can dump them all after a run.  The registry lives behind a
-/// function-local static, so there are no global constructors.
+/// tools can dump them all after a run.
+///
+/// Counters are safe to bump from the exec/ThreadPool workers: each
+/// thread owns a shard of relaxed atomic slots (uncontended on the hot
+/// paths -- no cache line ever ping-pongs between workers), and
+/// snapshot() sums the live shards plus the totals folded in by exited
+/// threads.  Hot paths hold a `static Statistic` handle, which resolves
+/// the name to a slot exactly once per process -- there are no
+/// string-keyed lookups per event.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -22,19 +29,53 @@
 
 namespace cuba {
 
+/// A handle on one named counter: resolves the name to a dense slot at
+/// construction (cheap afterwards; keep it in a function-local static on
+/// hot paths) and bumps the calling thread's shard on increment.
+class Statistic {
+public:
+  explicit Statistic(const char *Name);
+
+  Statistic &operator++() {
+    add(1);
+    return *this;
+  }
+  void operator++(int) { add(1); }
+  Statistic &operator+=(uint64_t N) {
+    add(N);
+    return *this;
+  }
+
+private:
+  void add(uint64_t N);
+
+  uint32_t Slot;
+};
+
 /// Process-wide statistics registry.
 class Statistics {
 public:
-  /// Returns the counter registered under \p Name, creating it at zero on
-  /// first use.  The returned reference stays valid for the process
-  /// lifetime.
-  static uint64_t &counter(const std::string &Name);
+  /// Hard cap on distinct counters, so thread shards can be fixed-size
+  /// atomic arrays (no reallocation racing against snapshot()).  Counters
+  /// registered beyond the cap all alias the final overflow slot.
+  static constexpr uint32_t MaxCounters = 64;
 
-  /// Snapshot of all (name, value) pairs in registration order.
+  /// Snapshot of all (name, value) pairs in registration order; each
+  /// value sums every thread's shard.  Values written by pool workers are
+  /// only guaranteed complete once their batch has joined.
   static std::vector<std::pair<std::string, uint64_t>> snapshot();
 
-  /// Resets every registered counter to zero (used between benchmark runs).
+  /// Current summed value of the counter named \p Name (0 when never
+  /// registered); for tests and diagnostics.
+  static uint64_t value(const std::string &Name);
+
+  /// Resets every registered counter to zero (used between benchmark
+  /// runs).  Call only while no worker is concurrently bumping counters.
   static void resetAll();
+
+private:
+  friend class Statistic;
+  static uint32_t registerCounter(const char *Name);
 };
 
 } // namespace cuba

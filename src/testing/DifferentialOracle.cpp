@@ -79,6 +79,8 @@ cuba::testing::runDifferentialOracle(const CpdsFile &File,
   // comparing the newly discovered visible states at every bound.
   CbaEngine Exp(C, Opts.Limits);
   SymbolicEngine Sym(C, Opts.Limits);
+  Exp.setParallel(Opts.Pool);
+  Sym.setParallel(Opts.Pool);
   std::optional<unsigned> ExpBug, SymBug;
   uint64_t VisibleCounter = 0; // For the InjectDropVisible testing hook.
   unsigned K = 0;
@@ -160,6 +162,7 @@ cuba::testing::runDifferentialOracle(const CpdsFile &File,
   if (Opts.CheckDrivers && Opts.InjectDropVisible == 0) {
     RunOptions RO;
     RO.Limits = Opts.Limits;
+    RO.Pool = Opts.Pool;
     ExplicitCombinedResult DE = runExplicitCombined(C, Prop, RO);
     SymbolicRunResult DS = runAlg3Symbolic(C, Prop, RO);
     if (!DE.Run.Exhausted && !DS.Run.Exhausted) {

@@ -39,6 +39,10 @@
 #include "pds/CpdsIO.h"
 #include "support/Limits.h"
 
+namespace cuba::exec {
+class ThreadPool;
+} // namespace cuba::exec
+
 namespace cuba::testing {
 
 /// Configuration for one oracle run.
@@ -61,6 +65,12 @@ struct OracleOptions {
   /// (1-based).  A correct oracle must then report a mismatch on any
   /// instance with at least N reachable visible states.  0 = disabled.
   unsigned InjectDropVisible = 0;
+  /// When set (and holding more than one job), every engine the oracle
+  /// runs -- the lockstep pair and the phase-4 drivers -- executes its
+  /// rounds in parallel on this pool.  Parallel rounds are bit-identical
+  /// to serial ones, so reports (and fuzz seeds) stay reproducible
+  /// across job counts.
+  exec::ThreadPool *Pool = nullptr;
 };
 
 /// The outcome of one oracle run.

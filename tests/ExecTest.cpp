@@ -1,0 +1,211 @@
+//===-- tests/ExecTest.cpp - exec/ subsystem unit tests -------------------===//
+//
+// Part of the CUBA project, an implementation of the PLDI 2018 paper
+// "CUBA: Interprocedural Context-UnBounded Analysis of Concurrent Programs".
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Unit tests for the deterministic fork-join substrate: ThreadPool task
+/// coverage and exception semantics, the ParallelRound helpers' ordered
+/// merging, and WorkerLocal slot exclusivity.
+///
+//===----------------------------------------------------------------------===//
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+#include "exec/ParallelRound.h"
+#include "exec/ThreadPool.h"
+#include "exec/WorkerLocal.h"
+
+using namespace cuba;
+using namespace cuba::exec;
+
+namespace {
+
+TEST(ThreadPool, RunsEveryTaskExactlyOnce) {
+  ThreadPool Pool(4);
+  EXPECT_EQ(Pool.jobs(), 4u);
+  std::vector<int> Hits(10'000, 0);
+  Pool.run(Hits.size(), [&](unsigned, size_t T) { ++Hits[T]; });
+  for (int H : Hits)
+    EXPECT_EQ(H, 1);
+}
+
+TEST(ThreadPool, ZeroTasksReturnsImmediately) {
+  ThreadPool Pool(3);
+  bool Called = false;
+  Pool.run(0, [&](unsigned, size_t) { Called = true; });
+  EXPECT_FALSE(Called);
+}
+
+TEST(ThreadPool, SingleJobPoolRunsInline) {
+  ThreadPool Pool(1);
+  EXPECT_EQ(Pool.jobs(), 1u);
+  uint64_t Sum = 0;
+  // Serial inline execution: no synchronisation needed on Sum.
+  Pool.run(100, [&](unsigned Worker, size_t T) {
+    EXPECT_EQ(Worker, 0u);
+    Sum += T;
+  });
+  EXPECT_EQ(Sum, 4950u);
+}
+
+TEST(ThreadPool, WorkerIdsStayInRange) {
+  ThreadPool Pool(4);
+  std::atomic<bool> Bad{false};
+  Pool.run(1000, [&](unsigned Worker, size_t) {
+    if (Worker >= Pool.jobs())
+      Bad = true;
+  });
+  EXPECT_FALSE(Bad);
+}
+
+TEST(ThreadPool, PropagatesSmallestIndexedException) {
+  ThreadPool Pool(4);
+  // Every task past 100 throws; the batch still drains, and run()
+  // rethrows the exception of the smallest task index regardless of
+  // which worker hit it first.
+  std::atomic<size_t> Executed{0};
+  try {
+    Pool.run(500, [&](unsigned, size_t T) {
+      ++Executed;
+      if (T >= 100)
+        throw std::runtime_error("task " + std::to_string(T));
+    });
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error &E) {
+    EXPECT_STREQ(E.what(), "task 100");
+  }
+  EXPECT_EQ(Executed.load(), 500u);
+
+  // The pool is usable afterwards.
+  std::atomic<uint64_t> Sum{0};
+  Pool.run(64, [&](unsigned, size_t T) {
+    Sum.fetch_add(T, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(Sum.load(), 2016u);
+}
+
+TEST(ThreadPool, NestedForkJoinRunsInline) {
+  ThreadPool Pool(4);
+  std::vector<uint64_t> Outer(8, 0);
+  Pool.run(Outer.size(), [&](unsigned OuterWorker, size_t T) {
+    // A task forking its own batch: executes inline on this
+    // participant, under the same worker id.
+    uint64_t Local = 0;
+    Pool.run(16, [&](unsigned InnerWorker, size_t U) {
+      EXPECT_EQ(InnerWorker, OuterWorker);
+      Local += U + 1;
+    });
+    Outer[T] = Local;
+  });
+  for (uint64_t V : Outer)
+    EXPECT_EQ(V, 136u); // 1 + 2 + ... + 16.
+}
+
+TEST(ThreadPool, NestedExceptionSurfacesThroughOuterBatch) {
+  ThreadPool Pool(3);
+  try {
+    Pool.run(4, [&](unsigned, size_t T) {
+      Pool.run(4, [&](unsigned, size_t U) {
+        if (T == 2 && U == 1)
+          throw std::logic_error("inner");
+      });
+    });
+    FAIL() << "expected an exception";
+  } catch (const std::logic_error &E) {
+    EXPECT_STREQ(E.what(), "inner");
+  }
+}
+
+TEST(ThreadPool, BackToBackSmallBatchesStayIsolated) {
+  // Regression stress for the straggler window: a worker woken for
+  // batch k must never claim indices (or the dangling TaskRef) of
+  // batch k+1.  Thousands of tiny consecutive batches maximise the
+  // chance of a worker still waking up when the next batch starts;
+  // per-batch generation tagging catches any cross-batch execution.
+  ThreadPool Pool(4);
+  std::vector<int> Batch(3, -1);
+  for (int Gen = 0; Gen < 20'000; ++Gen) {
+    Pool.run(Batch.size(), [&, Gen](unsigned, size_t T) { Batch[T] = Gen; });
+    for (int V : Batch)
+      ASSERT_EQ(V, Gen);
+  }
+}
+
+TEST(ThreadPool, DefaultJobsHonoursEnvOverride) {
+  // CUBA_JOBS wins over hardware concurrency; malformed values fall
+  // back.  setenv/unsetenv is safe here: tests run single-threaded.
+  ASSERT_EQ(setenv("CUBA_JOBS", "3", 1), 0);
+  EXPECT_EQ(ThreadPool::defaultJobs(), 3u);
+  ASSERT_EQ(setenv("CUBA_JOBS", "not-a-number", 1), 0);
+  EXPECT_GE(ThreadPool::defaultJobs(), 1u);
+  ASSERT_EQ(unsetenv("CUBA_JOBS"), 0);
+  EXPECT_GE(ThreadPool::defaultJobs(), 1u);
+}
+
+TEST(ParallelRound, ChunksPartitionTheRange) {
+  ThreadPool Pool(4);
+  for (size_t N : {0ul, 1ul, 15ul, 16ul, 17ul, 1000ul}) {
+    std::vector<int> Cover(N, 0);
+    parallelChunks(Pool, N, 16,
+                   [&](unsigned, size_t, size_t Begin, size_t End) {
+                     ASSERT_LE(End, N);
+                     for (size_t I = Begin; I < End; ++I)
+                       ++Cover[I];
+                   });
+    for (int C : Cover)
+      EXPECT_EQ(C, 1);
+  }
+}
+
+TEST(ParallelRound, MapSlotsResultsByIndex) {
+  ThreadPool Pool(4);
+  std::vector<uint64_t> Out =
+      parallelMap<uint64_t>(Pool, 257, 8, [](unsigned, size_t I) {
+        return static_cast<uint64_t>(I) * I;
+      });
+  ASSERT_EQ(Out.size(), 257u);
+  for (size_t I = 0; I < Out.size(); ++I)
+    EXPECT_EQ(Out[I], I * I);
+}
+
+TEST(ParallelRound, ReduceFoldsChunksInIndexOrder) {
+  ThreadPool Pool(4);
+  // Build the concatenation of [0, N): only an index-ordered merge of
+  // the per-chunk partials reproduces it.
+  std::vector<size_t> Joined = parallelReduce<std::vector<size_t>>(
+      Pool, 1000, 7, {},
+      [](unsigned, size_t I, std::vector<size_t> &P) { P.push_back(I); },
+      [](std::vector<size_t> &Acc, std::vector<size_t> &&P) {
+        Acc.insert(Acc.end(), P.begin(), P.end());
+      });
+  ASSERT_EQ(Joined.size(), 1000u);
+  for (size_t I = 0; I < Joined.size(); ++I)
+    EXPECT_EQ(Joined[I], I);
+}
+
+TEST(ParallelRound, AdaptiveGrainStaysClamped) {
+  EXPECT_EQ(adaptiveGrain(0, 4), 16u);
+  EXPECT_EQ(adaptiveGrain(1'000'000, 1), 2048u);
+  EXPECT_GE(adaptiveGrain(1000, 8), 16u);
+}
+
+TEST(WorkerLocal, SlotsAccumulateIndependently) {
+  ThreadPool Pool(4);
+  WorkerLocal<uint64_t> Partials(Pool);
+  ASSERT_EQ(Partials.size(), 4u);
+  parallelFor(Pool, 100'000, 64, [&](unsigned Worker, size_t I) {
+    Partials.get(Worker) += I + 1;
+  });
+  uint64_t Total = 0;
+  Partials.forEach([&](uint64_t V) { Total += V; });
+  EXPECT_EQ(Total, 100'000ull * 100'001ull / 2);
+}
+
+} // namespace

@@ -1,0 +1,252 @@
+//===-- tests/ParallelDeterminismTest.cpp - jobs-N == jobs-1 pinning ------===//
+//
+// Part of the CUBA project, an implementation of the PLDI 2018 paper
+// "CUBA: Interprocedural Context-UnBounded Analysis of Concurrent Programs".
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The determinism contract of src/exec/: running either engine on a
+/// thread pool of any size must produce results bit-identical to the
+/// serial path -- verdicts, round-by-round sizes, frontier contents in
+/// discovery order (a proxy for dense id assignment), visibleFirstSeen
+/// ordering, budget accounting, and interned-language counts.  Checked
+/// over 72 seeded random instances (the fuzz generator's corner-shape
+/// presets) plus paper models, at jobs 1 / 2 / 8, including runs whose
+/// budget exhausts mid-round -- the trickiest path, since the parallel
+/// commit must stop at exactly the serial charge.
+///
+//===----------------------------------------------------------------------===//
+
+#include <gtest/gtest.h>
+
+#include "core/Algorithms.h"
+#include "core/CbaEngine.h"
+#include "core/SymbolicAlgorithms.h"
+#include "core/SymbolicEngine.h"
+#include "exec/ThreadPool.h"
+#include "models/Models.h"
+#include "testing/RandomCpds.h"
+
+using namespace cuba;
+
+namespace {
+
+/// Budgets mirror the fuzz harness: tight enough that corner-shape
+/// instances regularly exhaust (exercising mid-round truncation), with
+/// no wall-clock cutoff so runs are machine-independent.
+const ResourceLimits FuzzLimits{10'000, 1'000'000, 8, 0};
+/// A much tighter budget that forces exhaustion inside a round on
+/// almost every instance.
+const ResourceLimits TinyLimits{40, 400, 8, 0};
+
+constexpr unsigned MaxK = 6;
+
+/// Everything observable about an explicit run, round by round.
+struct ExplicitTrace {
+  std::vector<int> Statuses;
+  std::vector<size_t> Reached, Visible;
+  std::vector<std::vector<GlobalState>> Frontiers;
+  std::vector<std::pair<VisibleState, unsigned>> FirstSeen;
+  uint64_t Steps = 0, States = 0;
+
+  bool operator==(const ExplicitTrace &) const = default;
+};
+
+ExplicitTrace runExplicit(const Cpds &C, const ResourceLimits &L,
+                          exec::ThreadPool *Pool) {
+  CbaEngine E(C, L);
+  E.setParallel(Pool);
+  ExplicitTrace T;
+  T.Frontiers.push_back(E.frontier());
+  while (E.bound() < MaxK) {
+    bool Exhausted = E.advance() == CbaEngine::RoundStatus::Exhausted;
+    T.Statuses.push_back(Exhausted ? 1 : 0);
+    T.Reached.push_back(E.reachedSize());
+    T.Visible.push_back(E.visibleSize());
+    T.Frontiers.push_back(E.frontier());
+    if (Exhausted)
+      break;
+  }
+  T.FirstSeen = E.visibleFirstSeen();
+  T.Steps = E.limits().steps();
+  T.States = E.limits().states();
+  return T;
+}
+
+/// Everything observable about a symbolic run, round by round.  The
+/// per-round language-arena size pins DfaId assignment: ids are dense
+/// and append-only, so equal counts at every round plus equal visible
+/// sets mean the interning schedule matched.
+struct SymbolicTrace {
+  std::vector<int> Statuses;
+  std::vector<size_t> SymStates, Visible, Languages;
+  std::vector<std::vector<VisibleState>> NewPerRound;
+  std::vector<std::pair<VisibleState, unsigned>> FirstSeen;
+  uint64_t Steps = 0, States = 0;
+
+  bool operator==(const SymbolicTrace &) const = default;
+};
+
+SymbolicTrace runSymbolic(const Cpds &C, const ResourceLimits &L,
+                          exec::ThreadPool *Pool) {
+  SymbolicEngine E(C, L);
+  E.setParallel(Pool);
+  SymbolicTrace T;
+  while (E.bound() < MaxK) {
+    bool Exhausted = E.advance() == SymbolicEngine::RoundStatus::Exhausted;
+    T.Statuses.push_back(Exhausted ? 1 : 0);
+    T.SymStates.push_back(E.symbolicStateCount());
+    T.Visible.push_back(E.visibleSize());
+    T.Languages.push_back(E.languageStore().size());
+    T.NewPerRound.push_back(E.newVisibleThisRound());
+    if (Exhausted)
+      break;
+  }
+  T.FirstSeen = E.visibleFirstSeen();
+  T.Steps = E.limits().steps();
+  T.States = E.limits().states();
+  return T;
+}
+
+void expectSameExplicit(const ExplicitTrace &Serial, const ExplicitTrace &Par,
+                        uint64_t Seed, const char *Tag) {
+  EXPECT_EQ(Serial.Statuses, Par.Statuses) << Tag << " seed " << Seed;
+  EXPECT_EQ(Serial.Reached, Par.Reached) << Tag << " seed " << Seed;
+  EXPECT_EQ(Serial.Visible, Par.Visible) << Tag << " seed " << Seed;
+  EXPECT_EQ(Serial.Frontiers == Par.Frontiers, true)
+      << Tag << " frontier divergence at seed " << Seed;
+  EXPECT_EQ(Serial.FirstSeen == Par.FirstSeen, true)
+      << Tag << " first-seen divergence at seed " << Seed;
+  EXPECT_EQ(Serial.Steps, Par.Steps) << Tag << " seed " << Seed;
+  EXPECT_EQ(Serial.States, Par.States) << Tag << " seed " << Seed;
+}
+
+void expectSameSymbolic(const SymbolicTrace &Serial, const SymbolicTrace &Par,
+                        uint64_t Seed, const char *Tag) {
+  EXPECT_EQ(Serial.Statuses, Par.Statuses) << Tag << " seed " << Seed;
+  EXPECT_EQ(Serial.SymStates, Par.SymStates) << Tag << " seed " << Seed;
+  EXPECT_EQ(Serial.Visible, Par.Visible) << Tag << " seed " << Seed;
+  EXPECT_EQ(Serial.Languages, Par.Languages) << Tag << " seed " << Seed;
+  EXPECT_EQ(Serial.NewPerRound == Par.NewPerRound, true)
+      << Tag << " per-round visible divergence at seed " << Seed;
+  EXPECT_EQ(Serial.FirstSeen == Par.FirstSeen, true)
+      << Tag << " first-seen divergence at seed " << Seed;
+  EXPECT_EQ(Serial.Steps, Par.Steps) << Tag << " seed " << Seed;
+  EXPECT_EQ(Serial.States, Par.States) << Tag << " seed " << Seed;
+}
+
+class ParallelDeterminismTest : public ::testing::Test {
+protected:
+  exec::ThreadPool Pool2{2};
+  exec::ThreadPool Pool8{8};
+};
+
+TEST_F(ParallelDeterminismTest, EnginesMatchAcrossJobCountsOnRandomCpds) {
+  for (uint64_t Seed = 1; Seed <= 72; ++Seed) {
+    CpdsFile File = cuba::testing::generateRandomCpds(
+        Seed, cuba::testing::cornerShapeOptions(Seed));
+    for (const ResourceLimits &L : {FuzzLimits, TinyLimits}) {
+      const char *Tag = L.MaxStates == TinyLimits.MaxStates ? "tiny" : "fuzz";
+      ExplicitTrace E1 = runExplicit(File.System, L, nullptr);
+      expectSameExplicit(E1, runExplicit(File.System, L, &Pool2), Seed, Tag);
+      expectSameExplicit(E1, runExplicit(File.System, L, &Pool8), Seed, Tag);
+      SymbolicTrace S1 = runSymbolic(File.System, L, nullptr);
+      expectSameSymbolic(S1, runSymbolic(File.System, L, &Pool2), Seed, Tag);
+      expectSameSymbolic(S1, runSymbolic(File.System, L, &Pool8), Seed, Tag);
+    }
+    if (HasFailure())
+      break; // One seed's divergence is enough diagnostics.
+  }
+}
+
+TEST_F(ParallelDeterminismTest, DriversMatchAcrossJobCounts) {
+  for (uint64_t Seed = 101; Seed <= 130; ++Seed) {
+    CpdsFile File = cuba::testing::generateRandomCpds(
+        Seed, cuba::testing::cornerShapeOptions(Seed));
+    RunOptions Base;
+    Base.Limits = FuzzLimits;
+
+    RunOptions Jobs2 = Base, Jobs8 = Base;
+    Jobs2.Pool = &Pool2;
+    Jobs8.Pool = &Pool8;
+
+    ExplicitCombinedResult E1 =
+        runExplicitCombined(File.System, File.Property, Base);
+    SymbolicRunResult S1 = runAlg3Symbolic(File.System, File.Property, Base);
+    for (const RunOptions &RO : {Jobs2, Jobs8}) {
+      ExplicitCombinedResult EP =
+          runExplicitCombined(File.System, File.Property, RO);
+      EXPECT_EQ(E1.Run.BugBound, EP.Run.BugBound) << "seed " << Seed;
+      EXPECT_EQ(E1.Run.ConvergedAt, EP.Run.ConvergedAt) << "seed " << Seed;
+      EXPECT_EQ(E1.Run.Exhausted, EP.Run.Exhausted) << "seed " << Seed;
+      EXPECT_EQ(E1.Run.KMax, EP.Run.KMax) << "seed " << Seed;
+      EXPECT_EQ(E1.Run.StatesStored, EP.Run.StatesStored) << "seed " << Seed;
+      EXPECT_EQ(E1.Run.VisibleStates, EP.Run.VisibleStates)
+          << "seed " << Seed;
+      EXPECT_EQ(E1.Run.Witness, EP.Run.Witness) << "seed " << Seed;
+      EXPECT_EQ(E1.RkCollapse, EP.RkCollapse) << "seed " << Seed;
+      EXPECT_EQ(E1.TkCollapse, EP.TkCollapse) << "seed " << Seed;
+
+      SymbolicRunResult SP =
+          runAlg3Symbolic(File.System, File.Property, RO);
+      EXPECT_EQ(S1.Run.BugBound, SP.Run.BugBound) << "seed " << Seed;
+      EXPECT_EQ(S1.Run.ConvergedAt, SP.Run.ConvergedAt) << "seed " << Seed;
+      EXPECT_EQ(S1.Run.Exhausted, SP.Run.Exhausted) << "seed " << Seed;
+      EXPECT_EQ(S1.Run.KMax, SP.Run.KMax) << "seed " << Seed;
+      EXPECT_EQ(S1.Run.StatesStored, SP.Run.StatesStored) << "seed " << Seed;
+      EXPECT_EQ(S1.Run.VisibleStates, SP.Run.VisibleStates)
+          << "seed " << Seed;
+      EXPECT_EQ(S1.Run.Witness, SP.Run.Witness) << "seed " << Seed;
+      EXPECT_EQ(S1.TkCollapse, SP.TkCollapse) << "seed " << Seed;
+      EXPECT_EQ(S1.SFixpoint, SP.SFixpoint) << "seed " << Seed;
+      EXPECT_EQ(S1.SymbolicStates, SP.SymbolicStates) << "seed " << Seed;
+      EXPECT_EQ(S1.DistinctLanguages, SP.DistinctLanguages)
+          << "seed " << Seed;
+    }
+    if (HasFailure())
+      break;
+  }
+}
+
+TEST_F(ParallelDeterminismTest, PaperModelsMatchAcrossJobCounts) {
+  // Deeper, wider instances than the random corner shapes: the
+  // Bluetooth driver (both the narrow and the wide configuration) and
+  // Fig. 1, with a budget loose enough to run all MaxK rounds.
+  const ResourceLimits Loose{200'000, 50'000'000, 8, 0};
+  for (CpdsFile File :
+       {models::buildFig1(), models::buildBluetooth(3, 1, 1),
+        models::buildBluetooth(3, 2, 2)}) {
+    ExplicitTrace E1 = runExplicit(File.System, Loose, nullptr);
+    expectSameExplicit(E1, runExplicit(File.System, Loose, &Pool2), 0,
+                       "model");
+    expectSameExplicit(E1, runExplicit(File.System, Loose, &Pool8), 0,
+                       "model");
+    SymbolicTrace S1 = runSymbolic(File.System, Loose, nullptr);
+    expectSameSymbolic(S1, runSymbolic(File.System, Loose, &Pool2), 0,
+                       "model");
+    expectSameSymbolic(S1, runSymbolic(File.System, Loose, &Pool8), 0,
+                       "model");
+  }
+}
+
+TEST_F(ParallelDeterminismTest, ExpandAllAblationMatches) {
+  // The ablation path (re-expanding every known state) shares the
+  // parallel closure; pin it on one model.
+  CpdsFile File = models::buildBluetooth(3, 1, 1);
+  auto Run = [&](exec::ThreadPool *Pool) {
+    CbaEngine E(File.System, FuzzLimits);
+    E.setExpandAll(true);
+    E.setParallel(Pool);
+    while (E.bound() < 4 &&
+           E.advance() == CbaEngine::RoundStatus::Ok)
+      ;
+    return std::make_tuple(E.reachedSize(), E.visibleSize(),
+                           E.limits().steps(), E.visibleFirstSeen());
+  };
+  auto Serial = Run(nullptr);
+  EXPECT_EQ(Serial == Run(&Pool2), true);
+  EXPECT_EQ(Serial == Run(&Pool8), true);
+}
+
+} // namespace

@@ -9,6 +9,7 @@
 
 #include "core/Algorithms.h"
 #include "core/SymbolicAlgorithms.h"
+#include "exec/ThreadPool.h"
 #include "models/Models.h"
 #include "support/ErrorOr.h"
 #include "support/Hashing.h"
@@ -232,10 +233,12 @@ TEST(StringUtils, IsIdentifier) {
 
 TEST(Statistics, CountersAccumulateAndReset) {
   Statistics::resetAll();
-  Statistics::counter("test.alpha") += 3;
-  Statistics::counter("test.alpha") += 2;
-  Statistics::counter("test.beta") = 7;
-  EXPECT_EQ(Statistics::counter("test.alpha"), 5u);
+  Statistic Alpha("test.alpha");
+  Alpha += 3;
+  Alpha += 2;
+  Statistic Beta("test.beta");
+  Beta += 7;
+  EXPECT_EQ(Statistics::value("test.alpha"), 5u);
 
   bool SawAlpha = false, SawBeta = false;
   for (const auto &[Name, Value] : Statistics::snapshot()) {
@@ -252,7 +255,23 @@ TEST(Statistics, CountersAccumulateAndReset) {
   EXPECT_TRUE(SawBeta);
 
   Statistics::resetAll();
-  EXPECT_EQ(Statistics::counter("test.alpha"), 0u);
+  EXPECT_EQ(Statistics::value("test.alpha"), 0u);
+
+  // Handles registered under the same name share one slot.
+  Statistic AlphaAgain("test.alpha");
+  ++AlphaAgain;
+  ++Alpha;
+  EXPECT_EQ(Statistics::value("test.alpha"), 2u);
+  Statistics::resetAll();
+}
+
+TEST(Statistics, ShardsSumAcrossThreads) {
+  Statistics::resetAll();
+  static Statistic Counter("test.threads");
+  exec::ThreadPool Pool(4);
+  Pool.run(1000, [&](unsigned, size_t) { ++Counter; });
+  EXPECT_EQ(Statistics::value("test.threads"), 1000u);
+  Statistics::resetAll();
 }
 
 //===----------------------------------------------------------------------===//

@@ -15,6 +15,9 @@
 ///     --max-states N       stored-state budget (default 2e6)
 ///     --max-steps N        engine-step budget (default 5e7)
 ///     --timeout-ms N       wall-clock budget (default 120000)
+///     --jobs N             worker parallelism (default: $CUBA_JOBS, else
+///                          the hardware concurrency; results are
+///                          bit-identical for every N)
 ///     --approach auto|explicit|symbolic
 ///     --continue-after-bug keep exploring to a convergence bound
 ///     --emit-cpds          print the (translated) system and exit
@@ -23,7 +26,7 @@
 /// The `fuzz` subcommand drives the randomized differential harness
 /// (testing/RandomCpds + testing/DifferentialOracle) instead of a file:
 ///
-///   cuba fuzz [--count N] [--seed S] [--max-k K] [--emit-cpds]
+///   cuba fuzz [--count N] [--seed S] [--max-k K] [--jobs N] [--emit-cpds]
 ///
 /// The base seed comes from --seed, else the CUBA_FUZZ_SEED environment
 /// variable, else 1; a failure prints the offending seed and the exact
@@ -44,6 +47,7 @@
 #include "bp/Parser.h"
 #include "bp/Translate.h"
 #include "core/CubaDriver.h"
+#include "exec/ThreadPool.h"
 #include "pds/CpdsIO.h"
 #include "support/Statistic.h"
 #include "support/StringUtils.h"
@@ -58,6 +62,7 @@ namespace {
 struct CliOptions {
   std::string InputPath;
   DriverOptions Driver;
+  unsigned Jobs = 0; // 0 = unset; resolved via ThreadPool::defaultJobs().
   bool EmitCpds = false;
   bool DumpAst = false;
   bool Stats = false;
@@ -71,6 +76,9 @@ void printUsage() {
       "  --max-states N       stored-state budget (default 2000000)\n"
       "  --max-steps N        engine-step budget (default 50000000)\n"
       "  --timeout-ms N       wall-clock budget (default 120000)\n"
+      "  --jobs N             worker parallelism (default: $CUBA_JOBS,\n"
+      "                       else hardware concurrency; results are\n"
+      "                       bit-identical for every N)\n"
       "  --approach A         auto | explicit | symbolic\n"
       "  --continue-after-bug keep exploring to a convergence bound\n"
       "  --trace              print a concrete interleaving on a bug\n"
@@ -81,6 +89,8 @@ void printUsage() {
       "  --count N            instances to check (default 200)\n"
       "  --seed S             base seed (default: $CUBA_FUZZ_SEED, else 1)\n"
       "  --max-k N            deepest context bound compared (default 4)\n"
+      "  --jobs N             worker parallelism (default: $CUBA_JOBS,\n"
+      "                       else hardware concurrency)\n"
       "  --emit-cpds          print each generated instance\n");
 }
 
@@ -92,6 +102,7 @@ void printUsage() {
 int runFuzz(int Argc, char **Argv) {
   uint64_t Count = 200;
   uint64_t BaseSeed = 1;
+  unsigned Jobs = 0;
   bool SeedWasSet = false;
   bool EmitCpds = false;
   testing::OracleOptions Oracle;
@@ -128,6 +139,8 @@ int runFuzz(int Argc, char **Argv) {
       SeedWasSet = true;
     } else if (Arg == "--max-k" && NumArg(N)) {
       Oracle.MaxK = static_cast<unsigned>(N);
+    } else if (Arg == "--jobs" && NumArg(N) && N >= 1) {
+      Jobs = static_cast<unsigned>(N);
     } else if (Arg == "--emit-cpds") {
       EmitCpds = true;
     } else {
@@ -135,10 +148,14 @@ int runFuzz(int Argc, char **Argv) {
       return 64;
     }
   }
+  if (Jobs == 0)
+    Jobs = exec::ThreadPool::defaultJobs();
+  exec::ThreadPool Pool(Jobs);
+  Oracle.Pool = &Pool;
 
-  std::printf("fuzz: %llu instance(s) from base seed %llu%s\n",
+  std::printf("fuzz: %llu instance(s) from base seed %llu, %u job(s)%s\n",
               static_cast<unsigned long long>(Count),
-              static_cast<unsigned long long>(BaseSeed),
+              static_cast<unsigned long long>(BaseSeed), Jobs,
               SeedWasSet ? "" : " (set --seed or CUBA_FUZZ_SEED to vary)");
   uint64_t Exhausted = 0;
   for (uint64_t I = 0; I < Count; ++I) {
@@ -159,10 +176,10 @@ int runFuzz(int Argc, char **Argv) {
                    "fuzz: MISMATCH at seed %llu\n%s\n"
                    "instance:\n%s\n"
                    "reproduce: CUBA_FUZZ_SEED=%llu cuba fuzz --count 1"
-                   " --max-k %u\n",
+                   " --max-k %u --jobs %u\n",
                    static_cast<unsigned long long>(Seed), Rep.str().c_str(),
                    printCpds(File).c_str(),
-                   static_cast<unsigned long long>(Seed), Oracle.MaxK);
+                   static_cast<unsigned long long>(Seed), Oracle.MaxK, Jobs);
       return 1;
     }
   }
@@ -195,6 +212,8 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Cli) {
       Run.Limits.MaxSteps = N;
     } else if (Arg == "--timeout-ms" && NumArg(N)) {
       Run.Limits.MaxMillis = N;
+    } else if (Arg == "--jobs" && NumArg(N) && N >= 1) {
+      Cli.Jobs = static_cast<unsigned>(N);
     } else if (Arg == "--approach") {
       if (I + 1 >= Argc)
         return false;
@@ -298,10 +317,15 @@ int main(int Argc, char **Argv) {
     return 0;
   }
 
+  unsigned Jobs = Cli.Jobs ? Cli.Jobs : exec::ThreadPool::defaultJobs();
+  exec::ThreadPool Pool(Jobs);
+  Cli.Driver.Run.Pool = &Pool;
+
   DriverResult R = runCuba(File->System, File->Property, Cli.Driver);
 
   std::printf("input:     %s\n", Cli.InputPath.c_str());
   std::printf("threads:   %u\n", File->System.numThreads());
+  std::printf("jobs:      %u\n", Jobs);
   std::printf("fcr:       %s\n", R.Fcr.Holds ? "holds" : "not established");
   std::printf("approach:  %s\n", R.Used == ApproachKind::ExplicitCombined
                                      ? "explicit (Scheme1 || Alg3)"
