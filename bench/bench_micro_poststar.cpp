@@ -14,9 +14,12 @@
 
 #include <benchmark/benchmark.h>
 
+#include "../tests/ReferencePostStar.h"
 #include "bdd/BddSet.h"
+#include "fa/Canonicalize.h"
 #include "fa/Dfa.h"
 #include "psa/PostStar.h"
+#include "psa/SaturationEngine.h"
 #include "support/Unreachable.h"
 
 using namespace cuba;
@@ -55,6 +58,70 @@ void BM_PostStarTower(benchmark::State &State) {
   }
 }
 BENCHMARK(BM_PostStarTower)->Arg(4)->Arg(16)->Arg(64);
+
+/// An infinite input language over the tower alphabet: a0 b0* (one
+/// overwrite head plus a pumpable tail), shaped like the rooted
+/// languages the symbolic engine feeds its transactions.
+CanonicalDfa makeTowerLanguage(const Pds &P) {
+  Nfa A(P.numSymbols());
+  uint32_t S0 = A.addState(), S1 = A.addState();
+  A.setInitial(S0);
+  A.addEdge(S0, P.symbolByName("a0"), S1);
+  A.addEdge(S1, P.symbolByName("b0"), S1);
+  A.setAccepting(S1);
+  return canonicalizeNfa(A);
+}
+
+/// The pre-shared-saturation transaction pipeline over every root: the
+/// same reference::perRootPostStar the property suite verifies the
+/// shared layer against (one shim, no drift between what is tested and
+/// what is benchmarked).
+size_t perRootTransactions(const Pds &P, uint32_t NumShared,
+                           const CanonicalDfa &Lang) {
+  size_t Rows = 0;
+  for (QState Root = 0; Root < NumShared; ++Root) {
+    for (auto &[Q2, D] : reference::perRootPostStar(P, NumShared, Lang,
+                                                    Root)) {
+      benchmark::DoNotOptimize(D.hash());
+      ++Rows;
+    }
+  }
+  return Rows;
+}
+
+/// The per-root pipeline over every shared root of a tower instance:
+/// the cost the symbolic engine used to pay per (round, language).
+void BM_PerRootPostStar(benchmark::State &State) {
+  unsigned N = static_cast<unsigned>(State.range(0));
+  Pds P = makeTowerPds(N);
+  CanonicalDfa Lang = makeTowerLanguage(P);
+  for (auto _ : State) {
+    benchmark::DoNotOptimize(perRootTransactions(P, N, Lang));
+  }
+}
+BENCHMARK(BM_PerRootPostStar)->Arg(4)->Arg(8)->Arg(16);
+
+/// The shared-saturation layer on the same instances: ONE masked
+/// saturation, then per-root extraction through the fused
+/// canonicalizer.  Same answers as BM_PerRootPostStar; the ratio is the
+/// saturation-sharing payoff.
+void BM_SharedPostStar(benchmark::State &State) {
+  unsigned N = static_cast<unsigned>(State.range(0));
+  Pds P = makeTowerPds(N);
+  CanonicalDfa Lang = makeTowerLanguage(P);
+  for (auto _ : State) {
+    SharedSaturationResult R = sharedPostStar(P, N, Lang);
+    size_t Rows = 0;
+    for (QState Root = 0; Root < N; ++Root) {
+      for (auto &[Q2, D] : R.Sat.extractRoot(Root)) {
+        benchmark::DoNotOptimize(D.hash());
+        ++Rows;
+      }
+    }
+    benchmark::DoNotOptimize(Rows);
+  }
+}
+BENCHMARK(BM_SharedPostStar)->Arg(4)->Arg(8)->Arg(16);
 
 void BM_DeterminizeCanonicalize(benchmark::State &State) {
   unsigned N = static_cast<unsigned>(State.range(0));

@@ -41,6 +41,17 @@ uint32_t CbaEngine::appendState(PackedGlobalState &&S, unsigned Round,
   return Id;
 }
 
+uint32_t CbaEngine::appendStateBatched(PackedGlobalState &&S, unsigned Round,
+                                       uint32_t Parent, unsigned Thread,
+                                       uint32_t ActionIdx, uint64_t VisWord) {
+  uint32_t Id = static_cast<uint32_t>(States.size());
+  VisBatch.push_back(VisWord);
+  States.push_back(std::move(S));
+  Info.push_back({Round, Parent, Thread, ActionIdx});
+  LocalMark.push_back(0);
+  return Id;
+}
+
 void CbaEngine::setParallel(exec::ThreadPool *P) {
   Pool = P && P->jobs() > 1 ? P : nullptr;
   if (Pool)
@@ -115,6 +126,10 @@ void CbaEngine::deriveChunk(unsigned Worker, ChunkOut &Out, unsigned I,
   Out.CandEnd.clear();
   Out.Cands.clear();
   const uint32_t BaseSize = SC.Overlay.baseSize();
+  const VisiblePacker &Packer = VisibleSeen.packer();
+  const bool Packable = Packer.packable();
+  const unsigned NThreads = C.numThreads();
+  SC.TopsBuf.resize(NThreads);
   for (size_t P = Begin; P < End; ++P) {
     uint32_t ParentId = Level[P];
     // By value: cheap (ids), and independent of arena relocation.
@@ -125,10 +140,16 @@ void CbaEngine::deriveChunk(unsigned Worker, ChunkOut &Out, unsigned I,
                              static_cast<uint32_t>(SC.SuccsBuf.size()));
     for (auto &[V, ActionIdx] : SC.SuccsBuf) {
       uint32_t Known = UINT32_MAX;
+      uint64_t Hash = 0;
+      uint8_t HasHash = 0;
       // Only thread I's stack can be new; a base-id stack makes the
-      // whole state probeable against the frozen index.
+      // whole state probeable against the frozen index -- and its hash
+      // stays valid at the commit (translate() is then the identity),
+      // so the commit probe reuses it.
       if (V.Stacks[I] < BaseSize) {
-        if (const uint32_t *Found = Index.find(V)) {
+        Hash = PackedGlobalStateHash{}(V);
+        HasHash = 1;
+        if (const uint32_t *Found = Index.findHashed(V, Hash)) {
           uint32_t Id = *Found;
           // Marked in an earlier (committed) level: the serial BFS
           // skips it here too.  Old states (discovered in an earlier
@@ -143,8 +164,19 @@ void CbaEngine::deriveChunk(unsigned Worker, ChunkOut &Out, unsigned I,
       Candidate Cand;
       Cand.KnownId = Known;
       Cand.ActionIdx = ActionIdx;
-      if (Known == UINT32_MAX)
+      if (Known == UINT32_MAX) {
+        Cand.Hash = Hash;
+        Cand.HasHash = HasHash;
+        if (Packable) {
+          // Tops are translation-invariant, so the visible word can be
+          // packed against the overlay now and inserted as-is later.
+          for (unsigned T = 0; T < NThreads; ++T)
+            SC.TopsBuf[T] = SC.Overlay.topOf(V.Stacks[T]);
+          Cand.VisWord = Packer.pack(V.Q, SC.TopsBuf.data(), NThreads);
+          Cand.HasVis = 1;
+        }
         Cand.S = std::move(V);
+      }
       Out.Cands.push_back(std::move(Cand));
     }
     Out.CandEnd.push_back(static_cast<uint32_t>(Out.Cands.size()));
@@ -168,6 +200,18 @@ CbaEngine::closeUnderThreadParallel(unsigned I,
     Level.push_back(Id);
   }
 
+  // Worker-packed visible words are committed in one batch per closure
+  // (every appended state is first seen at Bound + 1); the flush runs on
+  // every exit path so an exhausted commit still records the states it
+  // appended.
+  VisBatch.clear();
+  auto FlushVisible = [&] {
+    if (!VisBatch.empty()) {
+      VisibleSeen.insertPackedBatch(VisBatch, Bound + 1);
+      VisBatch.clear();
+    }
+  };
+
   while (!Level.empty()) {
     ++DeriveGen; // Invalidates every worker's overlay (arena has grown).
     size_t Grain = exec::adaptiveGrain(Level.size(), Pool->jobs());
@@ -190,8 +234,10 @@ CbaEngine::closeUnderThreadParallel(unsigned I,
       for (size_t P = 0; P < CO.Parents.size(); ++P) {
         auto [ParentId, SuccCount] = CO.Parents[P];
         size_t CandEnd = CO.CandEnd[P];
-        if (!Limits.chargeStep(SuccCount + 1))
+        if (!Limits.chargeStep(SuccCount + 1)) {
+          FlushVisible();
           return RoundStatus::Exhausted;
+        }
         for (size_t CI = CandBegin; CI < CandEnd; ++CI) {
           Candidate &Cand = CO.Cands[CI];
           if (Cand.KnownId != UINT32_MAX) {
@@ -205,17 +251,28 @@ CbaEngine::closeUnderThreadParallel(unsigned I,
           }
           PackedGlobalState V = std::move(Cand.S);
           V.Stacks[I] = OV.translate(V.Stacks[I], Store);
+          // All-base candidates carry their worker-computed hash
+          // (translate() was the identity for them).
           auto [Slot, New] =
-              Index.tryEmplace(V, static_cast<uint32_t>(States.size()));
+              Cand.HasHash
+                  ? Index.tryEmplaceHashed(
+                        V, Cand.Hash, static_cast<uint32_t>(States.size()))
+                  : Index.tryEmplace(V,
+                                     static_cast<uint32_t>(States.size()));
           if (New) {
             uint32_t NewId =
-                appendState(std::move(V), Bound + 1, ParentId, I,
-                            Cand.ActionIdx);
+                Cand.HasVis
+                    ? appendStateBatched(std::move(V), Bound + 1, ParentId,
+                                         I, Cand.ActionIdx, Cand.VisWord)
+                    : appendState(std::move(V), Bound + 1, ParentId, I,
+                                  Cand.ActionIdx);
             LocalMark[NewId] = Epoch;
             NewFrontier.push_back(NewId);
             Next.push_back(NewId);
-            if (!Limits.chargeState())
+            if (!Limits.chargeState()) {
+              FlushVisible();
               return RoundStatus::Exhausted;
+            }
             continue;
           }
           uint32_t SeenId = *Slot;
@@ -230,6 +287,7 @@ CbaEngine::closeUnderThreadParallel(unsigned I,
     }
     std::swap(Level, Next);
   }
+  FlushVisible();
   return RoundStatus::Ok;
 }
 

@@ -155,10 +155,19 @@ private:
   /// candidates name a state that was already stored when the level's
   /// derive began; new candidates carry the derived state, whose thread
   /// stack may be an overlay id until the commit translates it.
+  /// Workers precompute what the serial commit would otherwise hash:
+  /// the state's dedup hash (valid only when every stack is a base id,
+  /// i.e. translate() is the identity) and the packed visible word
+  /// (tops are translation-invariant, so it is valid whenever the
+  /// system packs at all).
   struct Candidate {
     PackedGlobalState S;
+    uint64_t Hash = 0;
+    uint64_t VisWord = 0;
     uint32_t ActionIdx = 0;
     uint32_t KnownId = UINT32_MAX;
+    uint8_t HasHash = 0;
+    uint8_t HasVis = 0;
   };
 
   /// Output of one derive chunk: per-parent successor counts (the
@@ -180,6 +189,7 @@ private:
     StackOverlay Overlay;
     uint64_t Gen = 0;
     std::vector<std::pair<PackedGlobalState, uint32_t>> SuccsBuf;
+    std::vector<Sym> TopsBuf;
   };
 
   /// The parallel counterpart of closeUnderThread: identical observable
@@ -199,6 +209,15 @@ private:
   /// already claimed the index slot.
   uint32_t appendState(PackedGlobalState &&S, unsigned Round, uint32_t Parent,
                        unsigned Thread, uint32_t ActionIdx);
+
+  /// appendState for the parallel commit's packed fast path: the
+  /// worker-precomputed visible word \p VisWord is deferred into
+  /// VisBatch instead of being unpacked and re-packed per state; the
+  /// commit flushes the batch (one reserve, then plain probes) before
+  /// it returns.
+  uint32_t appendStateBatched(PackedGlobalState &&S, unsigned Round,
+                              uint32_t Parent, unsigned Thread,
+                              uint32_t ActionIdx, uint64_t VisWord);
 
   const Cpds &C;
   LimitTracker Limits;
@@ -234,6 +253,9 @@ private:
   uint64_t DeriveGen = 0;
   std::vector<ChunkOut> ChunksBuf;
   std::vector<uint32_t> LevelBuf, NextLevelBuf;
+  /// Visible words of states appended by the current parallel commit,
+  /// flushed in one batch per closure.
+  std::vector<uint64_t> VisBatch;
 };
 
 } // namespace cuba

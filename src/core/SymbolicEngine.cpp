@@ -10,8 +10,7 @@
 #include <algorithm>
 
 #include "exec/ParallelRound.h"
-#include "psa/PAutomaton.h"
-#include "psa/PostStar.h"
+#include "fa/Canonicalize.h"
 #include "support/Statistic.h"
 
 using namespace cuba;
@@ -28,12 +27,12 @@ static CanonicalDfa singleWordLanguage(uint32_t NumSymbols,
     Cur = Next;
   }
   A.setAccepting(Cur);
-  return A.determinize().canonicalize();
+  return canonicalizeNfa(A);
 }
 
 SymbolicEngine::SymbolicEngine(const Cpds &C, const ResourceLimits &Limits)
     : C(C), Limits(Limits), VisibleSeen(C), TopsCache(C.numThreads()),
-      TransCache(C.numThreads()) {
+      SatCache(C.numThreads()) {
   assert(C.frozen() && "SymbolicEngine requires a frozen CPDS");
   for (unsigned I = 0; I < C.numThreads(); ++I)
     Bottomed.push_back(
@@ -156,37 +155,50 @@ bool SymbolicEngine::replayTransaction(const Transaction &TR,
   return true;
 }
 
-/// Renders a canonical DFA as a P-automaton rooted at \p Root.  The
-/// start state's row is duplicated onto the root so that no edge enters
-/// a shared state (a post* precondition) even when the language's DFA
-/// has transitions back into its start.
-static PAutomaton rootedInput(uint32_t NumShared, const CanonicalDfa &D,
-                              QState Root) {
-  PAutomaton A(NumShared, D.NumSymbols);
-  A.nfa().reserveStates(NumShared + D.numStates());
-  assert(D.Start != CanonicalDfa::NoState && "empty language row");
-  std::vector<uint32_t> Map(D.numStates());
-  for (uint32_t U = 0; U < D.numStates(); ++U)
-    Map[U] = A.addState();
-  for (uint32_t U = 0; U < D.numStates(); ++U) {
-    if (D.Accepting[U])
-      A.setAccepting(Map[U]);
-    for (Sym X = 1; X <= D.NumSymbols; ++X) {
-      uint32_t V = D.Table[static_cast<size_t>(U) * D.NumSymbols + (X - 1)];
-      if (V != CanonicalDfa::NoState)
-        A.addEdge(Map[U], X, Map[V]);
-    }
+uint32_t SymbolicEngine::registerSaturation(unsigned I, DfaId Lang,
+                                            SharedSaturation Sat,
+                                            uint64_t BaseSteps) {
+  uint32_t Idx = static_cast<uint32_t>(SharedSats.size());
+  SharedSats.push_back({std::move(Sat), BaseSteps, {}});
+  SatCache[I].tryEmplace(Lang, Idx);
+  return Idx;
+}
+
+void SymbolicEngine::extractRootPending(const SharedSaturation &Sat,
+                                        QState Root,
+                                        PendingExtraction &P) const {
+  // The per-successor charge mirrors the pre-refactor pipeline's
+  // rooted-NFA cost: the size of the automaton the canonicalization
+  // reads, identical for every target of one root.
+  uint64_t Cost = Sat.numStates();
+  for (auto &[Q2, D] : Sat.extractRoot(Root)) {
+    uint64_t Hash = D.hash();
+    P.Succs.push_back({Q2, std::move(D), Hash, Cost});
   }
-  // The root mirrors the start state.
-  if (D.Accepting[D.Start])
-    A.setAccepting(Root);
-  for (Sym X = 1; X <= D.NumSymbols; ++X) {
-    uint32_t V =
-        D.Table[static_cast<size_t>(D.Start) * D.NumSymbols + (X - 1)];
-    if (V != CanonicalDfa::NoState)
-      A.addEdge(Root, X, Map[V]);
+}
+
+bool SymbolicEngine::commitRootExtraction(
+    uint32_t SatIdx, PendingExtraction &P, const SymbolicState &S, unsigned I,
+    std::vector<SymbolicState> &NewFrontier) {
+  SharedSat &SS = SharedSats[SatIdx];
+  Transaction TR;
+  TR.BaseSteps = SS.PendingBase; // First extracted root carries the base.
+  SS.PendingBase = 0;
+  for (PendingExtraction::PSucc &PS : P.Succs) {
+    // Exhaustion mid-transaction leaves the root unrecorded: a prefix of
+    // the successors was charged and registered, and the engine is
+    // stopping anyway.
+    if (!Limits.chargeStep(PS.StepCost))
+      return false;
+    DfaId Lang = Store.intern(std::move(PS.D), PS.Hash);
+    TR.Succs.push_back({PS.Q, Lang, PS.StepCost});
+    if (!addSuccessor(S, I, PS.Q, Lang, NewFrontier))
+      return false;
   }
-  return A;
+  Transactions.push_back(std::move(TR));
+  SS.Roots.tryEmplace(S.Q,
+                      static_cast<uint32_t>(Transactions.size() - 1));
+  return true;
 }
 
 bool SymbolicEngine::expand(const SymbolicState &S, unsigned I,
@@ -201,70 +213,39 @@ bool SymbolicEngine::expand(const SymbolicState &S, unsigned I,
   // transaction.  Unreachable through the real pipeline (rooted
   // languages are non-empty by construction), but cheap, and it keeps
   // the engine well-defined under the fa_testing minimize mutation.
-  if (Store.get(S.Langs[I]).Start == CanonicalDfa::NoState)
+  DfaId Lang = S.Langs[I];
+  if (Store.get(Lang).Start == CanonicalDfa::NoState)
     return true;
 
-  // A transaction's successors depend only on (expanding thread, shared
-  // root, thread i's language): probe the per-thread cache first.  A hit
-  // replays the recorded charge schedule interleaved with the successor
-  // insertions, so an engine with a tight budget stores exactly the
-  // states -- and exhausts at exactly the point -- a fresh re-expansion
-  // would.
-  uint64_t Key = (static_cast<uint64_t>(S.Q) << 32) | S.Langs[I];
-  if (const uint32_t *Cached = TransCache[I].find(Key)) {
-    ++HitCounter;
-    return replayTransaction(Transactions[*Cached], S, I, NewFrontier);
-  }
-
-  uint64_t StepsBefore = Limits.steps();
-  PAutomaton In =
-      rootedInput(C.numSharedStates(), Store.get(S.Langs[I]), S.Q);
-  PostStarResult R = postStar(Bottomed[I].P, In, &Limits);
-  if (!R.Complete)
-    return false;
-
-  PendingTrans P;
-  P.Thread = I;
-  P.Root = S.Q;
-  P.InLang = S.Langs[I];
-  P.BaseSteps = Limits.steps() - StepsBefore;
-  collectSuccessors(R, P);
-  return commitFreshTransaction(P, S, I, Key, NewFrontier);
-}
-
-void SymbolicEngine::collectSuccessors(const PostStarResult &R,
-                                       PendingTrans &P) const {
-  for (QState Q2 = 0; Q2 < C.numSharedStates(); ++Q2) {
-    Nfa Rooted = R.Automaton.rootedNfa({Q2});
-    if (Rooted.isLanguageEmpty())
-      continue;
-    uint64_t Cost = Rooted.numStates();
-    CanonicalDfa D = Rooted.determinize().canonicalize();
-    uint64_t Hash = D.hash();
-    P.Succs.push_back({Q2, std::move(D), Hash, Cost});
-  }
-}
-
-bool SymbolicEngine::commitFreshTransaction(
-    PendingTrans &P, const SymbolicState &S, unsigned I, uint64_t Key,
-    std::vector<SymbolicState> &NewFrontier) {
-  Transaction TR;
-  TR.BaseSteps = P.BaseSteps;
-  for (PendingTrans::PSucc &PS : P.Succs) {
-    // Exhaustion mid-transaction leaves the entry uncached: a prefix of
-    // the successors was charged and registered, and the engine is
-    // stopping anyway.
-    if (!Limits.chargeStep(PS.StepCost))
+  // Two cache levels: the (thread, language) saturation, then the root
+  // record inside it.  A root hit replays the recorded charge schedule
+  // interleaved with the successor insertions, so an engine with a
+  // tight budget stores exactly the states -- and exhausts at exactly
+  // the point -- a fresh re-expansion would.
+  uint32_t SatIdx;
+  if (const uint32_t *Found = SatCache[I].find(Lang)) {
+    SatIdx = *Found;
+    if (const uint32_t *Rec = SharedSats[SatIdx].Roots.find(S.Q)) {
+      ++HitCounter;
+      return replayTransaction(Transactions[*Rec], S, I, NewFrontier);
+    }
+  } else {
+    // Fresh language: one shared saturation serves every root that will
+    // ever expand it, charged live (one step per saturation pop).
+    uint64_t StepsBefore = Limits.steps();
+    SharedSaturationResult R = sharedPostStar(
+        Bottomed[I].P, C.numSharedStates(), Store.get(Lang), &Limits);
+    if (!R.Complete)
       return false;
-    DfaId Lang = Store.intern(std::move(PS.D), PS.Hash);
-    TR.Succs.push_back({PS.Q, Lang, PS.StepCost});
-    if (!addSuccessor(S, I, PS.Q, Lang, NewFrontier))
-      return false;
+    SatIdx = registerSaturation(I, Lang, std::move(R.Sat),
+                                Limits.steps() - StepsBefore);
   }
-  Transactions.push_back(std::move(TR));
-  TransCache[I].tryEmplace(Key,
-                           static_cast<uint32_t>(Transactions.size() - 1));
-  return true;
+
+  // Fresh root on a (now) saturated language: extract, then run the
+  // shared budget-charging commit.
+  PendingExtraction P;
+  extractRootPending(SharedSats[SatIdx].Sat, S.Q, P);
+  return commitRootExtraction(SatIdx, P, S, I, NewFrontier);
 }
 
 SymbolicEngine::RoundStatus
@@ -283,19 +264,28 @@ SymbolicEngine::advanceRoundSerial(std::vector<SymbolicState> &NewFrontier) {
   return RoundStatus::Ok;
 }
 
-void SymbolicEngine::computeTransaction(PendingTrans &P) const {
+void SymbolicEngine::computePendingSat(PendingSat &P) const {
   // Everything here reads only state frozen for the round: the
-  // bottom-transformed PDSs, the DfaStore arena (no interning happens
-  // until the commit), and the pds structure.  The budget is a local
-  // unlimited recorder -- the commit replays its unit-charge count
-  // against the real tracker in serial order.
-  LimitTracker Recorder((ResourceLimits::unlimited()));
-  PAutomaton In =
-      rootedInput(C.numSharedStates(), Store.get(P.InLang), P.Root);
-  PostStarResult R = postStar(Bottomed[P.Thread].P, In, &Recorder);
-  P.BaseSteps = Recorder.steps();
-  assert(R.Complete && "unlimited saturation cannot exhaust");
-  collectSuccessors(R, P);
+  // bottom-transformed PDSs, the DfaStore arena and the retained
+  // saturations (both only append, in the serial commit), and the pds
+  // structure.  The budget is a local unlimited recorder -- the commit
+  // replays its pop count against the real tracker in serial order.
+  const SharedSaturation *Sat;
+  if (P.CachedSat != UINT32_MAX) {
+    Sat = &SharedSats[P.CachedSat].Sat;
+  } else {
+    LimitTracker Recorder((ResourceLimits::unlimited()));
+    SharedSaturationResult R = sharedPostStar(
+        Bottomed[P.Thread].P, C.numSharedStates(), Store.get(P.InLang),
+        &Recorder);
+    assert(R.Complete && "unlimited saturation cannot exhaust");
+    P.BaseSteps = Recorder.steps();
+    P.Sat = std::move(R.Sat);
+    Sat = &P.Sat;
+  }
+  P.Extr.resize(P.Roots.size());
+  for (size_t R = 0; R < P.Roots.size(); ++R)
+    extractRootPending(*Sat, P.Roots[R], P.Extr[R]);
 }
 
 SymbolicEngine::RoundStatus
@@ -303,37 +293,53 @@ SymbolicEngine::advanceRoundParallel(std::vector<SymbolicState> &NewFrontier) {
   static Statistic TransCounter("symbolic.transactions");
   static Statistic HitCounter("symbolic.transactions.cached");
 
-  // Phase 1 (serial): collect the distinct keys no cached transaction
-  // covers, skipping expansions the *round-start* producer masks rule
-  // out.  Masks only gain bits as the round commits (a frontier state
-  // re-derived mid-round absorbs its producer), so this is a superset
-  // of what the serial path computes fresh -- the commit below re-reads
-  // the live mask and is what decides.
-  std::vector<PendingTrans> Pending;
-  std::vector<FlatMap<uint64_t, uint32_t>> FreshIdx(C.numThreads());
+  // Phase 1 (serial): group the round's uncovered work by (thread,
+  // input language) -- each distinct key becomes ONE speculative task
+  // carrying every root the frontier asks of it.  Expansions the
+  // *round-start* producer masks rule out are skipped; masks only gain
+  // bits as the round commits (a frontier state re-derived mid-round
+  // absorbs its producer), so this is a superset of what the serial
+  // path computes fresh -- the commit below re-reads the live mask and
+  // is what decides.
+  std::vector<PendingSat> Pending;
+  std::vector<FlatMap<DfaId, uint32_t>> FreshIdx(C.numThreads());
   for (const SymbolicState &S : Frontier) {
     uint32_t Produced = *States.find(S);
     for (unsigned I = 0; I < C.numThreads(); ++I) {
       if (Produced & (1u << I))
         continue;
-      if (Store.get(S.Langs[I]).Start == CanonicalDfa::NoState)
+      DfaId Lang = S.Langs[I];
+      if (Store.get(Lang).Start == CanonicalDfa::NoState)
         continue;
-      uint64_t Key = (static_cast<uint64_t>(S.Q) << 32) | S.Langs[I];
-      if (TransCache[I].contains(Key))
-        continue;
+      uint32_t SatIdx = UINT32_MAX;
+      if (const uint32_t *Found = SatCache[I].find(Lang)) {
+        SatIdx = *Found;
+        if (SharedSats[SatIdx].Roots.contains(S.Q))
+          continue; // Full hit: replays at the commit.
+      }
       auto [Slot, New] = FreshIdx[I].tryEmplace(
-          Key, static_cast<uint32_t>(Pending.size()));
-      (void)Slot;
-      if (New)
-        Pending.push_back({I, S.Q, S.Langs[I], 0, {}});
+          Lang, static_cast<uint32_t>(Pending.size()));
+      if (New) {
+        Pending.emplace_back();
+        Pending.back().Thread = I;
+        Pending.back().InLang = Lang;
+        Pending.back().CachedSat = SatIdx;
+      }
+      PendingSat &PS = Pending[*Slot];
+      auto [RSlot, RNew] = PS.RootIdx.tryEmplace(
+          S.Q, static_cast<uint32_t>(PS.Roots.size()));
+      (void)RSlot;
+      if (RNew)
+        PS.Roots.push_back(S.Q);
     }
   }
 
-  // Phase 2 (parallel): speculative transactions, one task per key.
-  // Tasks the serial run would never reach (it exhausted earlier) are
-  // computed and discarded; the budget replay below is what decides.
+  // Phase 2 (parallel): speculative saturations + extractions, one task
+  // per (thread, language) key.  Tasks the serial run would never reach
+  // (it exhausted earlier) are computed and discarded; the budget
+  // replay below is what decides.
   exec::parallelFor(*Pool, Pending.size(), 1, [&](unsigned, size_t T) {
-    computeTransaction(Pending[T]);
+    computePendingSat(Pending[T]);
   });
 
   // Phase 3 (serial): replay the round's expansion sequence in serial
@@ -346,26 +352,36 @@ SymbolicEngine::advanceRoundParallel(std::vector<SymbolicState> &NewFrontier) {
       if (Produced & (1u << I))
         continue;
       ++TransCounter;
-      if (Store.get(S.Langs[I]).Start == CanonicalDfa::NoState)
+      DfaId Lang = S.Langs[I];
+      if (Store.get(Lang).Start == CanonicalDfa::NoState)
         continue;
-      uint64_t Key = (static_cast<uint64_t>(S.Q) << 32) | S.Langs[I];
-      if (const uint32_t *Cached = TransCache[I].find(Key)) {
-        // Cached before the round, or committed earlier within it: the
-        // serial hit path (shared with expand(), so the two charge
-        // schedules cannot drift apart).
-        ++HitCounter;
-        if (!replayTransaction(Transactions[*Cached], S, I, NewFrontier))
-          return RoundStatus::Exhausted;
-        continue;
+      uint32_t SatIdx = UINT32_MAX;
+      if (const uint32_t *Found = SatCache[I].find(Lang)) {
+        SatIdx = *Found;
+        if (const uint32_t *Rec = SharedSats[SatIdx].Roots.find(S.Q)) {
+          // Recorded before the round, or committed earlier within it:
+          // the serial hit path (shared with expand(), so the two
+          // charge schedules cannot drift apart).
+          ++HitCounter;
+          if (!replayTransaction(Transactions[*Rec], S, I, NewFrontier))
+            return RoundStatus::Exhausted;
+          continue;
+        }
       }
-      // First occurrence of a fresh key: post* charged one unit per
-      // saturation pop, so replaying the count leaves the engine
-      // exactly where a mid-saturation exhaustion would; the rest of
-      // the sequence is the code expand() itself runs.
-      PendingTrans &P = Pending[*FreshIdx[I].find(Key)];
-      if (!Limits.chargeStepsUnit(P.BaseSteps))
-        return RoundStatus::Exhausted;
-      if (!commitFreshTransaction(P, S, I, Key, NewFrontier))
+      PendingSat &PS = Pending[*FreshIdx[I].find(Lang)];
+      if (SatIdx == UINT32_MAX) {
+        // First occurrence of a fresh language: the saturation charged
+        // one unit per pop, so replaying the count leaves the engine
+        // exactly where a mid-saturation exhaustion would.
+        if (!Limits.chargeStepsUnit(PS.BaseSteps))
+          return RoundStatus::Exhausted;
+        SatIdx = registerSaturation(I, Lang, std::move(PS.Sat),
+                                    PS.BaseSteps);
+      }
+      // Fresh root: the rest of the sequence is the code expand()
+      // itself runs.
+      PendingExtraction &PE = PS.Extr[*PS.RootIdx.find(S.Q)];
+      if (!commitRootExtraction(SatIdx, PE, S, I, NewFrontier))
         return RoundStatus::Exhausted;
     }
   }

@@ -23,12 +23,23 @@
 /// Scheme 1) with O(threads) equality and hashing.  Expansion by a
 /// thread that produced the state is skipped: the production was itself
 /// a post* closure, so re-running the same thread adds only subsumed
-/// rows.  A per-thread transaction cache keyed by (shared root q, input
-/// DfaId) re-plays previously computed transactions -- identical rooted
-/// languages recur across symbolic states that differ only in other
-/// threads' stacks, and each replay skips the whole post* +
-/// determinize/minimize pipeline while charging the same step budget the
-/// original run did, keeping budget-sensitive behaviour unchanged.
+/// rows.
+///
+/// Saturation layer: a transaction's successors depend only on
+/// (expanding thread, shared root q, thread i's language), and the
+/// saturation itself is shared across roots -- psa/SaturationEngine
+/// saturates the multi-rooted input (one mirror row per shared state,
+/// root masks on every transition) ONCE per (thread, input DfaId), and
+/// per-root answers are extracted from the retained masked relation via
+/// direct canonicalization (fa/Canonicalize, no complete-DFA detour).
+/// The engine therefore keys its cache at two levels: SatCache maps
+/// (thread, input DfaId) to the retained saturation, and each
+/// saturation's per-root records replay previously extracted
+/// transactions.  A replay charges the same step schedule the original
+/// computation did (the first extracted root's record carries the
+/// saturation's pop charge; every record carries its per-successor
+/// extraction charges), so budget-sensitive behaviour stays
+/// deterministic.
 ///
 /// The visible projections T(S_k) are computed per App. E, formula (4):
 /// the product of per-thread top-symbol sets extracted from the
@@ -37,15 +48,18 @@
 /// Parallel rounds (setParallel): a round's transactions only interact
 /// through the States / DfaStore interning and the budget, and their
 /// *content* depends only on (thread, shared root, input language).  The
-/// parallel path therefore computes each distinct uncached key's
-/// transaction speculatively across workers -- post*, per-root
-/// determinize/minimize/canonicalize, structural hashing, all against
-/// the frozen arena -- and then replays the round's (frontier, thread)
-/// sequence serially, charging budgets and interning canonical forms in
-/// exactly the serial order.  Keys repeated within the round become
-/// cache hits at the replay, just as they do serially, so verdicts,
-/// first-seen rounds, budget exhaustion points and DfaId assignment are
-/// bit-identical to `--jobs 1` (pinned by ParallelDeterminismTest).
+/// parallel path computes each distinct uncached (thread, input DfaId)
+/// key's work speculatively across workers -- the shared saturation plus
+/// the per-root extractions every frontier root of that key needs, all
+/// against the frozen arena -- and then replays the round's (frontier,
+/// thread) sequence serially, charging budgets and interning canonical
+/// forms in exactly the serial order.  Keys repeated within the round
+/// become cache hits at the replay, just as they do serially, so
+/// verdicts, first-seen rounds, budget exhaustion points and DfaId
+/// assignment are bit-identical to `--jobs 1` (pinned by
+/// ParallelDeterminismTest).  Grouping by (thread, DfaId) instead of
+/// (thread, root, DfaId) makes the speculative tasks fewer and larger --
+/// better scaling for the same serial commit.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -59,13 +73,12 @@
 #include "pds/Cpds.h"
 #include "pds/VisibleSet.h"
 #include "psa/BottomTransform.h"
+#include "psa/SaturationEngine.h"
 #include "support/FlatHash.h"
 #include "support/Limits.h"
 #include "support/SmallVec.h"
 
 namespace cuba {
-
-struct PostStarResult;
 
 /// A symbolic state <q | A_1..A_n> with interned canonical per-thread
 /// stack languages (over the bottom-extended alphabets).  All ids come
@@ -133,6 +146,10 @@ public:
   /// stack languages ever canonicalised).
   const DfaStore &languageStore() const { return Store; }
 
+  /// Number of shared saturations retained (distinct (thread, language)
+  /// pairs ever saturated); exposed for statistics and benches.
+  size_t saturationCount() const { return SharedSats.size(); }
+
   /// Fans subsequent rounds' transactions out across \p Pool's workers
   /// (nullptr, or a one-job pool, restores the serial path).  Results
   /// are bit-identical either way; the pool must outlive the engine or
@@ -142,38 +159,38 @@ public:
   }
 
 private:
-  /// One cached transaction: the successors a post* expansion produced
-  /// plus the exact step-charge schedule of the original computation
-  /// (the post* saturation cost, then one charge per successor), so a
-  /// replay charges the budget in the same order a fresh re-expansion
-  /// would and exhausts at exactly the same point, states-added and
-  /// all.
+  /// One cached per-root transaction: the successors an extraction
+  /// produced plus the exact step-charge schedule of the original
+  /// computation (the saturation's pop charge when this was the first
+  /// root extracted -- zero afterwards -- then one charge per
+  /// successor), so a replay charges the budget in the same order a
+  /// fresh re-expansion would and exhausts at exactly the same point,
+  /// states-added and all.
   struct Transaction {
     struct Succ {
       QState Q;
       DfaId Lang;
-      uint64_t StepCost; // The charge for this root's rooted NFA.
+      uint64_t StepCost; // The charge for this successor's extraction.
     };
     std::vector<Succ> Succs;
-    uint64_t BaseSteps = 0; // The post* saturation charge.
+    uint64_t BaseSteps = 0; // The saturation charge (first root only).
   };
 
-  /// Expands symbolic state \p S by thread \p I; new successors are
-  /// pushed onto NewFrontier.  Returns false on budget exhaustion.
-  bool expand(const SymbolicState &S, unsigned I,
-              std::vector<SymbolicState> &NewFrontier);
+  /// One shared saturation per (thread, input DfaId): the masked
+  /// relation retained for lazy per-root extraction, the saturation
+  /// charge still to be carried by the first root's record, and the
+  /// per-root records extracted so far.
+  struct SharedSat {
+    SharedSaturation Sat;
+    uint64_t PendingBase = 0;
+    FlatMap<uint32_t, uint32_t> Roots; // shared root -> Transactions idx
+  };
 
-  /// A speculatively computed transaction for one distinct uncached
-  /// (thread, shared root, input language) key: everything the serial
-  /// fresh-expansion path computes *before* it starts charging the
-  /// budget and interning -- canonical successor languages carried by
-  /// value with their structural hashes, and the post* saturation's
-  /// unit-charge count.
-  struct PendingTrans {
-    unsigned Thread = 0;
-    QState Root = 0;
-    DfaId InLang = 0;
-    uint64_t BaseSteps = 0;
+  /// A per-root extraction staged before budget charging and interning:
+  /// canonical successor languages by value with their structural
+  /// hashes and charge schedule.  Shared by the serial fresh path and
+  /// the parallel speculative phase.
+  struct PendingExtraction {
     struct PSucc {
       QState Q;
       CanonicalDfa D;
@@ -183,34 +200,60 @@ private:
     std::vector<PSucc> Succs;
   };
 
-  /// Extracts, for every shared root with a non-empty rooted language,
-  /// the canonical successor language, its structural hash and its step
-  /// cost from a completed saturation.  Pure; shared by the serial
-  /// fresh path and the parallel speculative phase.
-  void collectSuccessors(const PostStarResult &R, PendingTrans &P) const;
+  /// One distinct (thread, input DfaId) unit of speculative work in a
+  /// parallel round: the shared saturation (unless already cached) plus
+  /// the extraction of every root the round's frontier asks of it.
+  struct PendingSat {
+    unsigned Thread = 0;
+    DfaId InLang = 0;
+    uint32_t CachedSat = UINT32_MAX; // SharedSats index when pre-cached.
+    uint64_t BaseSteps = 0;
+    SharedSaturation Sat; // Valid when CachedSat == UINT32_MAX.
+    std::vector<QState> Roots;
+    FlatMap<uint32_t, uint32_t> RootIdx; // root -> Extr index
+    std::vector<PendingExtraction> Extr;
+  };
 
-  /// The budget-charging tail of a fresh transaction -- per-successor
-  /// charge -> intern -> register, then record it under \p Key.  The
-  /// base post* charge has already been applied (incrementally against
-  /// the live tracker in expand(), via chargeStepsUnit in the parallel
-  /// commit); sharing this sequence is what keeps the two paths
-  /// bit-identical by construction.  Returns false on exhaustion,
-  /// leaving the entry uncached with the successor prefix registered.
-  bool commitFreshTransaction(PendingTrans &P, const SymbolicState &S,
-                              unsigned I, uint64_t Key,
-                              std::vector<SymbolicState> &NewFrontier);
+  /// Expands symbolic state \p S by thread \p I; new successors are
+  /// pushed onto NewFrontier.  Returns false on budget exhaustion.
+  bool expand(const SymbolicState &S, unsigned I,
+              std::vector<SymbolicState> &NewFrontier);
+
+  /// Installs a completed saturation under (thread \p I, \p Lang) with
+  /// \p BaseSteps still to be charged to the first extracted root's
+  /// record; returns its SharedSats index.
+  uint32_t registerSaturation(unsigned I, DfaId Lang, SharedSaturation Sat,
+                              uint64_t BaseSteps);
+
+  /// Extracts root \p Root's canonical successor languages (with
+  /// structural hashes and charge schedule) from \p Sat.  Pure; shared
+  /// by the serial fresh path and the parallel speculative phase.
+  void extractRootPending(const SharedSaturation &Sat, QState Root,
+                          PendingExtraction &P) const;
+
+  /// The budget-charging tail of a fresh per-root extraction --
+  /// per-successor charge -> intern -> register, then record it under
+  /// SharedSats[\p SatIdx].Roots[\p Root] (consuming the saturation's
+  /// pending base charge into the record).  Sharing this sequence
+  /// between the serial path and the parallel commit is what keeps the
+  /// two bit-identical by construction.  Returns false on exhaustion,
+  /// leaving the root unrecorded with the successor prefix registered.
+  bool commitRootExtraction(uint32_t SatIdx, PendingExtraction &P,
+                            const SymbolicState &S, unsigned I,
+                            std::vector<SymbolicState> &NewFrontier);
 
   /// The serial round loop (the original expand() sequence).
   RoundStatus advanceRoundSerial(std::vector<SymbolicState> &NewFrontier);
 
-  /// The parallel round: speculative per-key transactions, then a
-  /// serial ordered replay.  Observable behaviour identical to
-  /// advanceRoundSerial.
+  /// The parallel round: speculative per-(thread, DfaId) saturations and
+  /// extractions, then a serial ordered replay.  Observable behaviour
+  /// identical to advanceRoundSerial.
   RoundStatus advanceRoundParallel(std::vector<SymbolicState> &NewFrontier);
 
-  /// Computes \p P's transaction against the frozen arena (parallel
-  /// phase; must not touch engine state).
-  void computeTransaction(PendingTrans &P) const;
+  /// Computes \p P's saturation (unless cached) and per-root
+  /// extractions against the frozen arena (parallel phase; must not
+  /// touch engine state).
+  void computePendingSat(PendingSat &P) const;
 
   /// Registers \p S (if new) at round \p Round, recording its visible
   /// projections; \p Producer is the expanding thread (UINT32_MAX for
@@ -271,10 +314,11 @@ private:
   };
   std::vector<TopsCacheEntry> TopsCache;
 
-  /// Transaction cache: per thread, (shared root q << 32 | input DfaId)
-  /// -> index into Transactions.  A hit replays the recorded successors
-  /// instead of re-running post* + determinize/minimize.
-  std::vector<FlatMap<uint64_t, uint32_t>> TransCache;
+  /// Saturation cache: per thread, input DfaId -> index into
+  /// SharedSats.  A hit skips the post* saturation entirely; the
+  /// per-root records inside the entry skip the extraction too.
+  std::vector<FlatMap<DfaId, uint32_t>> SatCache;
+  std::vector<SharedSat> SharedSats;
   std::vector<Transaction> Transactions;
 
   /// Parallel execution (null on the serial path).

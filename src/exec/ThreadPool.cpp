@@ -27,6 +27,28 @@ struct ActiveParticipant {
 
 thread_local ActiveParticipant CurrentParticipant;
 
+/// One polite busy-wait beat for the pre-sleep spin.
+inline void cpuPause() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__) || defined(__arm__)
+  asm volatile("yield");
+#endif
+}
+
+/// How many pause beats a worker spins after finishing a batch before
+/// falling back to the condition variable.  A few microseconds: enough
+/// to catch the next level of a fork-join round (the explicit engine
+/// dispatches levels back to back, and a futex sleep/wake costs more
+/// than a small level's whole derive), small enough that an idle pool's
+/// burn is unmeasurable -- the pool still *sleeps* when no work
+/// arrives, pinned by ExecTest.PoolSleepsWhenIdle.  Workers only spin
+/// at all when the machine has a core for every participant (see
+/// ThreadPool::SpinOnIdle): on an oversubscribed or single-core host a
+/// spinning worker steals exactly the cycles the driving thread needs,
+/// turning the latency cut into a slowdown.
+constexpr int SpinIters = 1 << 12;
+
 /// RAII for the participant marker (exception-safe restore).
 struct ParticipantScope {
   ParticipantScope(const ThreadPool *P, unsigned W)
@@ -44,6 +66,7 @@ ThreadPool::ThreadPool(unsigned Jobs) {
   // One cap for every source of the value (--jobs, CUBA_JOBS, tests):
   // beyond it extra workers only oversubscribe.
   unsigned Target = std::clamp(Jobs, 1u, 256u);
+  SpinOnIdle = std::thread::hardware_concurrency() >= Target;
   Workers.reserve(Target - 1);
   try {
     for (unsigned I = 1; I < Target; ++I)
@@ -54,7 +77,7 @@ ThreadPool::ThreadPool(unsigned Jobs) {
     // std::terminate on destruction -- and surface the error.
     {
       std::lock_guard<std::mutex> L(M);
-      Stop = true;
+      Stop.store(true, std::memory_order_relaxed);
     }
     WorkCv.notify_all();
     for (std::thread &T : Workers)
@@ -66,7 +89,7 @@ ThreadPool::ThreadPool(unsigned Jobs) {
 ThreadPool::~ThreadPool() {
   {
     std::lock_guard<std::mutex> L(M);
-    Stop = true;
+    Stop.store(true, std::memory_order_relaxed);
   }
   WorkCv.notify_all();
   for (std::thread &T : Workers)
@@ -111,10 +134,26 @@ void ThreadPool::workerLoop(unsigned Worker) {
   uint64_t SeenGeneration = 0;
   std::unique_lock<std::mutex> L(M);
   for (;;) {
-    WorkCv.wait(L, [&] { return Stop || Generation != SeenGeneration; });
-    if (Stop)
+    // Brief bounded spin before sleeping: fork-join rounds dispatch
+    // batches back to back, and for small explicit levels the futex
+    // wake dominates the level itself.  The spin runs unlocked on the
+    // atomics; whether it fires or times out, the cv handshake below is
+    // what actually admits the worker to the batch.
+    L.unlock();
+    for (int I = SpinOnIdle ? SpinIters : 0; I > 0; --I) {
+      if (Stop.load(std::memory_order_relaxed) ||
+          Generation.load(std::memory_order_acquire) != SeenGeneration)
+        break;
+      cpuPause();
+    }
+    L.lock();
+    WorkCv.wait(L, [&] {
+      return Stop.load(std::memory_order_relaxed) ||
+             Generation.load(std::memory_order_relaxed) != SeenGeneration;
+    });
+    if (Stop.load(std::memory_order_relaxed))
       return;
-    SeenGeneration = Generation;
+    SeenGeneration = Generation.load(std::memory_order_relaxed);
     // A wakeup can arrive after the batch it was meant for has already
     // drained and joined (the caller only waits for *entered* workers).
     // The batch is gone once run() cleared Fn; skip back to waiting.
@@ -163,7 +202,7 @@ void ThreadPool::run(size_t N, TaskRef F) {
     ActiveWorkers = 0;
     FirstExc = nullptr;
     NextTask.store(0, std::memory_order_relaxed);
-    ++Generation;
+    Generation.fetch_add(1, std::memory_order_release);
   }
   // Waking more workers than there are remaining tasks only buys
   // wakeup latency; the ones left asleep skip this generation entirely

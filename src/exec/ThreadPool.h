@@ -115,10 +115,17 @@ private:
   std::condition_variable DoneCv;
   const TaskRef *Fn = nullptr; // Valid while a batch is live.
   size_t NumTasks = 0;
-  uint64_t Generation = 0;  // Bumped per batch; workers wait on it.
+  /// Bumped per batch (under M; atomic so the workers' pre-sleep spin
+  /// can watch it without the lock).
+  std::atomic<uint64_t> Generation{0};
   size_t Unfinished = 0;    // Tasks not yet executed (guarded by M).
   size_t ActiveWorkers = 0; // Workers inside the current batch.
-  bool Stop = false;
+  /// Written under M; atomic for the same lock-free spin.
+  std::atomic<bool> Stop{false};
+  /// Spin-before-sleep is enabled only when the host has a hardware
+  /// thread for every participant; otherwise spinning workers steal the
+  /// very cycles the driving thread needs (set once at construction).
+  bool SpinOnIdle = false;
   std::exception_ptr FirstExc;
   size_t FirstExcTask = 0;
 

@@ -10,7 +10,7 @@
 #include <algorithm>
 
 #include "fa/Dfa.h"
-#include "support/FlatHash.h" // InternIndex + hashRange.
+#include "fa/SubsetInterner.h"
 
 using namespace cuba;
 
@@ -218,62 +218,6 @@ bool Nfa::isLanguageFinite() const {
   return true;
 }
 
-namespace {
-
-/// Interner for the subset construction: subsets are sorted
-/// duplicate-free state vectors stored back to back in one flat pool
-/// and named by dense 32-bit ids through a shared InternIndex probe
-/// table.  Replaces the former std::map<std::vector<uint32_t>,
-/// uint32_t> (a node allocation plus O(log n) lexicographic vector
-/// comparisons per probe) with hashed probes over contiguous storage;
-/// stored hashes filter almost all probe-chain comparisons down to one
-/// word.
-class SubsetInterner {
-public:
-  explicit SubsetInterner(uint32_t ExpectedStatesPerSubset) {
-    Pool.reserve(64 * static_cast<size_t>(
-                          ExpectedStatesPerSubset ? ExpectedStatesPerSubset
-                                                  : 1));
-    Off.reserve(65);
-    Off.push_back(0);
-    Hashes.reserve(64);
-  }
-
-  uint32_t numSubsets() const {
-    return static_cast<uint32_t>(Off.size() - 1);
-  }
-
-  const uint32_t *begin(uint32_t Id) const { return Pool.data() + Off[Id]; }
-  const uint32_t *end(uint32_t Id) const { return Pool.data() + Off[Id + 1]; }
-
-  /// Interns the sorted duplicate-free \p Subset; returns its id and
-  /// whether it was newly added.
-  std::pair<uint32_t, bool> intern(const std::vector<uint32_t> &Subset) {
-    uint64_t H = hashRange(Subset.begin(), Subset.end());
-    uint32_t Found = Index.find(H, Hashes, [&](uint32_t Id) {
-      size_t Len = Off[Id + 1] - Off[Id];
-      return Len == Subset.size() &&
-             std::equal(Subset.begin(), Subset.end(), Pool.begin() + Off[Id]);
-    });
-    if (Found != UINT32_MAX)
-      return {Found, false};
-    uint32_t Id = numSubsets();
-    Pool.insert(Pool.end(), Subset.begin(), Subset.end());
-    Off.push_back(static_cast<uint32_t>(Pool.size()));
-    Hashes.push_back(H);
-    Index.insert(H, Id, Hashes);
-    return {Id, true};
-  }
-
-private:
-  std::vector<uint32_t> Pool;
-  std::vector<uint32_t> Off; // Subset Id spans Pool[Off[Id], Off[Id+1]).
-  std::vector<uint64_t> Hashes;
-  InternIndex Index;
-};
-
-} // namespace
-
 Dfa Nfa::determinize() const {
   // Subset construction with epsilon closures over flat-hash interned
   // subsets.  The empty subset is the explicit sink, so the resulting
@@ -324,7 +268,7 @@ Dfa Nfa::determinize() const {
     return 0;
   };
 
-  SubsetInterner Intern(NStates ? NStates / 2 + 1 : 1);
+  detail::SubsetInterner Intern(NStates ? NStates / 2 + 1 : 1);
   std::vector<uint8_t> SubsetAccepting;
 
   for (uint32_t S = 0; S < NStates; ++S)

@@ -98,6 +98,23 @@ public:
       Fallback.emplace(V, Round);
   }
 
+  /// The packer, for callers that pre-pack words off the hot path (the
+  /// explicit engine's parallel derive workers); only meaningful when
+  /// packable().
+  const VisiblePacker &packer() const { return Packer; }
+
+  /// Batch insertion of pre-packed words first seen in \p Round: one
+  /// reserve, then plain probes.  Requires packer().packable();
+  /// duplicates within the batch (or against earlier rounds) keep the
+  /// earliest round, exactly like insert().
+  void insertPackedBatch(const std::vector<uint64_t> &Words,
+                         unsigned Round) {
+    assert(Packer.packable() && "packed batch on an unpackable system");
+    Packed.reserve(Packed.size() + Words.size());
+    for (uint64_t W : Words)
+      Packed.tryEmplace(W, Round);
+  }
+
   bool contains(const VisibleState &V) const {
     return Packer.packable() ? Packed.contains(Packer.pack(V))
                              : Fallback.count(V) != 0;

@@ -1,0 +1,136 @@
+//===-- psa/SaturationEngine.h - Shared multi-root post* --------*- C++ -*-===//
+//
+// Part of the CUBA project, an implementation of the PLDI 2018 paper
+// "CUBA: Interprocedural Context-UnBounded Analysis of Concurrent Programs".
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared-saturation post*: saturate ONCE per (PDS, input language) for
+/// every shared root simultaneously, instead of once per (root, input
+/// language) as the classical pipeline (psa/PostStar.h) does when driven
+/// per query.
+///
+/// The input is a multi-rooted P-automaton built from one canonical DFA:
+/// a single copy of the DFA's states and edges, plus, for every shared
+/// state q, a mirror of the DFA's start row on q -- i.e. the automaton
+/// of the union over q of {q} x L.  Saturating that union naively would
+/// conflate the roots (the language extracted at a target q' would be
+/// the union over all source roots), so every transition carries a
+/// *root mask*: root r is in the mask of transition t iff t belongs to
+/// the saturation of the single-rooted input {r} x L.  Seeds: the DFA
+/// copy's edges exist for every root (full mask); q's mirror row exists
+/// only for root q (singleton mask).  Derived transitions inherit the
+/// triggering transition's mask; epsilon compositions intersect the two
+/// premises' masks; masks union over derivations.  The worklist
+/// processes (transition, mask-delta) batches, so a transition whose
+/// derivation is root-independent -- the common case, since the DFA copy
+/// and the pushdown program are shared -- is processed once with a full
+/// mask rather than once per root.
+///
+/// Per-root answers then come for free: the sub-automaton of transitions
+/// whose mask contains r is exactly the classical saturation for root r
+/// (state identities aside), so reading from a target shared state q'
+/// through that filter yields the same language as the per-root
+/// pipeline -- pinned against tests/ReferencePostStar.h by the
+/// shared-saturation property suite.
+///
+/// Budget accounting mirrors postStar: one step per worklist pop,
+/// charged against the caller's LimitTracker; an exhausted saturation
+/// reports Complete == false and underapproximates.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CUBA_PSA_SATURATIONENGINE_H
+#define CUBA_PSA_SATURATIONENGINE_H
+
+#include <vector>
+
+#include "fa/Dfa.h"
+#include "fa/Nfa.h"
+#include "pds/Pds.h"
+#include "support/Limits.h"
+
+namespace cuba {
+
+namespace psa_testing {
+/// Testing hook for the shared-saturation property suite's
+/// mutation-sensitivity check (the saturation analogue of
+/// OracleOptions::InjectDropVisible): when true, a transition that
+/// already exists never gains new root-mask bits, simulating a lost
+/// mask-propagation bug that under-saturates some roots.  A correct
+/// differential comparison against the per-root reference pipeline must
+/// then report language mismatches.  Never set outside tests.
+extern bool InjectDropMaskGrowth;
+} // namespace psa_testing
+
+/// A completed shared saturation: the saturated multi-rooted relation
+/// with per-transition root masks, ready for per-root extraction.
+/// States [0, numShared()) are the PDS shared states, then the input
+/// DFA's state copy, then the push helper states.
+class SharedSaturation {
+public:
+  uint32_t numShared() const { return NumShared; }
+  uint32_t numStates() const { return NumStates; }
+  uint32_t numSymbols() const { return NumSymbols; }
+  size_t numTransitions() const { return TFrom.size(); }
+
+  /// Words per root mask (ceil(numShared / 64)).
+  uint32_t maskWords() const { return MaskWords; }
+
+  /// True when transition \p T is active for \p Root.
+  bool activeFor(size_t T, QState Root) const {
+    return (Masks[T * MaskWords + Root / 64] >> (Root % 64)) & 1;
+  }
+
+  /// Materialises the sub-NFA active for \p Root: every transition whose
+  /// mask contains Root, with the input language's acceptance on the DFA
+  /// copy (and on Root itself when the language accepts the empty word).
+  /// No initial states are set; callers seed reads per target state.
+  Nfa rootView(QState Root) const;
+
+  /// The canonical successor language at every shared target for
+  /// \p Root: (target, canonical form) pairs in ascending target order,
+  /// empty languages omitted.  This is the per-root answer the classical
+  /// pipeline computed as rootedNfa -> determinize -> canonicalize, done
+  /// directly via canonicalizeNfa.
+  std::vector<std::pair<QState, CanonicalDfa>> extractRoot(QState Root) const;
+
+private:
+  friend class SharedSaturator;
+
+  uint32_t NumShared = 0;
+  uint32_t NumStates = 0;
+  uint32_t NumSymbols = 0;
+  uint32_t MaskWords = 1;
+
+  /// Flat transition arrays plus row-per-transition mask words.
+  std::vector<uint32_t> TFrom, TTo;
+  std::vector<Sym> TLabel;
+  std::vector<uint64_t> Masks;
+
+  /// Acceptance of the non-root states (the DFA copy; helpers never
+  /// accept) and whether the input language accepts the empty word (the
+  /// root itself then accepts in its own view).
+  std::vector<uint8_t> AcceptBase;
+  bool StartAccepting = false;
+};
+
+/// Result of one shared saturation run.
+struct SharedSaturationResult {
+  SharedSaturation Sat;
+  bool Complete = true;
+};
+
+/// Saturates the multi-rooted input built from \p Lang (which must be
+/// non-empty) under \p P for all of \p NumShared roots at once.
+/// Preconditions match postStar: \p P is frozen and free of empty-stack
+/// rules (apply eliminateEmptyStackRules first).  \p Limits may be null
+/// for unbounded runs; one step is charged per worklist pop.
+SharedSaturationResult sharedPostStar(const Pds &P, uint32_t NumShared,
+                                      const CanonicalDfa &Lang,
+                                      LimitTracker *Limits = nullptr);
+
+} // namespace cuba
+
+#endif // CUBA_PSA_SATURATIONENGINE_H

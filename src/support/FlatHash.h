@@ -69,8 +69,17 @@ public:
   /// Inserts (Key, Value) if absent.  Returns {slot value pointer, true
   /// when newly inserted}; an existing mapping is left untouched.
   std::pair<V *, bool> tryEmplace(const K &Key, V Value = V()) {
+    return tryEmplaceHashed(Key, Hash(Key), std::move(Value));
+  }
+
+  /// tryEmplace with the key's hash precomputed (\p H must equal
+  /// HashFn()(Key)).  The engines' parallel derive phases hash their
+  /// candidates on the workers so the serial commit only probes.
+  std::pair<V *, bool> tryEmplaceHashed(const K &Key, uint64_t H,
+                                        V Value = V()) {
+    assert(H == Hash(Key) && "prehashed insert with a stale hash");
     growIfNeeded();
-    size_t I = findSlot(Key);
+    size_t I = findSlotHashed(Key, H);
     if (Ctrl[I] == Occupied)
       return {&Vals[I], false};
     Ctrl[I] = Occupied;
@@ -89,6 +98,19 @@ public:
   }
   const V *find(const K &Key) const {
     return const_cast<FlatMap *>(this)->find(Key);
+  }
+
+  /// find with the key's hash precomputed (\p H must equal
+  /// HashFn()(Key)).
+  V *findHashed(const K &Key, uint64_t H) {
+    assert(H == Hash(Key) && "prehashed probe with a stale hash");
+    if (Ctrl.empty())
+      return nullptr;
+    size_t I = findSlotHashed(Key, H);
+    return Ctrl[I] == Occupied ? &Vals[I] : nullptr;
+  }
+  const V *findHashed(const K &Key, uint64_t H) const {
+    return const_cast<FlatMap *>(this)->findHashed(Key, H);
   }
 
   bool contains(const K &Key) const { return find(Key) != nullptr; }
@@ -148,9 +170,11 @@ private:
 
   /// The slot holding \p Key, or the empty slot terminating its probe
   /// chain.  Requires a non-empty table.
-  size_t findSlot(const K &Key) const {
+  size_t findSlot(const K &Key) const { return findSlotHashed(Key, Hash(Key)); }
+
+  size_t findSlotHashed(const K &Key, uint64_t H) const {
     size_t Mask = Ctrl.size() - 1;
-    size_t I = Hash(Key) & Mask;
+    size_t I = H & Mask;
     while (Ctrl[I] == Occupied && !(Keys[I] == Key))
       I = (I + 1) & Mask;
     return I;

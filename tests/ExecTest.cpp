@@ -13,8 +13,11 @@
 //===----------------------------------------------------------------------===//
 
 #include <atomic>
+#include <chrono>
+#include <ctime>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
 
 #include <gtest/gtest.h>
 
@@ -136,6 +139,31 @@ TEST(ThreadPool, BackToBackSmallBatchesStayIsolated) {
     for (int V : Batch)
       ASSERT_EQ(V, Gen);
   }
+}
+
+TEST(ThreadPool, PoolSleepsWhenIdle) {
+  // The workers' spin-before-sleep is *bounded*: after a batch drains
+  // and no new one arrives within the spin window (tens of
+  // microseconds), every worker must fall back to the condition
+  // variable.  Pin it by measuring process CPU time across an idle wall
+  // interval -- a busy-burning pool of 4 workers would consume roughly
+  // 4x the interval; a sleeping one consumes (far) less than one
+  // interval even with scheduler noise.
+  ThreadPool Pool(4);
+  std::atomic<int> Count{0};
+  Pool.run(64, [&](unsigned, size_t) { ++Count; });
+  EXPECT_EQ(Count.load(), 64);
+
+  std::clock_t CpuBefore = std::clock();
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  double CpuMs = 1000.0 * static_cast<double>(std::clock() - CpuBefore) /
+                 CLOCKS_PER_SEC;
+  EXPECT_LT(CpuMs, 150.0) << "idle pool burned " << CpuMs
+                          << " ms CPU over a 300 ms sleep";
+
+  // And the pool still wakes up for the next batch after sleeping.
+  Pool.run(64, [&](unsigned, size_t) { ++Count; });
+  EXPECT_EQ(Count.load(), 128);
 }
 
 TEST(ThreadPool, DefaultJobsHonoursEnvOverride) {

@@ -24,6 +24,7 @@
 #include <cstdlib>
 
 #include "ReferenceFa.h"
+#include "fa/Canonicalize.h"
 #include "fa/DfaStore.h"
 #include "support/StringUtils.h"
 #include "testing/RandomCpds.h"
@@ -277,4 +278,54 @@ TEST(FaProperty, ReferenceComparisonCatchesInjectedMinimizeBug) {
   fa_testing::InjectMinimizeUnderRefine = false;
   EXPECT_GE(Caught, 10u)
       << "an under-refining minimize went largely unnoticed";
+}
+
+//===----------------------------------------------------------------------===//
+// Direct canonicalization: the fused subset-construction/partial-Hopcroft
+// pipeline (fa/Canonicalize.h) must produce the complete-DFA pipeline's
+// canonical form bit for bit -- the form is unique per language, so any
+// divergence is a bug in the fused pass.
+//===----------------------------------------------------------------------===//
+
+TEST(FaProperty, DirectCanonicalizationMatchesPipeline) {
+  for (unsigned I = 0; I < NumInstances; ++I) {
+    uint64_t Seed = baseSeed() + I;
+    SplitMix64 Rng(Seed * 0x9e3779b97f4a7c15ull + 0x1a);
+    // Include wide-alphabet instances: the sparse-row path the fused
+    // pass exists for.
+    Nfa A = randomNfa(Rng, 8, I % 3 == 0 ? 12 : 3);
+    CanonicalDfa Direct = canonicalizeNfa(A);
+    CanonicalDfa Staged = A.determinize().canonicalize();
+    EXPECT_EQ(Direct, Staged) << "fused canonicalization diverged, seed "
+                              << Seed;
+    if (Direct == Staged) {
+      EXPECT_EQ(Direct.hash(), Staged.hash());
+    }
+  }
+}
+
+TEST(FaProperty, DirectCanonicalizationHonoursExplicitRoots) {
+  for (unsigned I = 0; I < NumInstances; ++I) {
+    uint64_t Seed = baseSeed() + I;
+    SplitMix64 Rng(Seed * 0x9e3779b97f4a7c15ull + 0x1b);
+    Nfa A = randomNfa(Rng);
+    // Read from a root set chosen independently of A's initial flags.
+    std::vector<uint32_t> Roots;
+    for (uint32_t S = 0; S < A.numStates(); ++S)
+      if (Rng.chance(0.4))
+        Roots.push_back(S);
+    Nfa B(A.numSymbols());
+    for (uint32_t S = 0; S < A.numStates(); ++S) {
+      B.addState();
+      if (A.isAccepting(S))
+        B.setAccepting(S);
+    }
+    for (uint32_t S = 0; S < A.numStates(); ++S)
+      for (const Nfa::Edge &E : A.edgesFrom(S))
+        B.addEdge(S, E.Label, E.To);
+    for (uint32_t S : Roots)
+      B.setInitial(S);
+    EXPECT_EQ(canonicalizeNfa(A, Roots), B.determinize().canonicalize())
+        << "explicit-roots canonicalization diverged, seed " << Seed;
+  }
 }

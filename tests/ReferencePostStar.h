@@ -1,0 +1,93 @@
+//===-- tests/ReferencePostStar.h - Per-root reference pipeline -*- C++ -*-===//
+//
+// Part of the CUBA project, an implementation of the PLDI 2018 paper
+// "CUBA: Interprocedural Context-UnBounded Analysis of Concurrent Programs".
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Test-only reference implementation of the symbolic engine's
+/// per-(root, language) transaction pipeline, kept verbatim in the shape
+/// the engine used before the shared-saturation refactor: render the
+/// canonical language as a P-automaton rooted at one shared state, run
+/// the classical postStar, then for every shared target take the rooted
+/// NFA through determinize().canonicalize().  The shared-saturation
+/// property suite asserts that SharedSaturation::extractRoot produces
+/// exactly these languages for every root -- the refactor promised "one
+/// saturation, same answers", and this shim is what holds it to that.
+/// Deliberately per-root and complete-DFA based.  bench_micro_poststar's
+/// BM_PerRootPostStar baseline includes this same header (one shim, no
+/// drift between what the suite verifies and what the bench measures);
+/// no other non-test code may.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CUBA_TESTS_REFERENCEPOSTSTAR_H
+#define CUBA_TESTS_REFERENCEPOSTSTAR_H
+
+#include <utility>
+#include <vector>
+
+#include "fa/Dfa.h"
+#include "fa/Nfa.h"
+#include "psa/PAutomaton.h"
+#include "psa/PostStar.h"
+
+namespace cuba::reference {
+
+/// Renders a canonical DFA as a P-automaton rooted at \p Root (the
+/// pre-refactor SymbolicEngine helper, verbatim).  The start state's row
+/// is duplicated onto the root so that no edge enters a shared state (a
+/// post* precondition) even when the language's DFA has transitions back
+/// into its start.
+inline PAutomaton rootedInput(uint32_t NumShared, const CanonicalDfa &D,
+                              QState Root) {
+  PAutomaton A(NumShared, D.NumSymbols);
+  A.nfa().reserveStates(NumShared + D.numStates());
+  assert(D.Start != CanonicalDfa::NoState && "empty language row");
+  std::vector<uint32_t> Map(D.numStates());
+  for (uint32_t U = 0; U < D.numStates(); ++U)
+    Map[U] = A.addState();
+  for (uint32_t U = 0; U < D.numStates(); ++U) {
+    if (D.Accepting[U])
+      A.setAccepting(Map[U]);
+    for (Sym X = 1; X <= D.NumSymbols; ++X) {
+      uint32_t V = D.Table[static_cast<size_t>(U) * D.NumSymbols + (X - 1)];
+      if (V != CanonicalDfa::NoState)
+        A.addEdge(Map[U], X, Map[V]);
+    }
+  }
+  // The root mirrors the start state.
+  if (D.Accepting[D.Start])
+    A.setAccepting(Root);
+  for (Sym X = 1; X <= D.NumSymbols; ++X) {
+    uint32_t V =
+        D.Table[static_cast<size_t>(D.Start) * D.NumSymbols + (X - 1)];
+    if (V != CanonicalDfa::NoState)
+      A.addEdge(Root, X, Map[V]);
+  }
+  return A;
+}
+
+/// One reference transaction: the canonical successor language at every
+/// shared target reachable from <Root | Lang>, in ascending target
+/// order, empty languages omitted -- the exact answers the pre-refactor
+/// engine's collectSuccessors computed.
+inline std::vector<std::pair<QState, CanonicalDfa>>
+perRootPostStar(const Pds &P, uint32_t NumShared, const CanonicalDfa &Lang,
+                QState Root) {
+  PAutomaton In = rootedInput(NumShared, Lang, Root);
+  PostStarResult R = postStar(P, In);
+  std::vector<std::pair<QState, CanonicalDfa>> Out;
+  for (QState Q2 = 0; Q2 < NumShared; ++Q2) {
+    Nfa Rooted = R.Automaton.rootedNfa({Q2});
+    if (Rooted.isLanguageEmpty())
+      continue;
+    Out.emplace_back(Q2, Rooted.determinize().canonicalize());
+  }
+  return Out;
+}
+
+} // namespace cuba::reference
+
+#endif // CUBA_TESTS_REFERENCEPOSTSTAR_H

@@ -1,0 +1,268 @@
+//===-- tests/SharedSaturationTest.cpp - Shared vs per-root post* ---------===//
+//
+// Part of the CUBA project, an implementation of the PLDI 2018 paper
+// "CUBA: Interprocedural Context-UnBounded Analysis of Concurrent Programs".
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Property suite for the shared-saturation layer (psa/SaturationEngine):
+/// one masked saturation per (thread, language) must produce, for every
+/// shared root, exactly the successor languages the retained per-root
+/// reference pipeline (tests/ReferencePostStar.h: rootedInput -> postStar
+/// -> rootedNfa -> determinize -> canonicalize) computes.  Instances are
+/// (thread, language, root-set) triples drawn from the seeded random
+/// CPDS generator's corner shapes, with languages both engine-realistic
+/// (the lifted initial stack) and adversarial (random NFAs over the
+/// bottomed alphabet).  An injected mask-growth mutation pins the
+/// suite's teeth: the differential comparison must catch it.
+///
+/// Every failure message carries the instance seed; rerun one seed by
+/// fixing the loop bounds or via CUBA_FUZZ_SEED to shift the base.
+///
+//===----------------------------------------------------------------------===//
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "ReferencePostStar.h"
+#include "fa/Canonicalize.h"
+#include "psa/BottomTransform.h"
+#include "psa/SaturationEngine.h"
+#include "support/StringUtils.h"
+#include "testing/RandomCpds.h"
+
+using namespace cuba;
+using cuba::testing::SplitMix64;
+
+namespace {
+
+/// Base seed, overridable for CI rotation (same contract as the
+/// differential suite).
+uint64_t baseSeed() {
+  if (const char *Env = std::getenv("CUBA_FUZZ_SEED"))
+    if (auto V = parseUnsigned(Env))
+      return *V;
+  return 1;
+}
+
+/// The canonical single-word language the engine starts threads from:
+/// the lifted initial stack (bottom marker last in reading order).
+CanonicalDfa liftedWordLanguage(const BottomedPds &B, const Stack &Init) {
+  Nfa A(B.P.numSymbols());
+  uint32_t Cur = A.addState();
+  A.setInitial(Cur);
+  // Stacks are stored bottom-first; automata read top-first.
+  for (auto It = Init.rbegin(); It != Init.rend(); ++It) {
+    uint32_t Next = A.addState();
+    A.addEdge(Cur, *It, Next);
+    Cur = Next;
+  }
+  uint32_t Next = A.addState();
+  A.addEdge(Cur, B.Bottom, Next);
+  A.setAccepting(Next);
+  return canonicalizeNfa(A);
+}
+
+/// A random non-empty canonical language over exactly the bottomed
+/// alphabet (the saturation requires the full PDS alphabet).
+CanonicalDfa randomLanguage(SplitMix64 &Rng, const BottomedPds &B) {
+  uint32_t NSyms = B.P.numSymbols();
+  for (int Attempt = 0; Attempt < 16; ++Attempt) {
+    unsigned NStates = static_cast<unsigned>(Rng.range(1, 6));
+    Nfa A(NSyms);
+    for (unsigned S = 0; S < NStates; ++S)
+      A.addState();
+    A.setInitial(static_cast<uint32_t>(Rng.below(NStates)));
+    for (unsigned S = 0; S < NStates; ++S) {
+      if (Rng.chance(0.4))
+        A.setAccepting(S);
+      unsigned Degree = static_cast<unsigned>(Rng.below(4));
+      for (unsigned E = 0; E < Degree; ++E)
+        A.addEdge(S, static_cast<Sym>(Rng.range(1, NSyms)),
+                  static_cast<uint32_t>(Rng.below(NStates)));
+    }
+    CanonicalDfa D = canonicalizeNfa(A);
+    if (D.Start != CanonicalDfa::NoState)
+      return D;
+  }
+  // Fall back to the lifted empty stack -- never empty.
+  return liftedWordLanguage(B, {});
+}
+
+/// Compares shared extraction against the per-root reference for every
+/// root in \p Roots; returns the number of mismatching roots and
+/// reports details through gtest on \p Report.
+unsigned compareRoots(const Pds &P, uint32_t NumShared,
+                      const CanonicalDfa &Lang,
+                      const std::vector<QState> &Roots, uint64_t Seed,
+                      bool Report) {
+  SharedSaturationResult R = sharedPostStar(P, NumShared, Lang);
+  EXPECT_TRUE(R.Complete);
+  unsigned Mismatches = 0;
+  for (QState Root : Roots) {
+    auto Shared = R.Sat.extractRoot(Root);
+    auto Reference = reference::perRootPostStar(P, NumShared, Lang, Root);
+    if (Shared == Reference)
+      continue;
+    ++Mismatches;
+    if (Report) {
+      ADD_FAILURE() << "shared-saturation extraction diverged from the "
+                       "per-root reference: seed "
+                    << Seed << ", root " << Root << " ("
+                    << Shared.size() << " vs " << Reference.size()
+                    << " successor rows)";
+    }
+  }
+  return Mismatches;
+}
+
+struct Instance {
+  Pds P; // Bottomed thread PDS.
+  uint32_t NumShared = 0;
+  CanonicalDfa Lang;
+  std::vector<QState> Roots;
+  uint64_t Seed = 0;
+};
+
+/// Materialises (thread, language, root-set) instances from the random
+/// CPDS corner shapes until \p Count are collected.
+std::vector<Instance> makeInstances(uint64_t Base, unsigned Count) {
+  std::vector<Instance> Out;
+  for (uint64_t Seed = Base; Out.size() < Count; ++Seed) {
+    CpdsFile File = cuba::testing::generateRandomCpds(
+        Seed, cuba::testing::cornerShapeOptions(Seed));
+    const Cpds &C = File.System;
+    SplitMix64 Rng(Seed * 0x9e3779b97f4a7c15ull + 0x5a);
+    for (unsigned I = 0; I < C.numThreads() && Out.size() < Count; ++I) {
+      BottomedPds B =
+          eliminateEmptyStackRules(C.thread(I), C.numSharedStates());
+      Instance Inst;
+      Inst.NumShared = C.numSharedStates();
+      Inst.Seed = Seed;
+      // Alternate engine-realistic and adversarial languages.
+      Inst.Lang = (Out.size() % 2 == 0)
+                      ? liftedWordLanguage(B, C.initialState().Stacks[I])
+                      : randomLanguage(Rng, B);
+      // Root sets alternate between every shared root and a random
+      // non-empty subset.
+      if (Out.size() % 3 == 0) {
+        Inst.Roots.push_back(
+            static_cast<QState>(Rng.below(Inst.NumShared)));
+        if (Rng.chance(0.5))
+          Inst.Roots.push_back(
+              static_cast<QState>(Rng.below(Inst.NumShared)));
+      } else {
+        for (QState Q = 0; Q < Inst.NumShared; ++Q)
+          Inst.Roots.push_back(Q);
+      }
+      Inst.P = std::move(B.P);
+      Out.push_back(std::move(Inst));
+    }
+  }
+  return Out;
+}
+
+constexpr unsigned NumInstances = 160;
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// The headline property: one shared saturation answers every root
+// exactly as the per-root reference pipeline does.
+//===----------------------------------------------------------------------===//
+
+TEST(SharedSaturation, ExtractionMatchesPerRootReference) {
+  for (const Instance &Inst : makeInstances(baseSeed(), NumInstances)) {
+    compareRoots(Inst.P, Inst.NumShared, Inst.Lang, Inst.Roots, Inst.Seed,
+                 /*Report=*/true);
+    if (::testing::Test::HasFailure())
+      break; // One instance's divergence is enough diagnostics.
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Structural sanity: the root's own view always contains the input
+// language at the root (post* includes the start set), and extraction
+// order is ascending with no duplicate targets.
+//===----------------------------------------------------------------------===//
+
+TEST(SharedSaturation, RootViewContainsInputLanguage) {
+  for (const Instance &Inst : makeInstances(baseSeed() + 7777, 40)) {
+    SharedSaturationResult R =
+        sharedPostStar(Inst.P, Inst.NumShared, Inst.Lang);
+    ASSERT_TRUE(R.Complete);
+    for (QState Root : Inst.Roots) {
+      auto Rows = R.Sat.extractRoot(Root);
+      QState Prev = 0;
+      bool First = true;
+      bool SawRoot = false;
+      for (const auto &[Q2, D] : Rows) {
+        EXPECT_TRUE(First || Q2 > Prev) << "seed " << Inst.Seed;
+        First = false;
+        Prev = Q2;
+        EXPECT_NE(D.Start, CanonicalDfa::NoState);
+        if (Q2 == Root)
+          SawRoot = true;
+      }
+      EXPECT_TRUE(SawRoot)
+          << "root " << Root << " lost its own input language, seed "
+          << Inst.Seed;
+    }
+    if (::testing::Test::HasFailure())
+      break;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Budget accounting: an unlimited tracker records the saturation's pop
+// count, and a budget one step short of it reports an incomplete run --
+// the contract the symbolic engine's charge replay leans on.
+//===----------------------------------------------------------------------===//
+
+TEST(SharedSaturation, BudgetTruncationIsDetected) {
+  Instance Inst = makeInstances(baseSeed() + 424242, 1).front();
+  LimitTracker Free((ResourceLimits::unlimited()));
+  SharedSaturationResult Full =
+      sharedPostStar(Inst.P, Inst.NumShared, Inst.Lang, &Free);
+  ASSERT_TRUE(Full.Complete);
+  uint64_t Pops = Free.steps();
+  ASSERT_GT(Pops, 0u);
+
+  ResourceLimits Tight;
+  Tight.MaxStates = 0;
+  Tight.MaxSteps = Pops - 1;
+  Tight.MaxContexts = 0;
+  Tight.MaxMillis = 0;
+  LimitTracker Short(Tight);
+  SharedSaturationResult Cut =
+      sharedPostStar(Inst.P, Inst.NumShared, Inst.Lang, &Short);
+  EXPECT_FALSE(Cut.Complete);
+  EXPECT_TRUE(Short.exhausted());
+
+  LimitTracker Exact(ResourceLimits{0, Pops, 0, 0});
+  SharedSaturationResult Ok =
+      sharedPostStar(Inst.P, Inst.NumShared, Inst.Lang, &Exact);
+  EXPECT_TRUE(Ok.Complete);
+}
+
+//===----------------------------------------------------------------------===//
+// The injected-mutation sensitivity check: a saturation that drops mask
+// growth on existing transitions under-saturates some roots, and the
+// differential comparison against the reference must notice (pins the
+// suite's teeth, like the oracle's InjectDropVisible check).
+//===----------------------------------------------------------------------===//
+
+TEST(SharedSaturation, ComparisonCatchesInjectedUnderSaturation) {
+  std::vector<Instance> Instances = makeInstances(1000, 60);
+  psa_testing::InjectDropMaskGrowth = true;
+  unsigned Mismatching = 0;
+  for (const Instance &Inst : Instances)
+    if (compareRoots(Inst.P, Inst.NumShared, Inst.Lang, Inst.Roots,
+                     Inst.Seed, /*Report=*/false) > 0)
+      ++Mismatching;
+  psa_testing::InjectDropMaskGrowth = false;
+  EXPECT_GE(Mismatching, 5u)
+      << "an under-saturating mask bug went largely unnoticed";
+}
