@@ -16,6 +16,7 @@
 
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace cuba::bp {
@@ -121,6 +122,9 @@ struct Function {
 
 struct Program {
   std::vector<std::string> SharedVars; // Top-level `decl`s.
+  /// Source position of each shared declaration, parallel to SharedVars
+  /// (so Sema can point at the offending `decl`, not just name it).
+  std::vector<std::pair<unsigned, unsigned>> SharedVarLocs;
   std::vector<Function> Functions;
   /// Thread entry functions, in thread_create order (from main).
   std::vector<std::string> ThreadEntries;

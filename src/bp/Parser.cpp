@@ -30,7 +30,7 @@ public:
   ErrorOr<Program> run() {
     Program P;
     while (peek().isIdent("decl")) {
-      if (auto R = parseDeclNames(P.SharedVars); !R)
+      if (auto R = parseDeclNames(P.SharedVars, &P.SharedVarLocs); !R)
         return R.error();
     }
     while (!at(TokKind::End)) {
@@ -68,14 +68,21 @@ private:
     return std::string(take().Text);
   }
 
-  /// decl id (',' id)* ';'
-  ErrorOr<void> parseDeclNames(std::vector<std::string> &Out) {
+  /// decl id (',' id)* ';'   \p Locs, when given, records each name's
+  /// source position (used for the shared declarations, whose
+  /// diagnostics would otherwise have no location to point at).
+  ErrorOr<void>
+  parseDeclNames(std::vector<std::string> &Out,
+                 std::vector<std::pair<unsigned, unsigned>> *Locs = nullptr) {
     take(); // 'decl'
     while (true) {
+      unsigned Line = peek().Line, Column = peek().Column;
       auto Name = ident("a variable name");
       if (!Name)
         return Name.error();
       Out.push_back(std::move(*Name));
+      if (Locs)
+        Locs->emplace_back(Line, Column);
       if (!at(TokKind::Comma))
         break;
       take();

@@ -45,14 +45,27 @@ private:
     return Error(Msg, Line, Col);
   }
 
+  /// Source position of shared declaration \p I (parsers always fill
+  /// SharedVarLocs, but a hand-built AST may not).
+  std::pair<unsigned, unsigned> sharedLoc(size_t I) const {
+    if (I < P.SharedVarLocs.size())
+      return P.SharedVarLocs[I];
+    return {0, 0};
+  }
+
   ErrorOr<void> checkShared() {
     std::set<std::string> Seen;
-    for (const std::string &V : P.SharedVars)
-      if (!Seen.insert(V).second)
-        return Error("duplicate shared variable '" + V + "'");
-    if (P.SharedVars.size() > MaxSharedBits)
-      return Error("too many shared variables (limit " +
-                   std::to_string(MaxSharedBits) + ")");
+    for (size_t I = 0; I < P.SharedVars.size(); ++I)
+      if (!Seen.insert(P.SharedVars[I]).second) {
+        auto [Line, Col] = sharedLoc(I);
+        return err(Line, Col,
+                   "duplicate shared variable '" + P.SharedVars[I] + "'");
+      }
+    if (P.SharedVars.size() > MaxSharedBits) {
+      auto [Line, Col] = sharedLoc(MaxSharedBits);
+      return err(Line, Col, "too many shared variables (limit " +
+                                std::to_string(MaxSharedBits) + ")");
+    }
     return {};
   }
 
@@ -275,7 +288,7 @@ private:
                  "main may only contain thread_create, skip and return");
     }
     if (P.ThreadEntries.empty())
-      return Error("main creates no threads");
+      return err(Main->Line, Main->Column, "main creates no threads");
     return {};
   }
 

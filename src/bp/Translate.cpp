@@ -7,6 +7,7 @@
 
 #include "bp/Translate.h"
 
+#include <cstring>
 #include <unordered_map>
 
 #include "bp/Parser.h"
@@ -14,6 +15,8 @@
 
 using namespace cuba;
 using namespace cuba::bp;
+
+bool cuba::bp_testing::InjectDropAssignRule = false;
 
 namespace {
 
@@ -216,7 +219,15 @@ public:
   ErrorOr<CpdsFile> run() {
     // Hidden shared bits follow the declared variables.
     SharedBitCount = static_cast<unsigned>(P.SharedVars.size());
-    RetBit = Info.UsesReturnValue ? static_cast<int>(SharedBitCount++) : -1;
+    // $ret must be one bit PER THREAD: a pop rule can only write the
+    // (global) control state, so a single shared bit would let thread
+    // B's return clobber thread A's value between A's `ret` and the
+    // `bind` at its call's return site -- a cross-thread race on a
+    // thread-local quantity, observed as bogus counterexamples in
+    // multi-threaded programs that bind call results.
+    RetBitBase = Info.UsesReturnValue ? static_cast<int>(SharedBitCount) : -1;
+    if (Info.UsesReturnValue)
+      SharedBitCount += static_cast<unsigned>(P.ThreadEntries.size());
     LockBit = Info.UsesLock ? static_cast<int>(SharedBitCount++) : -1;
 
     for (const Function &F : P.Functions) {
@@ -273,6 +284,11 @@ private:
       File.System.addSharedState(Name);
     }
     ErrState = File.System.addSharedState("err");
+  }
+
+  /// Thread \p T's private $ret bit.
+  int retBit(unsigned T) const {
+    return RetBitBase + static_cast<int>(T);
   }
 
   static bool bit(uint32_t Bits, int Slot) {
@@ -337,7 +353,9 @@ private:
 
   ErrorOr<void> buildThread(unsigned T) {
     const std::string &Entry = P.ThreadEntries[T];
-    unsigned Idx = File.System.addThread(Entry + "#" + std::to_string(T + 1));
+    // '.' rather than '#': the thread name must survive the .cpds text
+    // format, where '#' starts a comment (--emit-cpds output re-parses).
+    unsigned Idx = File.System.addThread(Entry + "." + std::to_string(T + 1));
     assert(Idx == T && "thread indices must align with entries");
     (void)Idx;
     FrameSyms.emplace(T, std::unordered_map<uint64_t, Sym>());
@@ -360,6 +378,11 @@ private:
 
   void addRule(unsigned T, uint32_t Q, Sym Src, uint32_t Q2, Sym Dst0,
                Sym Dst1, const char *Label) {
+    if (bp_testing::InjectDropAssignRule && !DroppedAssign &&
+        std::strcmp(Label, "assign") == 0) {
+      DroppedAssign = true;
+      return;
+    }
     Action A;
     A.SrcQ = Q;
     A.SrcSym = Src;
@@ -415,7 +438,7 @@ private:
       return;
     case FlatOp::K::Bind: {
       // x := $ret at the return site of `x := call f(...)`.
-      bool Ret = RetBit >= 0 && bit(Q, RetBit);
+      bool Ret = RetBitBase >= 0 && bit(Q, retBit(T));
       bool IsShared = Op.S->TargetIsShared[0];
       int Slot = Op.S->TargetSlots[0];
       uint32_t Q2 = IsShared ? setBit(Q, Slot, Ret) : Q;
@@ -426,7 +449,8 @@ private:
     case FlatOp::K::Return: {
       if (Op.S && Op.S->RetValue) {
         for (bool V : evalExpr(*Op.S->RetValue, Q, L).values())
-          addRule(T, Q, Here, setBit(Q, RetBit, V), EpsSym, EpsSym, "ret");
+          addRule(T, Q, Here, setBit(Q, retBit(T), V), EpsSym, EpsSym,
+                  "ret");
       } else {
         addRule(T, Q, Here, Q, EpsSym, EpsSym, "ret");
       }
@@ -509,8 +533,9 @@ private:
   const Program &P;
   const SemaInfo &Info;
   CpdsFile File;
+  bool DroppedAssign = false; // bp_testing::InjectDropAssignRule state.
   unsigned SharedBitCount = 0;
-  int RetBit = -1;
+  int RetBitBase = -1;
   int LockBit = -1;
   QState ErrState = 0;
   std::unordered_map<std::string, FlatFunction> Flats;

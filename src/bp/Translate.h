@@ -41,6 +41,18 @@
 #include "pds/CpdsIO.h"
 #include "support/ErrorOr.h"
 
+namespace cuba::bp_testing {
+
+/// Testing hook for the program-level fuzz oracle's mutation check, the
+/// translate-side analogue of testing::OracleOptions::InjectDropVisible:
+/// when true, translateProgram silently drops the first `assign` rule it
+/// would emit, simulating a lost transfer function.  The dual-compile
+/// comparison in testing/BpOracle must flag this on any program that
+/// assigns.  Not thread-safe; reset to false after use.
+extern bool InjectDropAssignRule;
+
+} // namespace cuba::bp_testing
+
 namespace cuba::bp {
 
 /// Translates the analyzed program \p P; the returned system is frozen

@@ -33,8 +33,18 @@ public:
     if (UseAlg3) {
       // The generator test compares against G cap Z, an overapproximation
       // of the reachable generators (Sec. 4.1.3).  Entries are removed as
-      // they are reached; the test passes when none remain.
-      std::vector<VisibleState> Z = computeZ(C);
+      // they are reached; the test passes when none remain.  Z ranges
+      // over the abstract domain |Q| x prod(|Sigma_i|+1), which can dwarf
+      // the concretely reachable set (Boolean-program translations have
+      // thousands of frame symbols per thread), so its exploration runs
+      // under the same budget as the engine.
+      LimitTracker ZLimits(Opts.Limits);
+      std::vector<VisibleState> Z = computeZ(C, &ZLimits);
+      // A complete Z always contains the initial abstract state;
+      // emptiness therefore signals budget exhaustion.  Without the
+      // overapproximation the generator test can never pass -- claiming
+      // coverage against a truncated Z would be unsound.
+      ZComplete = !Z.empty();
       PendingGenerators = Gen.intersect(Z);
     }
   }
@@ -129,6 +139,8 @@ private:
   }
 
   bool generatorsCovered() {
+    if (!ZComplete)
+      return false;
     // Monotone: reached entries stay reached, so satisfied entries are
     // dropped and only the remainder is retested at later plateaus.
     std::erase_if(PendingGenerators, [&](const VisibleState &V) {
@@ -143,6 +155,7 @@ private:
   bool UseScheme1, UseAlg3;
   CbaEngine Engine;
   GeneratorSet Gen;
+  bool ZComplete = true;
   std::vector<VisibleState> PendingGenerators;
   ObservationTracker RkSizes, TkSizes;
 };

@@ -14,12 +14,17 @@ using namespace cuba;
 DriverResult cuba::runCuba(const Cpds &C, const SafetyProperty &Prop,
                            const DriverOptions &Opts) {
   DriverResult R;
+  // The FCR saturations run under the run's budget: an exhausted check
+  // reports Holds = false / Complete = false, which routes to the
+  // symbolic engine -- the documented "unknown" behavior -- instead of
+  // diverging before the engines ever see their limits.
+  LimitTracker FcrLimits(Opts.Run.Limits);
   if (Opts.Force) {
     R.Used = *Opts.Force;
     // The FCR answer is still reported for the record.
-    R.Fcr = checkFcr(C);
+    R.Fcr = checkFcr(C, &FcrLimits);
   } else {
-    R.Fcr = checkFcr(C);
+    R.Fcr = checkFcr(C, &FcrLimits);
     R.Used = R.Fcr.Holds ? ApproachKind::ExplicitCombined
                          : ApproachKind::Symbolic;
   }

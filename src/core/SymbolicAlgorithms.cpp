@@ -24,7 +24,14 @@ SymbolicRunResult cuba::runAlg3Symbolic(const Cpds &C,
   SymbolicEngine Engine(C, Opts.Limits);
   Engine.setParallel(Opts.Pool);
   GeneratorSet Gen(C);
-  std::vector<VisibleState> Pending = Gen.intersect(computeZ(C));
+  // Z runs under the same budget as the engine (its abstract domain can
+  // dwarf the concretely reachable set); an exhausted exploration comes
+  // back empty -- a complete Z always holds the initial abstract state --
+  // and permanently disables the generator test below.
+  LimitTracker ZLimits(Opts.Limits);
+  std::vector<VisibleState> Z = computeZ(C, &ZLimits);
+  bool ZComplete = !Z.empty();
+  std::vector<VisibleState> Pending = Gen.intersect(Z);
   ObservationTracker TkSizes;
 
   auto CheckViolations = [&]() {
@@ -39,6 +46,8 @@ SymbolicRunResult cuba::runAlg3Symbolic(const Cpds &C,
     }
   };
   auto GeneratorsCovered = [&]() {
+    if (!ZComplete)
+      return false; // Covering a truncated Z proves nothing.
     std::erase_if(Pending, [&](const VisibleState &V) {
       return Engine.visibleReached(V);
     });

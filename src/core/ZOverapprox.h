@@ -27,8 +27,13 @@
 namespace cuba {
 
 /// Computes Z by exhaustive exploration of M_n; the result is sorted.
-/// The domain is finite (|Q| * prod |Sigma_i + 1|), so this terminates
-/// without a budget; \p Limits may still bound very large alphabets.
+/// The domain is finite (|Q| * prod |Sigma_i + 1|) so this terminates
+/// without a budget, but it can be astronomically larger than the
+/// concretely reachable set (Boolean-program translations put thousands
+/// of frame symbols in each Sigma_i), so callers that answer under a
+/// ResourceLimits budget must pass \p Limits.  On exhaustion the result
+/// is empty -- unambiguous, because a completed exploration always
+/// contains the projected initial state.
 std::vector<VisibleState> computeZ(const Cpds &C,
                                    LimitTracker *Limits = nullptr);
 

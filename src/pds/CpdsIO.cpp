@@ -435,9 +435,10 @@ ErrorOr<CpdsFile> cuba::parseCpds(std::string_view Text) {
 }
 
 ErrorOr<CpdsFile> cuba::parseCpdsFile(const std::string &Path) {
+  // No path in the message: callers (the CLI) prefix the input path.
   std::FILE *F = std::fopen(Path.c_str(), "rb");
   if (!F)
-    return Error("cannot open '" + Path + "'");
+    return Error("cannot open file");
   std::string Text;
   char Buf[4096];
   size_t N;

@@ -142,9 +142,12 @@ cuba::testing::runDifferentialOracle(const CpdsFile &File,
     }
   }
 
-  // Phase 3: FCR self-consistency.
-  FcrResult F1 = checkFcr(C);
-  FcrResult F2 = checkFcr(C);
+  // Phase 3: FCR self-consistency.  Both runs get fresh trackers with
+  // identical budgets, so the determinism comparison stays meaningful
+  // (fuzz budgets set MaxMillis = 0; exhaustion is then step-exact).
+  LimitTracker FcrL1(Opts.Limits), FcrL2(Opts.Limits);
+  FcrResult F1 = checkFcr(C, &FcrL1);
+  FcrResult F2 = checkFcr(C, &FcrL2);
   if (F1.Holds != F2.Holds || F1.Complete != F2.Complete ||
       F1.ThreadFinite != F2.ThreadFinite)
     Mismatch("checkFcr is nondeterministic");

@@ -1,0 +1,388 @@
+//===-- testing/RandomBp.cpp - Seeded random Boolean programs -------------===//
+//
+// Part of the CUBA project, an implementation of the PLDI 2018 paper
+// "CUBA: Interprocedural Context-UnBounded Analysis of Concurrent Programs".
+//
+//===----------------------------------------------------------------------===//
+
+#include "testing/RandomBp.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "bp/Sema.h"
+#include "bp/Translate.h"
+#include "testing/RandomCpds.h"
+
+using namespace cuba;
+using namespace cuba::bp;
+using namespace cuba::testing;
+
+namespace {
+
+ExprPtr mkConst(bool V) {
+  auto E = std::make_unique<Expr>();
+  E->Kind = ExprKind::Const;
+  E->ConstValue = V;
+  return E;
+}
+
+ExprPtr mkNondet() {
+  auto E = std::make_unique<Expr>();
+  E->Kind = ExprKind::Nondet;
+  return E;
+}
+
+ExprPtr mkVar(std::string Name) {
+  auto E = std::make_unique<Expr>();
+  E->Kind = ExprKind::Var;
+  E->Name = std::move(Name);
+  return E;
+}
+
+ExprPtr mkNot(ExprPtr A) {
+  auto E = std::make_unique<Expr>();
+  E->Kind = ExprKind::Not;
+  E->Lhs = std::move(A);
+  return E;
+}
+
+ExprPtr mkBin(ExprKind K, ExprPtr L, ExprPtr R) {
+  auto E = std::make_unique<Expr>();
+  E->Kind = K;
+  E->Lhs = std::move(L);
+  E->Rhs = std::move(R);
+  return E;
+}
+
+StmtPtr mkStmt(StmtKind K) {
+  auto S = std::make_unique<Stmt>();
+  S->Kind = K;
+  return S;
+}
+
+/// A callable function's signature, known before bodies are generated
+/// so calls can be emitted with the right arity.
+struct Signature {
+  std::string Name;
+  bool ReturnsBool = false;
+  unsigned NumParams = 0;
+};
+
+class Generator {
+public:
+  Generator(uint64_t Seed, const RandomBpOptions &O)
+      // Decouple the stream from trivially correlated user seeds, with a
+      // different salt than RandomCpds so `fuzz --mode bp` and
+      // `fuzz --mode cpds` explore independent spaces at equal seeds.
+      : Rng(Seed * 0x9e3779b97f4a7c15ull + 0xb00157ull), O(O) {}
+
+  Program run() {
+    Program P;
+    unsigned NShared =
+        static_cast<unsigned>(Rng.range(O.MinShared, O.MaxShared));
+    for (unsigned I = 0; I < NShared; ++I)
+      Shared.push_back("g" + std::to_string(I));
+    P.SharedVars = Shared;
+
+    // Signatures first: bodies may call any helper (forward references
+    // are legal), so arities must be fixed up front.
+    unsigned NHelpers = static_cast<unsigned>(Rng.range(0, O.MaxHelpers));
+    for (unsigned I = 0; I < NHelpers; ++I) {
+      Signature Sig;
+      Sig.Name = "h" + std::to_string(I);
+      Sig.ReturnsBool = Rng.chance(O.HelperReturnsBoolProb);
+      Sig.NumParams = static_cast<unsigned>(Rng.range(0, O.MaxParams));
+      Helpers.push_back(Sig);
+    }
+    unsigned NCreates =
+        static_cast<unsigned>(Rng.range(O.MinThreads, O.MaxThreads));
+    unsigned NEntries = static_cast<unsigned>(Rng.range(1, NCreates));
+    for (unsigned I = 0; I < NEntries; ++I)
+      Entries.push_back("t" + std::to_string(I));
+
+    for (const Signature &Sig : Helpers)
+      P.Functions.push_back(genFunction(Sig, /*IsEntry=*/false));
+    for (const std::string &Name : Entries)
+      P.Functions.push_back(
+          genFunction(Signature{Name, false, 0}, /*IsEntry=*/true));
+
+    // main: one thread_create per planned thread; every entry function
+    // is used at least once, the rest repeat nondeterministically
+    // (repeated entries are legal and give homogeneous thread pools).
+    Function Main;
+    Main.Name = "main";
+    for (unsigned I = 0; I < NCreates; ++I) {
+      auto S = mkStmt(StmtKind::ThreadCreate);
+      S->ThreadFunc = I < NEntries
+                          ? Entries[I]
+                          : Entries[Rng.below(Entries.size())];
+      Main.Body.push_back(std::move(S));
+    }
+    P.Functions.push_back(std::move(Main));
+    return P;
+  }
+
+private:
+  //===------------------------------------------------------------------===//
+  // Expressions
+  //===------------------------------------------------------------------===//
+
+  ExprPtr genExpr(unsigned Depth) {
+    if (Depth == 0 || Rng.chance(0.45)) {
+      uint64_t Pick = Rng.below(10);
+      if (Pick < 6 && !Scope.empty())
+        return mkVar(Scope[Rng.below(Scope.size())]);
+      if (Pick < 8)
+        return mkConst(Rng.chance(0.5));
+      return mkNondet();
+    }
+    switch (Rng.below(6)) {
+    case 0:
+      return mkNot(genExpr(Depth - 1));
+    case 1:
+      return mkBin(ExprKind::And, genExpr(Depth - 1), genExpr(Depth - 1));
+    case 2:
+      return mkBin(ExprKind::Or, genExpr(Depth - 1), genExpr(Depth - 1));
+    case 3:
+      return mkBin(ExprKind::Xor, genExpr(Depth - 1), genExpr(Depth - 1));
+    case 4:
+      return mkBin(ExprKind::Eq, genExpr(Depth - 1), genExpr(Depth - 1));
+    default:
+      return mkBin(ExprKind::Neq, genExpr(Depth - 1), genExpr(Depth - 1));
+    }
+  }
+
+  //===------------------------------------------------------------------===//
+  // Statements
+  //===------------------------------------------------------------------===//
+
+  StmtPtr genAssign() {
+    auto S = mkStmt(StmtKind::Assign);
+    bool Parallel = Scope.size() >= 2 && Rng.chance(O.ParallelAssignProb);
+    size_t A = Rng.below(Scope.size());
+    S->AssignTargets.push_back(Scope[A]);
+    S->AssignValues.push_back(genExpr(O.MaxExprDepth));
+    if (Parallel) {
+      size_t B = Rng.below(Scope.size() - 1);
+      if (B >= A)
+        ++B; // Distinct second target.
+      S->AssignTargets.push_back(Scope[B]);
+      S->AssignValues.push_back(genExpr(O.MaxExprDepth));
+      if (Rng.chance(O.ConstrainProb))
+        S->Constrain = genExpr(O.MaxExprDepth);
+    }
+    return S;
+  }
+
+  StmtPtr genCall(const Signature &Callee, bool BindResult) {
+    auto S = mkStmt(StmtKind::Call);
+    S->Callee = Callee.Name;
+    for (unsigned I = 0; I < Callee.NumParams; ++I)
+      S->CallArgs.push_back(genExpr(1));
+    if (BindResult && Callee.ReturnsBool && !Scope.empty())
+      S->CallResult = Scope[Rng.below(Scope.size())];
+    return S;
+  }
+
+  StmtPtr genStmt(unsigned Depth, bool InAtomic, const Signature &Self) {
+    double R = static_cast<double>(Rng.below(1000)) / 1000.0;
+
+    if (R < O.CallProb) {
+      // Self-recursion is guarded by `if (*)` so at least one path per
+      // call site terminates without growing the stack.
+      if (Rng.chance(O.RecurseProb)) {
+        auto Guard = mkStmt(StmtKind::If);
+        Guard->Cond = mkNondet();
+        Guard->Body.push_back(genCall(Self, Rng.chance(0.5)));
+        return Guard;
+      }
+      if (!Helpers.empty())
+        return genCall(Helpers[Rng.below(Helpers.size())], Rng.chance(0.5));
+      return genAssign();
+    }
+    R -= O.CallProb;
+
+    if (R < O.AtomicProb) {
+      if (Depth < O.MaxDepth && !InAtomic) {
+        auto S = mkStmt(StmtKind::Atomic);
+        S->Body = genBody(Depth + 1, /*InAtomic=*/true, Self);
+        return S;
+      }
+      return genAssign();
+    }
+    R -= O.AtomicProb;
+
+    if (R < O.BranchProb) {
+      if (Depth < O.MaxDepth) {
+        bool Loop = Rng.chance(0.4);
+        auto S = mkStmt(Loop ? StmtKind::While : StmtKind::If);
+        S->Cond = genExpr(O.MaxExprDepth);
+        S->Body = genBody(Depth + 1, InAtomic, Self);
+        if (!Loop && Rng.chance(0.5))
+          S->ElseBody = genBody(Depth + 1, InAtomic, Self);
+        return S;
+      }
+      return genAssign();
+    }
+    R -= O.BranchProb;
+
+    if (R < O.AssertProb) {
+      auto S = mkStmt(StmtKind::Assert);
+      // Bias towards satisfiable asserts so a fuzz batch mixes SAFE and
+      // BUG verdicts instead of failing on the first statement.
+      S->Cond = Rng.chance(0.5) ? mkBin(ExprKind::Or, genExpr(1), mkConst(true))
+                                : genExpr(O.MaxExprDepth);
+      return S;
+    }
+    R -= O.AssertProb;
+
+    if (R < O.AssumeProb) {
+      auto S = mkStmt(StmtKind::Assume);
+      S->Cond = genExpr(O.MaxExprDepth);
+      return S;
+    }
+
+    if (Rng.chance(0.12))
+      return mkStmt(StmtKind::Skip);
+    return genAssign();
+  }
+
+  std::vector<StmtPtr> genBody(unsigned Depth, bool InAtomic,
+                               const Signature &Self) {
+    std::vector<StmtPtr> Body;
+    unsigned N = static_cast<unsigned>(Rng.range(O.MinStmts, O.MaxStmts));
+    for (unsigned I = 0; I < N; ++I)
+      Body.push_back(genStmt(Depth, InAtomic, Self));
+    return Body;
+  }
+
+  /// Labels up to two top-level statements and appends a guarded
+  /// nondeterministic multi-target back-edge: `if (*) { goto L0[, L1]; }`.
+  void addGotoLoop(std::vector<StmtPtr> &Body) {
+    if (Body.empty() || !Rng.chance(O.GotoLoopProb))
+      return;
+    Body.front()->Label = "L0";
+    std::vector<std::string> Targets = {"L0"};
+    if (Body.size() >= 3 && Rng.chance(0.5)) {
+      Body[Body.size() / 2]->Label = "L1";
+      Targets.push_back("L1");
+    }
+    auto Jump = mkStmt(StmtKind::Goto);
+    Jump->GotoTargets = std::move(Targets);
+    auto Guard = mkStmt(StmtKind::If);
+    Guard->Cond = mkNondet();
+    Guard->Body.push_back(std::move(Jump));
+    Body.push_back(std::move(Guard));
+  }
+
+  Function genFunction(const Signature &Sig, bool IsEntry) {
+    Function F;
+    F.Name = Sig.Name;
+    F.ReturnsBool = Sig.ReturnsBool;
+    for (unsigned I = 0; I < Sig.NumParams; ++I)
+      F.Params.push_back("p" + std::to_string(I));
+    unsigned NLocals = static_cast<unsigned>(Rng.range(0, O.MaxLocals));
+    for (unsigned I = 0; I < NLocals; ++I)
+      F.Locals.push_back("v" + std::to_string(I));
+
+    Scope.clear();
+    for (const std::string &V : F.Params)
+      Scope.push_back(V);
+    for (const std::string &V : F.Locals)
+      Scope.push_back(V);
+    for (const std::string &V : Shared)
+      Scope.push_back(V);
+
+    F.Body = genBody(0, /*InAtomic=*/false, Sig);
+    addGotoLoop(F.Body);
+    if (Sig.ReturnsBool) {
+      auto Ret = mkStmt(StmtKind::Return);
+      Ret->RetValue = genExpr(O.MaxExprDepth);
+      F.Body.push_back(std::move(Ret));
+    }
+    (void)IsEntry;
+    return F;
+  }
+
+  SplitMix64 Rng;
+  const RandomBpOptions &O;
+  std::vector<std::string> Shared;
+  std::vector<Signature> Helpers;
+  std::vector<std::string> Entries;
+  std::vector<std::string> Scope; // Visible variables while in a body.
+};
+
+} // namespace
+
+bp::Program cuba::testing::generateRandomBp(uint64_t Seed,
+                                            const RandomBpOptions &Opts) {
+  Generator G(Seed, Opts);
+  Program P = G.run();
+
+  // Unconditional (not an assert): a generator emitting a program the
+  // frontend rejects must fail loudly even in NDEBUG builds.  The
+  // returned program is analyzed in place as a side effect; callers
+  // that need a fresh AST re-parse the printed text (the fuzz oracle
+  // does exactly that).
+  auto Info = analyzeProgram(P);
+  if (!Info) {
+    std::fprintf(stderr, "RandomBp: seed %llu produced an ill-formed "
+                         "program: %s\n",
+                 static_cast<unsigned long long>(Seed),
+                 Info.error().str().c_str());
+    std::abort();
+  }
+  if (auto File = translateProgram(P, *Info); !File) {
+    std::fprintf(stderr, "RandomBp: seed %llu produced an untranslatable "
+                         "program: %s\n",
+                 static_cast<unsigned long long>(Seed),
+                 File.error().str().c_str());
+    std::abort();
+  }
+  return P;
+}
+
+RandomBpOptions cuba::testing::bpShapeOptions(uint64_t Seed) {
+  RandomBpOptions O;
+  switch (Seed % 6) {
+  case 0: // The default mixed shape.
+    break;
+  case 1: // Recursive call chains: helper-heavy, calls dominate.
+    O.MaxHelpers = 3;
+    O.CallProb = 0.5;
+    O.RecurseProb = 0.6;
+    O.MaxStmts = 3;
+    O.AtomicProb = 0;
+    O.GotoLoopProb = 0;
+    break;
+  case 2: // Atomic sections: lock-protocol shapes under contention.
+    O.MinThreads = 2;
+    O.AtomicProb = 0.45;
+    O.AssertProb = 0.25;
+    O.CallProb = 0.05;
+    break;
+  case 3: // Parallel assignments filtered by constrain.
+    O.MinShared = 2;
+    O.MaxShared = 4;
+    O.ParallelAssignProb = 0.85;
+    O.ConstrainProb = 0.9;
+    O.CallProb = 0.05;
+    O.BranchProb = 0.1;
+    break;
+  case 4: // Goto loops: unstructured control flow, no calls.
+    O.GotoLoopProb = 1.0;
+    O.CallProb = 0;
+    O.BranchProb = 0.15;
+    O.MaxStmts = 5;
+    break;
+  case 5: // Multi-thread mains: wide interleaving, small bodies.
+    O.MinThreads = 3;
+    O.MaxThreads = 4;
+    O.MaxStmts = 2;
+    O.MaxDepth = 1;
+    O.MaxHelpers = 1;
+    break;
+  }
+  return O;
+}

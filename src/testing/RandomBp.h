@@ -1,0 +1,82 @@
+//===-- testing/RandomBp.h - Seeded random Boolean programs -----*- C++ -*-===//
+//
+// Part of the CUBA project, an implementation of the PLDI 2018 paper
+// "CUBA: Interprocedural Context-UnBounded Analysis of Concurrent Programs".
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A seeded generator of well-formed concurrent Boolean programs, the
+/// program-level counterpart of testing/RandomCpds: it emits ASTs that
+/// always survive the whole frontend (print -> parse -> Sema ->
+/// Translate), sized to stay inside the translation guard rails.  Like
+/// RandomCpds it runs on its own SplitMix64 stream, so the same (seed,
+/// options) pair yields the same program on every platform.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CUBA_TESTING_RANDOMBP_H
+#define CUBA_TESTING_RANDOMBP_H
+
+#include <cstdint>
+
+#include "bp/Ast.h"
+
+namespace cuba::testing {
+
+/// Knobs for the program generator.  All ranges are inclusive; the
+/// defaults keep the translated CPDS small enough for the differential
+/// oracle's budgets.
+struct RandomBpOptions {
+  unsigned MinShared = 1;
+  unsigned MaxShared = 3;
+  /// thread_create statements in main (entries may repeat).
+  unsigned MinThreads = 1;
+  unsigned MaxThreads = 3;
+  /// Callable helper functions besides the thread entries.
+  unsigned MaxHelpers = 2;
+  unsigned MaxParams = 2;
+  /// `decl` locals per function (params + locals share the slot space).
+  unsigned MaxLocals = 2;
+  /// Statements per body (before structured bodies recurse).
+  unsigned MinStmts = 1;
+  unsigned MaxStmts = 4;
+  /// Nesting depth of while / if / atomic.
+  unsigned MaxDepth = 2;
+  unsigned MaxExprDepth = 2;
+  /// Probability that a helper returns bool (and so ends in `return e`).
+  double HelperReturnsBoolProb = 0.5;
+  /// Per-statement construct probabilities; the remainder is assignments
+  /// and skips.
+  double CallProb = 0.2;
+  /// Fraction of generated calls that target the enclosing helper
+  /// itself (guarded by `if (*)` so recursion stays optional per path).
+  double RecurseProb = 0.3;
+  double AtomicProb = 0.1;
+  double BranchProb = 0.25;
+  double AssertProb = 0.15;
+  double AssumeProb = 0.1;
+  /// Probability that an assignment writes two variables at once.
+  double ParallelAssignProb = 0.25;
+  /// Probability that a parallel assignment carries `constrain e`.
+  double ConstrainProb = 0.3;
+  /// Probability that a function gets labelled statements plus a
+  /// nondeterministic multi-target back-edge `goto`.
+  double GotoLoopProb = 0.25;
+};
+
+/// Generates one well-formed program from \p Seed.  Never fails: every
+/// emitted program passes Sema and translates within the size guard
+/// (the generator aborts loudly otherwise, as RandomCpds does).
+bp::Program generateRandomBp(uint64_t Seed, const RandomBpOptions &Opts = {});
+
+/// Derives one of a rotating set of shape presets from \p Seed: default
+/// mix, recursive call chains, atomic-section lock protocols, parallel
+/// assignments with constrain, goto loops, and multi-thread mains.
+/// Feeding consecutive seeds through this covers every preset evenly
+/// while staying fully reproducible.
+RandomBpOptions bpShapeOptions(uint64_t Seed);
+
+} // namespace cuba::testing
+
+#endif // CUBA_TESTING_RANDOMBP_H

@@ -430,6 +430,90 @@ TEST(BpPrinter, RoundTripPreservesVerificationOutcome) {
   EXPECT_EQ(Direct.Run.outcome(), Reprinted.Run.outcome());
 }
 
+//===----------------------------------------------------------------------===//
+// Regressions surfaced by `cuba fuzz --mode bp`
+//===----------------------------------------------------------------------===//
+
+TEST(BpTranslate, ThreadNamesSurviveCpdsRoundTrip) {
+  // Thread instances used to be named "entry#N"; '#' starts a comment
+  // in the .cpds format, so --emit-cpds output was unreadable.  The
+  // translated system must always round-trip through CpdsIO.
+  auto F = compileBooleanProgram("decl a;\nvoid f() { a := 1; }\n"
+                                 "void main() { thread_create(f); "
+                                 "thread_create(f); }");
+  ASSERT_TRUE(F) << F.error().str();
+  EXPECT_EQ(F->System.threadName(0), "f.1");
+  EXPECT_EQ(F->System.threadName(1), "f.2");
+  std::string Text = printCpds(*F);
+  auto Back = parseCpds(Text);
+  ASSERT_TRUE(Back) << Back.error().str();
+  EXPECT_EQ(printCpds(*Back), Text);
+}
+
+TEST(BpTranslate, ReturnValuesArePerThread) {
+  // $ret used to be a single shared bit, so thread B returning 0 could
+  // clobber thread A's just-returned 1 before A's bind consumed it --
+  // a bogus counterexample in any multi-threaded program binding call
+  // results.  Each thread owns a private $ret bit now; this purely
+  // thread-local computation must verify with two copies running.
+  DriverResult R = verify(
+      "decl sink;\n"
+      "bool invert(v) { decl w; w := !v; return w; }\n"
+      "void worker() {\n"
+      "  decl x, y;\n"
+      "  x := call invert(0);\n"
+      "  y := call invert(x);\n"
+      "  assert(x & !y);\n"
+      "  sink := y;\n"
+      "}\n"
+      "void main() { thread_create(worker); thread_create(worker); }");
+  EXPECT_EQ(R.Run.outcome(), Outcome::Proved);
+}
+
+TEST(BpSema, DuplicateSharedVariableHasLocation) {
+  Error E = analyzeError("decl a;\ndecl b, a;\nvoid f() { skip; }\n"
+                         "void main() { thread_create(f); }");
+  EXPECT_NE(E.message().find("duplicate shared variable 'a'"),
+            std::string::npos);
+  EXPECT_EQ(E.line(), 2u); // The second occurrence is the offender.
+  EXPECT_EQ(E.column(), 9u);
+}
+
+TEST(BpSema, TooManySharedVariablesHasLocation) {
+  Error E = analyzeError(
+      "decl s0, s1, s2, s3, s4, s5, s6, s7, s8, s9, s10, s11;\n"
+      "decl s12;\nvoid f() { skip; }\n"
+      "void main() { thread_create(f); }");
+  EXPECT_NE(E.message().find("too many shared variables"),
+            std::string::npos);
+  EXPECT_EQ(E.line(), 2u); // Points at the first variable over the limit.
+}
+
+TEST(BpSema, MainWithoutThreadsHasLocation) {
+  auto P = parseProgram("decl a;\nvoid f() { skip; }\n\nvoid main() { }");
+  ASSERT_TRUE(P);
+  auto R = analyzeProgram(*P);
+  ASSERT_FALSE(R);
+  EXPECT_NE(R.error().message().find("main creates no threads"),
+            std::string::npos);
+  EXPECT_EQ(R.error().line(), 4u);
+}
+
+TEST(BpLexer, ErrorsCarryColumn) {
+  auto T = lex("ab @");
+  ASSERT_FALSE(T);
+  EXPECT_EQ(T.error().line(), 1u);
+  EXPECT_EQ(T.error().column(), 4u);
+}
+
+TEST(BpParser, ErrorsCarryColumn) {
+  auto P = parseProgram("decl a;\nvoid f() { a := ; }\n"
+                        "void main() { thread_create(f); }");
+  ASSERT_FALSE(P);
+  EXPECT_EQ(P.error().line(), 2u);
+  EXPECT_GT(P.error().column(), 1u);
+}
+
 TEST(BpPrinter, StructuredStatementsRoundTrip) {
   static const char *Source =
       "decl g;\n"

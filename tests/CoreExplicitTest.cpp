@@ -223,6 +223,22 @@ TEST(Generators, Fig1GIntersectZMatchesEx14) {
   EXPECT_EQ(GZ, Want);
 }
 
+TEST(ZOverapprox, BudgetExhaustionReturnsEmpty) {
+  // Z's abstract domain can dwarf the concretely reachable set (e.g.
+  // Boolean-program translations with thousands of frame symbols), so
+  // computeZ must honor its budget and signal exhaustion by returning
+  // an empty set -- a completed exploration always contains the
+  // projected initial state, so emptiness is unambiguous.
+  CpdsFile F = models::buildFig1();
+  LimitTracker StepBudget(ResourceLimits{0, 1, 0, 0});
+  EXPECT_TRUE(computeZ(F.System, &StepBudget).empty());
+  LimitTracker StateBudget(ResourceLimits{2, 0, 0, 0});
+  EXPECT_TRUE(computeZ(F.System, &StateBudget).empty());
+  // A sufficient budget reproduces the unlimited result.
+  LimitTracker Ample(ResourceLimits{10'000, 1'000'000, 0, 0});
+  EXPECT_EQ(computeZ(F.System, &Ample), computeZ(F.System));
+}
+
 //===----------------------------------------------------------------------===//
 // Alg. 3 and Scheme 1 end-to-end
 //===----------------------------------------------------------------------===//

@@ -16,6 +16,12 @@
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "bp/Translate.h"
+#include "core/CubaDriver.h"
 #include "models/Models.h"
 #include "pds/CpdsIO.h"
 #include "testing/RandomCpds.h"
@@ -91,6 +97,38 @@ TEST(CpdsIORoundTrip, GeneratedInstances) {
   for (uint64_t Seed = 0; Seed < 100; ++Seed)
     expectRoundTrips(generateRandomCpds(Seed, cornerShapeOptions(Seed)),
                      "seed " + std::to_string(Seed));
+}
+
+// Every committed corpus model's translation must obey the same law,
+// and the round-tripped system must reproduce the original verdict --
+// the .cpds text is the interchange format between `--emit-cpds` and a
+// later `cuba` run, so structural identity alone would not be enough if
+// the verifier read the two systems differently.
+TEST(CpdsIORoundTrip, BooleanProgramCorpus) {
+  unsigned Seen = 0;
+  for (const auto &Entry :
+       std::filesystem::directory_iterator(CUBA_CORPUS_DIR)) {
+    if (Entry.path().extension() != ".bp")
+      continue;
+    ++Seen;
+    std::ifstream In(Entry.path());
+    std::stringstream SS;
+    SS << In.rdbuf();
+    auto File = bp::compileBooleanProgram(SS.str());
+    ASSERT_TRUE(File) << Entry.path() << ": " << File.error().str();
+    expectRoundTrips(*File, Entry.path().string());
+
+    auto Reparsed = parseCpds(printCpds(*File));
+    ASSERT_TRUE(Reparsed);
+    DriverOptions O;
+    O.Run.Limits = ResourceLimits{500'000, 50'000'000, 24, 0};
+    DriverResult Before = runCuba(File->System, File->Property, O);
+    DriverResult After = runCuba(Reparsed->System, Reparsed->Property, O);
+    EXPECT_EQ(Before.Run.outcome(), After.Run.outcome()) << Entry.path();
+    EXPECT_EQ(Before.Run.BugBound, After.Run.BugBound) << Entry.path();
+    EXPECT_EQ(Before.Run.ConvergedAt, After.Run.ConvergedAt) << Entry.path();
+  }
+  EXPECT_GE(Seen, 10u) << "corpus shrank below 10 models";
 }
 
 // The shorthand form is expanded on parse and must still round-trip.

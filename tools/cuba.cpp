@@ -26,7 +26,13 @@
 /// The `fuzz` subcommand drives the randomized differential harness
 /// (testing/RandomCpds + testing/DifferentialOracle) instead of a file:
 ///
-///   cuba fuzz [--count N] [--seed S] [--max-k K] [--jobs N] [--emit-cpds]
+///   cuba fuzz [--mode cpds|bp] [--count N] [--seed S] [--max-k K]
+///             [--jobs N] [--emit-cpds]
+///
+/// --mode bp swaps the workload for seeded random Boolean programs and
+/// checks the whole frontend pipeline per instance (print/parse
+/// fixpoint, translation reproducibility, .cpds round-trip) before the
+/// engines are compared (testing/RandomBp + testing/BpOracle).
 ///
 /// The base seed comes from --seed, else the CUBA_FUZZ_SEED environment
 /// variable, else 1; a failure prints the offending seed and the exact
@@ -52,7 +58,9 @@
 #include "support/Statistic.h"
 #include "support/StringUtils.h"
 #include "support/Timer.h"
+#include "testing/BpOracle.h"
 #include "testing/DifferentialOracle.h"
+#include "testing/RandomBp.h"
 #include "testing/RandomCpds.h"
 
 using namespace cuba;
@@ -86,6 +94,9 @@ void printUsage() {
       "  --stats              dump internal statistics counters\n"
       "\n"
       "usage: cuba fuzz [options]     randomized differential testing\n"
+      "  --mode cpds|bp       workload: random CPDS instances (default)\n"
+      "                       or random Boolean programs pushed through\n"
+      "                       the whole frontend pipeline\n"
       "  --count N            instances to check (default 200)\n"
       "  --seed S             base seed (default: $CUBA_FUZZ_SEED, else 1)\n"
       "  --max-k N            deepest context bound compared (default 4)\n"
@@ -105,6 +116,7 @@ int runFuzz(int Argc, char **Argv) {
   unsigned Jobs = 0;
   bool SeedWasSet = false;
   bool EmitCpds = false;
+  bool BpMode = false;
   testing::OracleOptions Oracle;
   Oracle.MaxK = 4;
   // No wall-clock cutoff: whether a mismatch is reached must depend only
@@ -143,6 +155,18 @@ int runFuzz(int Argc, char **Argv) {
       Jobs = static_cast<unsigned>(N);
     } else if (Arg == "--emit-cpds") {
       EmitCpds = true;
+    } else if (Arg == "--mode") {
+      if (I + 1 >= Argc) {
+        printUsage();
+        return 64;
+      }
+      std::string_view Mode = Argv[++I];
+      if (Mode == "bp")
+        BpMode = true;
+      else if (Mode != "cpds") {
+        printUsage();
+        return 64;
+      }
     } else {
       printUsage();
       return 64;
@@ -153,8 +177,9 @@ int runFuzz(int Argc, char **Argv) {
   exec::ThreadPool Pool(Jobs);
   Oracle.Pool = &Pool;
 
-  std::printf("fuzz: %llu instance(s) from base seed %llu, %u job(s)%s\n",
+  std::printf("fuzz: %llu %s instance(s) from base seed %llu, %u job(s)%s\n",
               static_cast<unsigned long long>(Count),
+              BpMode ? "Boolean-program" : "CPDS",
               static_cast<unsigned long long>(BaseSeed), Jobs,
               SeedWasSet ? "" : " (set --seed or CUBA_FUZZ_SEED to vary)");
   uint64_t Exhausted = 0;
@@ -162,6 +187,38 @@ int runFuzz(int Argc, char **Argv) {
     // Seeds wrap modulo 2^64 so a base near UINT64_MAX still runs the
     // requested number of instances.
     uint64_t Seed = BaseSeed + I;
+
+    if (BpMode) {
+      // Program-level pipeline: generate a Boolean program, check the
+      // print/parse fixpoint, translation reproducibility and the
+      // .cpds round-trip, then run the cross-engine oracle on the
+      // translated system (testing/BpOracle).
+      testing::BpOracleOptions BpOpts;
+      BpOpts.Engine = Oracle;
+      bp::Program P =
+          testing::generateRandomBp(Seed, testing::bpShapeOptions(Seed));
+      if (EmitCpds) {
+        std::printf("// seed %llu\n%s\n",
+                    static_cast<unsigned long long>(Seed),
+                    bp::printProgram(P).c_str());
+        std::fflush(stdout);
+      }
+      testing::BpOracleReport Rep = testing::runBpOracle(P, BpOpts);
+      Exhausted += Rep.Engine.ExplicitExhausted || Rep.Engine.SymbolicExhausted;
+      if (!Rep.ok()) {
+        std::fprintf(stderr,
+                     "fuzz: MISMATCH at seed %llu\n%s\n"
+                     "program:\n%s\n"
+                     "reproduce: CUBA_FUZZ_SEED=%llu cuba fuzz --mode bp"
+                     " --count 1 --max-k %u --jobs %u\n",
+                     static_cast<unsigned long long>(Seed), Rep.str().c_str(),
+                     Rep.Source.c_str(),
+                     static_cast<unsigned long long>(Seed), Oracle.MaxK, Jobs);
+        return 1;
+      }
+      continue;
+    }
+
     CpdsFile File =
         testing::generateRandomCpds(Seed, testing::cornerShapeOptions(Seed));
     if (EmitCpds) {
@@ -249,9 +306,10 @@ bool endsWith(std::string_view S, std::string_view Suffix) {
 }
 
 ErrorOr<std::string> readFile(const std::string &Path) {
+  // No path in the message: every caller prefixes "cuba: <path>: ".
   std::FILE *F = std::fopen(Path.c_str(), "rb");
   if (!F)
-    return Error("cannot open '" + Path + "'");
+    return Error("cannot open file");
   std::string Text;
   char Buf[4096];
   size_t N;
@@ -290,7 +348,8 @@ int main(int Argc, char **Argv) {
     }
     auto Text = readFile(Cli.InputPath);
     if (!Text) {
-      std::fprintf(stderr, "cuba: %s\n", Text.error().str().c_str());
+      std::fprintf(stderr, "cuba: %s: %s\n", Cli.InputPath.c_str(),
+                   Text.error().str().c_str());
       return 64;
     }
     auto Prog = bp::parseProgram(*Text);
