@@ -47,6 +47,8 @@ runRounds(EngineT &Engine, OkT OkStatus, const SafetyProperty &Prop,
     Check();
   }
   R.CompletedToBound = !Exhausted && (R.BugBound || Engine.bound() >= K);
+  if (Exhausted)
+    R.ExhaustedBy = Engine.limits().reason();
   R.KReached = Engine.bound();
   R.VisibleStates = Engine.visibleSize();
   R.Millis = Timer.millis();

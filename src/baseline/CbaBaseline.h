@@ -37,6 +37,9 @@ struct BaselineResult {
   std::optional<unsigned> BugBound;
   /// True when every k <= K was fully explored (no budget exhaustion).
   bool CompletedToBound = false;
+  /// Which budget axis stopped the run early (None when it completed or
+  /// only the context bound ran out).
+  ExhaustKind ExhaustedBy = ExhaustKind::None;
   unsigned KReached = 0;
   uint64_t StatesStored = 0;
   uint64_t VisibleStates = 0;

@@ -14,6 +14,7 @@
 #include "core/ObservationSequence.h"
 #include "core/ZOverapprox.h"
 #include "pds/CpdsIO.h"
+#include "support/FaultInject.h"
 #include "support/Timer.h"
 
 using namespace cuba;
@@ -98,6 +99,9 @@ public:
     R.Run.StatesStored = Engine.reachedSize();
     R.Run.VisibleStates = Engine.visibleSize();
     R.Run.Millis = Timer.millis();
+    // None when only the context bound ran out (the loop above exited on
+    // MaxK); a tracker axis otherwise.
+    R.Run.ExhaustedBy = Engine.limits().reason();
     return R;
   }
 
@@ -160,23 +164,51 @@ private:
   ObservationTracker RkSizes, TkSizes;
 };
 
+/// Construction and the run loop can both throw on allocation failure
+/// (real or injected -- StackStore/DfaStore probe the Alloc fault point
+/// before growing).  Either way the answer is the same graceful
+/// truncation as any other exhausted budget: an EXHAUSTED result with
+/// the memory reason, never a crash.  InjectedFault derives from
+/// bad_alloc, so it must be caught first to keep its reason distinct.
+ExplicitCombinedResult runExplicitGuarded(const Cpds &C,
+                                          const SafetyProperty &Prop,
+                                          const RunOptions &Opts,
+                                          bool UseScheme1, bool UseAlg3) {
+  try {
+    ExplicitRunner R(C, Prop, Opts, UseScheme1, UseAlg3);
+    return R.run();
+  } catch (const fault::InjectedFault &) {
+    ExplicitCombinedResult R;
+    R.Run.Exhausted = true;
+    R.Run.ExhaustedBy = ExhaustKind::Injected;
+    return R;
+  } catch (const std::bad_alloc &) {
+    ExplicitCombinedResult R;
+    R.Run.Exhausted = true;
+    R.Run.ExhaustedBy = ExhaustKind::Memory;
+    return R;
+  }
+}
+
 } // namespace
 
 RunResult cuba::runScheme1Explicit(const Cpds &C, const SafetyProperty &Prop,
                                    const RunOptions &Opts) {
-  ExplicitRunner R(C, Prop, Opts, /*UseScheme1=*/true, /*UseAlg3=*/false);
-  return R.run().Run;
+  return runExplicitGuarded(C, Prop, Opts, /*UseScheme1=*/true,
+                            /*UseAlg3=*/false)
+      .Run;
 }
 
 RunResult cuba::runAlg3Explicit(const Cpds &C, const SafetyProperty &Prop,
                                 const RunOptions &Opts) {
-  ExplicitRunner R(C, Prop, Opts, /*UseScheme1=*/false, /*UseAlg3=*/true);
-  return R.run().Run;
+  return runExplicitGuarded(C, Prop, Opts, /*UseScheme1=*/false,
+                            /*UseAlg3=*/true)
+      .Run;
 }
 
 ExplicitCombinedResult cuba::runExplicitCombined(const Cpds &C,
                                                  const SafetyProperty &Prop,
                                                  const RunOptions &Opts) {
-  ExplicitRunner R(C, Prop, Opts, /*UseScheme1=*/true, /*UseAlg3=*/true);
-  return R.run();
+  return runExplicitGuarded(C, Prop, Opts, /*UseScheme1=*/true,
+                            /*UseAlg3=*/true);
 }

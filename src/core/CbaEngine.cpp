@@ -18,13 +18,18 @@ CbaEngine::CbaEngine(const Cpds &C, const ResourceLimits &Limits)
     : C(C), Limits(Limits), VisibleSeen(C) {
   assert(C.frozen() && "CbaEngine requires a frozen CPDS");
   TopsBuf.resize(C.numThreads());
+  PerStateBytes = sizeof(PackedGlobalState) + sizeof(StateInfo) +
+                  sizeof(uint32_t) /* LocalMark */;
   PackedGlobalState Init = packState(C.initialState(), Store);
+  if (Init.Stacks.size() > Init.Stacks.inlineCapacity())
+    PerStateBytes += Init.Stacks.size() * sizeof(StackId);
   auto [Slot, New] = Index.tryEmplace(Init, 0);
   (void)Slot;
   assert(New && "fresh index already holds the initial state");
   (void)New;
   appendState(std::move(Init), 0, UINT32_MAX, 0, 0);
   this->Limits.chargeState();
+  this->Limits.checkMemory(stateBytes() + Store.memoryBytes());
   Frontier.push_back(0);
 }
 
@@ -94,7 +99,7 @@ CbaEngine::closeUnderThread(unsigned I, const std::vector<uint32_t> &Seeds,
         LocalMark[NewId] = Epoch;
         NewFrontier.push_back(NewId);
         QueueBuf.push_back(NewId);
-        if (!Limits.chargeState())
+        if (!chargeNewState())
           return RoundStatus::Exhausted;
         continue;
       }
@@ -269,7 +274,7 @@ CbaEngine::closeUnderThreadParallel(unsigned I,
             LocalMark[NewId] = Epoch;
             NewFrontier.push_back(NewId);
             Next.push_back(NewId);
-            if (!Limits.chargeState()) {
+            if (!chargeNewState()) {
               FlushVisible();
               return RoundStatus::Exhausted;
             }
@@ -310,6 +315,11 @@ CbaEngine::RoundStatus CbaEngine::advance() {
     RoundStatus St = Pool ? closeUnderThreadParallel(I, Seeds, NewFrontier)
                           : closeUnderThread(I, Seeds, NewFrontier);
     if (St == RoundStatus::Exhausted)
+      return RoundStatus::Exhausted;
+    // Closure boundary: the stack arena and visible set agree between
+    // the serial and parallel paths here, so fold them into the byte
+    // budget now (mid-closure their contents differ by path).
+    if (!checkMemoryAtBoundary())
       return RoundStatus::Exhausted;
   }
   ++Bound;

@@ -130,6 +130,14 @@ public:
 
   const LimitTracker &limits() const { return Limits; }
 
+  /// Logical byte footprint of the engine-owned stores (stack arena,
+  /// state arena, metadata, dedup index, visible set), derived from
+  /// element counts so the figure is deterministic at any `--jobs`.
+  uint64_t memoryUsage() const {
+    return stateBytes() + Store.memoryBytes() +
+           static_cast<uint64_t>(VisibleSeen.size()) * VisibleEntryBytes;
+  }
+
   /// Reconstructs a run from the initial state to the earliest-found
   /// state whose projection equals \p V: the initial state as step 0
   /// (with an empty label), then one step per fired action.  Empty when
@@ -210,6 +218,36 @@ private:
   uint32_t appendState(PackedGlobalState &&S, unsigned Round, uint32_t Parent,
                        unsigned Thread, uint32_t ActionIdx);
 
+  /// Byte footprint of the per-state stores alone: a pure function of
+  /// the committed state count (the dedup index's capacity depends only
+  /// on its insertion count), so it is safe to probe at every state
+  /// commit — unlike the stack arena and visible set, whose mid-closure
+  /// contents differ between the serial and parallel paths (the serial
+  /// BFS interns successor stacks per pop and inserts visible words
+  /// immediately; the parallel path translates per candidate and
+  /// batch-flushes).  Those are folded in through CommittedArenaBytes,
+  /// refreshed only at closure boundaries where the paths agree.
+  uint64_t stateBytes() const {
+    return static_cast<uint64_t>(States.size()) * PerStateBytes +
+           Index.memoryBytes();
+  }
+
+  /// Charges one new state against both the count and byte budgets.
+  bool chargeNewState() {
+    if (!Limits.chargeState())
+      return false;
+    return Limits.checkMemory(stateBytes() + CommittedArenaBytes);
+  }
+
+  /// Refreshes CommittedArenaBytes and re-probes the byte budget.  Call
+  /// only at closure/round boundaries (see stateBytes).
+  bool checkMemoryAtBoundary() {
+    CommittedArenaBytes =
+        Store.memoryBytes() +
+        static_cast<uint64_t>(VisibleSeen.size()) * VisibleEntryBytes;
+    return Limits.checkMemory(stateBytes() + CommittedArenaBytes);
+  }
+
   /// appendState for the parallel commit's packed fast path: the
   /// worker-precomputed visible word \p VisWord is deferred into
   /// VisBatch instead of being unpacked and re-packed per state; the
@@ -219,10 +257,18 @@ private:
                               uint32_t Parent, unsigned Thread,
                               uint32_t ActionIdx, uint64_t VisWord);
 
+  /// Logical bytes per packed visible entry (word + first-seen round).
+  static constexpr uint64_t VisibleEntryBytes = 16;
+
   const Cpds &C;
   LimitTracker Limits;
   unsigned Bound = 0;
   bool ExpandAll = false;
+  /// Logical bytes per stored state (arena slot, metadata, local mark,
+  /// plus any out-of-line stack-id storage); fixed per system.
+  uint64_t PerStateBytes = 0;
+  /// Stack-arena + visible-set bytes as of the last closure boundary.
+  uint64_t CommittedArenaBytes = 0;
 
   /// The interning arena all stack ids below refer to.
   StackStore Store;

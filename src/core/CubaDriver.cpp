@@ -7,6 +7,7 @@
 
 #include "core/CubaDriver.h"
 
+#include "support/FaultInject.h"
 #include "support/Timer.h"
 
 using namespace cuba;
@@ -17,14 +18,25 @@ DriverResult cuba::runCuba(const Cpds &C, const SafetyProperty &Prop,
   // The FCR saturations run under the run's budget: an exhausted check
   // reports Holds = false / Complete = false, which routes to the
   // symbolic engine -- the documented "unknown" behavior -- instead of
-  // diverging before the engines ever see their limits.
+  // diverging before the engines ever see their limits.  An allocation
+  // failure (real or injected) during the check degrades the same way:
+  // incomplete answer, never a crash.
   LimitTracker FcrLimits(Opts.Run.Limits);
+  auto SafeFcr = [&]() -> FcrResult {
+    try {
+      return checkFcr(C, &FcrLimits);
+    } catch (const std::bad_alloc &) {
+      FcrResult Failed;
+      Failed.Complete = false; // Holds stays false: "unknown".
+      return Failed;
+    }
+  };
   if (Opts.Force) {
     R.Used = *Opts.Force;
     // The FCR answer is still reported for the record.
-    R.Fcr = checkFcr(C, &FcrLimits);
+    R.Fcr = SafeFcr();
   } else {
-    R.Fcr = checkFcr(C, &FcrLimits);
+    R.Fcr = SafeFcr();
     R.Used = R.Fcr.Holds ? ApproachKind::ExplicitCombined
                          : ApproachKind::Symbolic;
   }

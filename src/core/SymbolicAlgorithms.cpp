@@ -12,13 +12,16 @@
 #include "core/SymbolicEngine.h"
 #include "core/ZOverapprox.h"
 #include "pds/CpdsIO.h"
+#include "support/FaultInject.h"
 #include "support/Timer.h"
 
 using namespace cuba;
 
-SymbolicRunResult cuba::runAlg3Symbolic(const Cpds &C,
-                                        const SafetyProperty &Prop,
-                                        const RunOptions &Opts) {
+namespace {
+
+SymbolicRunResult runAlg3SymbolicImpl(const Cpds &C,
+                                      const SafetyProperty &Prop,
+                                      const RunOptions &Opts) {
   WallTimer Timer;
   SymbolicRunResult R;
   SymbolicEngine Engine(C, Opts.Limits);
@@ -97,7 +100,32 @@ SymbolicRunResult cuba::runAlg3Symbolic(const Cpds &C,
   R.Run.StatesStored = Engine.symbolicStateCount();
   R.Run.VisibleStates = Engine.visibleSize();
   R.Run.Millis = Timer.millis();
+  // None when only the context bound ran out; a tracker axis otherwise.
+  R.Run.ExhaustedBy = Engine.limits().reason();
   R.SymbolicStates = Engine.symbolicStateCount();
   R.DistinctLanguages = Engine.languageStore().size();
   return R;
+}
+
+} // namespace
+
+SymbolicRunResult cuba::runAlg3Symbolic(const Cpds &C,
+                                        const SafetyProperty &Prop,
+                                        const RunOptions &Opts) {
+  // Allocation failure (real or injected) anywhere in the run degrades to
+  // the same truncation as an exhausted budget.  InjectedFault derives
+  // from bad_alloc; catch it first to keep its reason distinct.
+  try {
+    return runAlg3SymbolicImpl(C, Prop, Opts);
+  } catch (const fault::InjectedFault &) {
+    SymbolicRunResult R;
+    R.Run.Exhausted = true;
+    R.Run.ExhaustedBy = ExhaustKind::Injected;
+    return R;
+  } catch (const std::bad_alloc &) {
+    SymbolicRunResult R;
+    R.Run.Exhausted = true;
+    R.Run.ExhaustedBy = ExhaustKind::Memory;
+    return R;
+  }
 }

@@ -34,6 +34,8 @@ SymbolicEngine::SymbolicEngine(const Cpds &C, const ResourceLimits &Limits)
     : C(C), Limits(Limits), VisibleSeen(C), TopsCache(C.numThreads()),
       SatCache(C.numThreads()) {
   assert(C.frozen() && "SymbolicEngine requires a frozen CPDS");
+  if (C.numThreads() > SymbolicState{}.Langs.inlineCapacity())
+    PerStateExtraBytes = C.numThreads() * sizeof(DfaId);
   for (unsigned I = 0; I < C.numThreads(); ++I)
     Bottomed.push_back(
         eliminateEmptyStackRules(C.thread(I), C.numSharedStates()));
@@ -128,7 +130,13 @@ SymbolicEngine::addState(SymbolicState S, unsigned Round, uint32_t Producer,
   recordVisible(S, Round);
   if (NewFrontier)
     NewFrontier->push_back(std::move(S));
-  return {true, Limits.chargeState()};
+  // Both the state count and the byte budget are charged here: addState
+  // runs only in serial commit order (even in parallel rounds), and
+  // every memoryUsage() term is a function of serially committed state,
+  // so the exhaustion point is identical at any job count.
+  if (!Limits.chargeState())
+    return {true, false};
+  return {true, Limits.checkMemory(memoryUsage())};
 }
 
 bool SymbolicEngine::addSuccessor(const SymbolicState &S, unsigned I,
@@ -158,9 +166,14 @@ bool SymbolicEngine::replayTransaction(const Transaction &TR,
 uint32_t SymbolicEngine::registerSaturation(unsigned I, DfaId Lang,
                                             SharedSaturation Sat,
                                             uint64_t BaseSteps) {
+  fault::checkAlloc();
   uint32_t Idx = static_cast<uint32_t>(SharedSats.size());
-  SharedSats.push_back({std::move(Sat), BaseSteps, {}});
+  SatBytes += Sat.memoryBytes();
+  SharedSats.push_back({std::move(Sat), BaseSteps, {}, I, Lang, Bound});
   SatCache[I].tryEmplace(Lang, Idx);
+  // Registration is a serial commit point in both round paths; fold the
+  // newly retained relation into the byte budget immediately.
+  Limits.checkMemory(memoryUsage());
   return Idx;
 }
 
@@ -195,6 +208,9 @@ bool SymbolicEngine::commitRootExtraction(
     if (!addSuccessor(S, I, PS.Q, Lang, NewFrontier))
       return false;
   }
+  TrBytes += sizeof(Transaction) +
+             static_cast<uint64_t>(TR.Succs.size()) *
+                 sizeof(Transaction::Succ);
   Transactions.push_back(std::move(TR));
   SS.Roots.tryEmplace(S.Q,
                       static_cast<uint32_t>(Transactions.size() - 1));
@@ -225,6 +241,7 @@ bool SymbolicEngine::expand(const SymbolicState &S, unsigned I,
   uint32_t SatIdx;
   if (const uint32_t *Found = SatCache[I].find(Lang)) {
     SatIdx = *Found;
+    SharedSats[SatIdx].LastUsed = Bound; // Generation touch (eviction).
     if (const uint32_t *Rec = SharedSats[SatIdx].Roots.find(S.Q)) {
       ++HitCounter;
       return replayTransaction(Transactions[*Rec], S, I, NewFrontier);
@@ -274,12 +291,21 @@ void SymbolicEngine::computePendingSat(PendingSat &P) const {
   if (P.CachedSat != UINT32_MAX) {
     Sat = &SharedSats[P.CachedSat].Sat;
   } else {
-    LimitTracker Recorder((ResourceLimits::unlimited()));
+    // Unlimited except for MaxBytes: the saturation's footprint check is
+    // a pure function of its pops, so carrying the engine's byte budget
+    // makes the speculation truncate at exactly the pop where the serial
+    // path would have.
+    ResourceLimits RL = ResourceLimits::unlimited();
+    RL.MaxBytes = Limits.limits().MaxBytes;
+    LimitTracker Recorder(RL);
     SharedSaturationResult R = sharedPostStar(
         Bottomed[P.Thread].P, C.numSharedStates(), Store.get(P.InLang),
         &Recorder);
-    assert(R.Complete && "unlimited saturation cannot exhaust");
+    assert((R.Complete || RL.MaxBytes) &&
+           "only a byte budget can truncate the recorder");
     P.BaseSteps = Recorder.steps();
+    P.PeakSatBytes = Recorder.peakBytes();
+    P.Complete = R.Complete;
     P.Sat = std::move(R.Sat);
     Sat = &P.Sat;
   }
@@ -358,6 +384,7 @@ SymbolicEngine::advanceRoundParallel(std::vector<SymbolicState> &NewFrontier) {
       uint32_t SatIdx = UINT32_MAX;
       if (const uint32_t *Found = SatCache[I].find(Lang)) {
         SatIdx = *Found;
+        SharedSats[SatIdx].LastUsed = Bound; // Generation touch.
         if (const uint32_t *Rec = SharedSats[SatIdx].Roots.find(S.Q)) {
           // Recorded before the round, or committed earlier within it:
           // the serial hit path (shared with expand(), so the two
@@ -372,8 +399,13 @@ SymbolicEngine::advanceRoundParallel(std::vector<SymbolicState> &NewFrontier) {
       if (SatIdx == UINT32_MAX) {
         // First occurrence of a fresh language: the saturation charged
         // one unit per pop, so replaying the count leaves the engine
-        // exactly where a mid-saturation exhaustion would.
+        // exactly where a mid-saturation exhaustion would.  The footprint
+        // peak folds after the steps, mirroring the serial loop's
+        // chargeStep-then-checkMemory order; an incomplete (byte
+        // -truncated) speculation aborts like serial's !R.Complete.
         if (!Limits.chargeStepsUnit(PS.BaseSteps))
+          return RoundStatus::Exhausted;
+        if (!Limits.checkMemory(PS.PeakSatBytes) || !PS.Complete)
           return RoundStatus::Exhausted;
         SatIdx = registerSaturation(I, Lang, std::move(PS.Sat),
                                     PS.BaseSteps);
@@ -388,6 +420,72 @@ SymbolicEngine::advanceRoundParallel(std::vector<SymbolicState> &NewFrontier) {
   return RoundStatus::Ok;
 }
 
+void SymbolicEngine::evictSaturations() {
+  uint64_t Budget = Limits.limits().MaxCacheBytes;
+  if (!Budget || SatBytes <= Budget)
+    return;
+  static Statistic Evictions("symbolic.sat_evictions");
+
+  // Oldest generations first, registration order breaking ties; entries
+  // touched in the round just committed are pinned (the frontier will
+  // likely ask for them again next round, and pinning bounds how far a
+  // pathological budget can thrash).
+  std::vector<uint32_t> Order(SharedSats.size());
+  for (uint32_t I = 0; I < Order.size(); ++I)
+    Order[I] = I;
+  std::stable_sort(Order.begin(), Order.end(), [&](uint32_t A, uint32_t B) {
+    return SharedSats[A].LastUsed < SharedSats[B].LastUsed;
+  });
+  std::vector<uint8_t> Evict(SharedSats.size(), 0);
+  uint64_t Retained = SatBytes;
+  for (uint32_t Idx : Order) {
+    if (Retained <= Budget || SharedSats[Idx].LastUsed == Bound)
+      break;
+    Evict[Idx] = 1;
+    Retained -= SharedSats[Idx].Sat.memoryBytes();
+    ++Evictions;
+  }
+  if (Retained == SatBytes)
+    return;
+
+  // Compact SharedSats in index order.
+  std::vector<SharedSat> KeptSats;
+  for (uint32_t I = 0; I < SharedSats.size(); ++I)
+    if (!Evict[I])
+      KeptSats.push_back(std::move(SharedSats[I]));
+  SharedSats = std::move(KeptSats);
+  SatBytes = Retained;
+
+  // Compact Transactions to the records still referenced by a surviving
+  // root map, preserving index order, and rewrite the references.
+  std::vector<uint32_t> TrRemap(Transactions.size(), UINT32_MAX);
+  for (SharedSat &SS : SharedSats)
+    SS.Roots.forEach(
+        [&](const uint32_t &, const uint32_t &TIdx) { TrRemap[TIdx] = 0; });
+  std::vector<Transaction> KeptTr;
+  TrBytes = 0;
+  for (uint32_t I = 0; I < Transactions.size(); ++I) {
+    if (TrRemap[I] == UINT32_MAX)
+      continue;
+    TrRemap[I] = static_cast<uint32_t>(KeptTr.size());
+    TrBytes += sizeof(Transaction) +
+               static_cast<uint64_t>(Transactions[I].Succs.size()) *
+                   sizeof(Transaction::Succ);
+    KeptTr.push_back(std::move(Transactions[I]));
+  }
+  Transactions = std::move(KeptTr);
+
+  // Rebuild the (thread, language) cache and remap the root records.
+  for (FlatMap<DfaId, uint32_t> &M : SatCache)
+    M.clear();
+  for (uint32_t I = 0; I < SharedSats.size(); ++I) {
+    SharedSat &SS = SharedSats[I];
+    SatCache[SS.Thread].tryEmplace(SS.InLang, I);
+    SS.Roots.forEachMut(
+        [&](const uint32_t &, uint32_t &TIdx) { TIdx = TrRemap[TIdx]; });
+  }
+}
+
 SymbolicEngine::RoundStatus SymbolicEngine::advance() {
   static Statistic Rounds("symbolic.rounds");
   ++Rounds;
@@ -396,6 +494,9 @@ SymbolicEngine::RoundStatus SymbolicEngine::advance() {
                         : advanceRoundSerial(NewFrontier);
   if (St == RoundStatus::Exhausted)
     return RoundStatus::Exhausted;
+  // The serial round boundary: the only point where retention decisions
+  // are made, so they are identical at any `--jobs`.
+  evictSaturations();
   ++Bound;
   Frontier = std::move(NewFrontier);
   return RoundStatus::Ok;

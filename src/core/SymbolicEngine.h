@@ -146,9 +146,24 @@ public:
   /// stack languages ever canonicalised).
   const DfaStore &languageStore() const { return Store; }
 
-  /// Number of shared saturations retained (distinct (thread, language)
-  /// pairs ever saturated); exposed for statistics and benches.
+  /// Number of shared saturations currently retained; exposed for
+  /// statistics and benches.  Under a MaxCacheBytes budget this can
+  /// shrink at round boundaries as generations are evicted.
   size_t saturationCount() const { return SharedSats.size(); }
+
+  /// Bytes retained by the saturation cache (the MaxCacheBytes subject).
+  uint64_t retainedSatBytes() const { return SatBytes; }
+
+  /// Logical byte footprint of the engine-owned stores (language arena,
+  /// state index, retained saturations, transaction records, visible
+  /// set), derived from element counts so the figure is deterministic
+  /// at any `--jobs`.
+  uint64_t memoryUsage() const {
+    return Store.memoryBytes() + States.memoryBytes() +
+           static_cast<uint64_t>(States.size()) * PerStateExtraBytes +
+           SatBytes + TrBytes +
+           static_cast<uint64_t>(VisibleSeen.size()) * VisibleEntryBytes;
+  }
 
   /// Fans subsequent rounds' transactions out across \p Pool's workers
   /// (nullptr, or a one-job pool, restores the serial path).  Results
@@ -179,11 +194,16 @@ private:
   /// One shared saturation per (thread, input DfaId): the masked
   /// relation retained for lazy per-root extraction, the saturation
   /// charge still to be carried by the first root's record, and the
-  /// per-root records extracted so far.
+  /// per-root records extracted so far.  The key it was registered
+  /// under and its last-touched round are kept for generation-based
+  /// eviction (the SatCache rebuild needs the key back).
   struct SharedSat {
     SharedSaturation Sat;
     uint64_t PendingBase = 0;
     FlatMap<uint32_t, uint32_t> Roots; // shared root -> Transactions idx
+    unsigned Thread = 0;
+    DfaId InLang = 0;
+    unsigned LastUsed = 0; // Round stamp, updated at serial touch points.
   };
 
   /// A per-root extraction staged before budget charging and interning:
@@ -208,6 +228,13 @@ private:
     DfaId InLang = 0;
     uint32_t CachedSat = UINT32_MAX; // SharedSats index when pre-cached.
     uint64_t BaseSteps = 0;
+    /// Peak in-flight footprint the speculative saturation sampled, and
+    /// whether it ran to fixpoint under the MaxBytes budget.  The serial
+    /// commit replays the peak against the live tracker: max-folding is
+    /// order-insensitive, so the tracker ends bit-identical to a serial
+    /// run that sampled every pop itself.
+    uint64_t PeakSatBytes = 0;
+    bool Complete = true;
     SharedSaturation Sat; // Valid when CachedSat == UINT32_MAX.
     std::vector<QState> Roots;
     FlatMap<uint32_t, uint32_t> RootIdx; // root -> Extr index
@@ -279,6 +306,16 @@ private:
   /// Records the visible projections T(tau) of a symbolic state.
   void recordVisible(const SymbolicState &S, unsigned Round);
 
+  /// Generation-based cache eviction, run only at serial round
+  /// boundaries (end of advance(), before the bound increments): while
+  /// the retained saturations exceed MaxCacheBytes, drop the ones with
+  /// the oldest LastUsed stamp — never one touched in the round just
+  /// committed — compacting SharedSats and Transactions in index order
+  /// and rebuilding the SatCache.  Everything here is a deterministic
+  /// function of serially committed state, so the eviction schedule is
+  /// bit-identical at any `--jobs` (pinned by ParallelDeterminismTest).
+  void evictSaturations();
+
   /// Per-thread top set of an interned stack language (bottom marker
   /// reported as EpsSym); cached densely by id.  The returned reference
   /// lives inside TopsCache[Thread] and is invalidated by a later
@@ -320,6 +357,16 @@ private:
   std::vector<FlatMap<DfaId, uint32_t>> SatCache;
   std::vector<SharedSat> SharedSats;
   std::vector<Transaction> Transactions;
+
+  /// Logical bytes per packed visible entry (word + first-seen round).
+  static constexpr uint64_t VisibleEntryBytes = 16;
+  /// Out-of-line language-id storage per stored state (nonzero only
+  /// when the thread count exceeds the SmallVec inline capacity).
+  uint64_t PerStateExtraBytes = 0;
+  /// Running byte counts of the retained saturations and transaction
+  /// records (kept incrementally so memoryUsage() is O(1)).
+  uint64_t SatBytes = 0;
+  uint64_t TrBytes = 0;
 
   /// Parallel execution (null on the serial path).
   exec::ThreadPool *Pool = nullptr;

@@ -19,6 +19,8 @@
 #include <optional>
 #include <string>
 
+#include "support/Limits.h"
+
 namespace cuba {
 
 /// Overall outcome of one verification run.
@@ -36,6 +38,8 @@ struct RunResult {
   std::optional<unsigned> ConvergedAt;
   /// True when the run stopped on the resource budget.
   bool Exhausted = false;
+  /// Which budget axis stopped the run (None unless Exhausted).
+  ExhaustKind ExhaustedBy = ExhaustKind::None;
   /// Largest context bound whose observation was fully computed.
   unsigned KMax = 0;
   /// Number of (global or symbolic) states stored at the end of the run.

@@ -47,6 +47,15 @@ std::vector<VisibleState> cuba::computeZ(const Cpds &C,
   FirstVisit(Init);
   Queue.push_back(std::move(Init));
 
+  // Logical footprint of the exploration: the result buffer plus the
+  // membership structure.  computeZ is serial, so charging live is safe.
+  auto LiveBytes = [&]() -> uint64_t {
+    uint64_t Seen = Packer.packable()
+                        ? PackedSeen.memoryBytes()
+                        : WideSeen.size() * (sizeof(VisibleState) + 16);
+    return Queue.size() * sizeof(VisibleState) + Seen;
+  };
+
   std::vector<VisibleState> Succs;
   for (size_t Head = 0; Head < Queue.size(); ++Head) {
     for (unsigned I = 0; I < C.numThreads(); ++I) {
@@ -55,6 +64,8 @@ std::vector<VisibleState> cuba::computeZ(const Cpds &C,
       C.abstractSuccessors(Queue[Head], I, Succs);
       if (Limits && !Limits->chargeStep(Succs.size() + 1))
         return {}; // Budget exhausted: no usable overapproximation.
+      if (Limits && !Limits->checkMemory(LiveBytes()))
+        return {};
       for (VisibleState &S : Succs) {
         if (!FirstVisit(S))
           continue;

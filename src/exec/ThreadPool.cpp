@@ -11,6 +11,7 @@
 #include <cassert>
 #include <cstdlib>
 
+#include "support/FaultInject.h"
 #include "support/StringUtils.h"
 
 using namespace cuba;
@@ -121,6 +122,11 @@ size_t ThreadPool::participate(unsigned Worker, const TaskRef &Fn,
     if (T >= NumTasks)
       break;
     try {
+      // Worker-point probe: an injected throw takes the exact path a
+      // real task exception would (recordException below, then the
+      // deterministic smallest-task-index rethrow in run()).
+      if (fault::fire(fault::Point::Worker))
+        throw fault::InjectedFault();
       Fn(Worker, T);
     } catch (...) {
       recordException(T);
@@ -188,8 +194,13 @@ void ThreadPool::run(size_t N, TaskRef F) {
   if (N == 1 || Workers.empty() || Nested) {
     unsigned Worker = Nested ? CurrentParticipant.Worker : 0;
     ParticipantScope Scope(this, Worker);
-    for (size_t T = 0; T < N; ++T)
+    for (size_t T = 0; T < N; ++T) {
+      // Same probe as participate(), so the Worker fault point also
+      // covers inline (single-task / nested / workerless) batches.
+      if (fault::fire(fault::Point::Worker))
+        throw fault::InjectedFault();
       F(Worker, T);
+    }
     return;
   }
 

@@ -7,6 +7,8 @@
 
 #include "fa/DfaStore.h"
 
+#include "support/FaultInject.h"
+
 using namespace cuba;
 
 DfaId DfaStore::intern(CanonicalDfa D) {
@@ -20,7 +22,10 @@ DfaId DfaStore::intern(CanonicalDfa D, uint64_t Hash) {
       Index.find(Hash, Hashes, [&](uint32_t Id) { return Dfas[Id] == D; });
   if (Found != UINT32_MAX)
     return Found;
+  fault::checkAlloc();
   DfaId Id = static_cast<DfaId>(Dfas.size());
+  TableBytes += static_cast<uint64_t>(D.Table.size()) * sizeof(uint32_t) +
+                D.Accepting.size();
   Dfas.push_back(std::move(D));
   Hashes.push_back(Hash);
   Index.insert(Hash, Id, Hashes);

@@ -62,10 +62,21 @@ public:
   /// The cached structural hash of \p Id (computed once at interning).
   uint64_t hashOf(DfaId Id) const { return Hashes[Id]; }
 
+  /// Logical footprint: per-DFA table bytes (a running counter updated
+  /// on intern, so this is O(1)) plus hashes and intern index.  All
+  /// terms are deterministic functions of the interned set.
+  uint64_t memoryBytes() const {
+    return TableBytes +
+           static_cast<uint64_t>(Dfas.size()) *
+               (sizeof(CanonicalDfa) + sizeof(uint64_t)) +
+           Index.memoryBytes();
+  }
+
 private:
   std::vector<CanonicalDfa> Dfas;
   std::vector<uint64_t> Hashes;
   InternIndex Index;
+  uint64_t TableBytes = 0;
 };
 
 } // namespace cuba

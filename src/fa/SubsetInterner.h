@@ -26,6 +26,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "support/FaultInject.h"
 #include "support/FlatHash.h"
 
 namespace cuba::detail {
@@ -60,12 +61,21 @@ public:
     });
     if (Found != UINT32_MAX)
       return {Found, false};
+    fault::checkAlloc();
     uint32_t Id = numSubsets();
     Pool.insert(Pool.end(), Subset.begin(), Subset.end());
     Off.push_back(static_cast<uint32_t>(Pool.size()));
     Hashes.push_back(H);
     Index.insert(H, Id, Hashes);
     return {Id, true};
+  }
+
+  /// Logical footprint of the pool, offsets, hashes, and probe table.
+  uint64_t memoryBytes() const {
+    return (static_cast<uint64_t>(Pool.size()) + Off.size()) *
+               sizeof(uint32_t) +
+           static_cast<uint64_t>(Hashes.size()) * sizeof(uint64_t) +
+           Index.memoryBytes();
   }
 
 private:

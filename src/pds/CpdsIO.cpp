@@ -11,6 +11,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "support/FaultInject.h"
 #include "support/StringUtils.h"
 
 using namespace cuba;
@@ -436,6 +437,11 @@ ErrorOr<CpdsFile> cuba::parseCpds(std::string_view Text) {
 
 ErrorOr<CpdsFile> cuba::parseCpdsFile(const std::string &Path) {
   // No path in the message: callers (the CLI) prefix the input path.
+  // The Io fault point models an unreadable file; it takes the ordinary
+  // ErrorOr path, so injected I/O failures exercise exactly the
+  // diagnostics a real one would.
+  if (fault::fire(fault::Point::Io))
+    return Error("injected I/O fault");
   std::FILE *F = std::fopen(Path.c_str(), "rb");
   if (!F)
     return Error("cannot open file");

@@ -27,6 +27,7 @@
 #define CUBA_PDS_STACKSTORE_H
 
 #include "pds/State.h"
+#include "support/FaultInject.h"
 #include "support/FlatHash.h"
 #include "support/SmallVec.h"
 
@@ -49,6 +50,9 @@ public:
   /// The stack \p Top pushed onto \p Rest.
   StackId push(StackId Rest, Sym Top) {
     assert(Top != EpsSym && "cannot push the empty word");
+    // Probe before any mutation so an injected failure cannot leave a
+    // torn intern entry behind.
+    fault::checkAlloc();
     uint64_t Key = (static_cast<uint64_t>(Top) << 32) | Rest;
     auto [Slot, New] = Intern.tryEmplace(Key, 0);
     if (New) {
@@ -56,6 +60,13 @@ public:
       Nodes.push_back({Top, Rest});
     }
     return *Slot;
+  }
+
+  /// Logical footprint: node array plus intern index, both deterministic
+  /// functions of the interned-node count.
+  uint64_t memoryBytes() const {
+    return static_cast<uint64_t>(Nodes.size()) * sizeof(Node) +
+           Intern.memoryBytes();
   }
 
   /// The stack below the top of \p W.

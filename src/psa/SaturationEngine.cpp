@@ -119,10 +119,24 @@ public:
     }
   }
 
+  /// Logical footprint of the in-flight saturation: the relation under
+  /// construction plus the worklist bookkeeping that grows with it.  A
+  /// pure function of the pops processed so far, so a budget that trips
+  /// on it trips at the same pop no matter who runs the saturation --
+  /// the engine's live tracker or a parallel speculation's recorder.
+  uint64_t localBytes() const {
+    return Sat.memoryBytes() + Pending.size() * sizeof(uint64_t) +
+           InQueue.size() + TransIndex.memoryBytes();
+  }
+
   SharedSaturationResult run() {
     static Statistic PopCounter("saturation.pops");
     while (!Worklist.empty()) {
       if (Limits && !Limits->chargeStep()) {
+        Complete = false;
+        break;
+      }
+      if (Limits && !Limits->checkMemory(localBytes())) {
         Complete = false;
         break;
       }

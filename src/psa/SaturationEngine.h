@@ -96,6 +96,17 @@ public:
   /// directly via canonicalizeNfa.
   std::vector<std::pair<QState, CanonicalDfa>> extractRoot(QState Root) const;
 
+  /// Logical footprint of the retained relation: flat transition arrays,
+  /// mask rows, and base acceptance — deterministic in the transition
+  /// count.  This is what the symbolic engine's cache-retention budget
+  /// sums over.
+  uint64_t memoryBytes() const {
+    return static_cast<uint64_t>(TFrom.size()) *
+               (2 * sizeof(uint32_t) + sizeof(Sym)) +
+           static_cast<uint64_t>(Masks.size()) * sizeof(uint64_t) +
+           AcceptBase.size();
+  }
+
 private:
   friend class SharedSaturator;
 

@@ -1,0 +1,95 @@
+//===-- support/FaultInject.cpp - Deterministic fault injection -----------===//
+//
+// Part of the CUBA project, an implementation of the PLDI 2018 paper
+// "CUBA: Interprocedural Context-UnBounded Analysis of Concurrent Programs".
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/FaultInject.h"
+
+#include <cstdlib>
+#include <string>
+
+using namespace cuba;
+using namespace cuba::fault;
+
+namespace cuba {
+namespace fault {
+namespace detail {
+std::atomic<bool> Armed{false};
+} // namespace detail
+} // namespace fault
+} // namespace cuba
+
+namespace {
+
+struct State {
+  std::atomic<uint64_t> Counters[NumPoints];
+  std::atomic<bool> Fired{false};
+  Point ArmedPoint = Point::Alloc;
+  uint64_t ArmedIndex = 0;
+};
+
+State G;
+
+} // namespace
+
+bool fault::detail::fireSlow(Point P) {
+  // Every probe is counted (so sweeps can size their index range from a
+  // disaster-free run), but only the armed point can fail.
+  uint64_t Seen =
+      G.Counters[static_cast<unsigned>(P)].fetch_add(1, std::memory_order_relaxed);
+  if (P != G.ArmedPoint || Seen != G.ArmedIndex)
+    return false;
+  // Fire at most once per arm(): a handler that re-enters the probed
+  // site while unwinding must not be re-failed.
+  bool Expected = false;
+  return G.Fired.compare_exchange_strong(Expected, true,
+                                         std::memory_order_relaxed);
+}
+
+void fault::arm(Point P, uint64_t Index) {
+  detail::Armed.store(false, std::memory_order_relaxed);
+  resetCounters();
+  G.Fired.store(false, std::memory_order_relaxed);
+  G.ArmedPoint = P;
+  G.ArmedIndex = Index;
+  detail::Armed.store(true, std::memory_order_relaxed);
+}
+
+void fault::disarm() {
+  detail::Armed.store(false, std::memory_order_relaxed);
+}
+
+void fault::resetCounters() {
+  for (auto &C : G.Counters)
+    C.store(0, std::memory_order_relaxed);
+}
+
+uint64_t fault::probes(Point P) {
+  return G.Counters[static_cast<unsigned>(P)].load(std::memory_order_relaxed);
+}
+
+bool fault::fired() { return G.Fired.load(std::memory_order_relaxed); }
+
+void fault::armFromEnv() {
+  const char *PointEnv = std::getenv("CUBA_FAULT_POINT");
+  if (!PointEnv || !*PointEnv)
+    return;
+  std::string Name(PointEnv);
+  Point P;
+  if (Name == "alloc")
+    P = Point::Alloc;
+  else if (Name == "step")
+    P = Point::Step;
+  else if (Name == "worker")
+    P = Point::Worker;
+  else if (Name == "io")
+    P = Point::Io;
+  else
+    return;
+  uint64_t Index = 0;
+  if (const char *AtEnv = std::getenv("CUBA_FAULT_AT"))
+    Index = std::strtoull(AtEnv, nullptr, 10);
+  arm(P, Index);
+}

@@ -1,0 +1,117 @@
+//===-- support/FaultInject.h - Deterministic fault injection ---*- C++ -*-===//
+//
+// Part of the CUBA project, an implementation of the PLDI 2018 paper
+// "CUBA: Interprocedural Context-UnBounded Analysis of Concurrent Programs".
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A step-indexed fault-injection harness: instrumented sites probe
+/// fire(Point) and the harness makes exactly one probe fail — the Nth
+/// probe of the armed point, counted from arming.  Because the sweep
+/// tests run serially and the probe counters advance in program order,
+/// "inject at step N" is a deterministic, reproducible coordinate: the
+/// same N fails the same site on every run.
+///
+/// Points:
+///   Alloc  — arena/store growth (checkAlloc() throws InjectedFault,
+///            which is-a std::bad_alloc, so the handler under test is
+///            the same one a real allocation failure would reach).
+///   Step   — budget accounting (LimitTracker::chargeStep marks the run
+///            exhausted with ExhaustKind::Injected; flows the normal
+///            truncation path, no exception).
+///   Worker — thread-pool task bodies (throws InjectedFault inside a
+///            worker; exercises the pool's deterministic rethrow).
+///   Io     — file reads / frontend input (the site returns its normal
+///            error value, e.g. an ErrorOr error).
+///
+/// The disarmed cost is one relaxed atomic load per probe.  Arming is
+/// process-global and intended for single-threaded test harnesses; the
+/// only cross-thread point (Worker) uses an atomic counter, so the probe
+/// itself is race-free even if which worker observes the Nth probe is
+/// schedule-dependent.
+///
+/// Environment configuration (read by fault::armFromEnv(), which the CLI
+/// calls at startup):
+///   CUBA_FAULT_POINT = alloc | step | worker | io
+///   CUBA_FAULT_AT    = N   (0-based probe index; default 0)
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CUBA_SUPPORT_FAULTINJECT_H
+#define CUBA_SUPPORT_FAULTINJECT_H
+
+#include <atomic>
+#include <cstdint>
+#include <new>
+
+namespace cuba {
+namespace fault {
+
+enum class Point : unsigned { Alloc, Step, Worker, Io };
+inline constexpr unsigned NumPoints = 4;
+
+/// Thrown by checkAlloc() and the Worker point.  Derives from
+/// std::bad_alloc so the catch clauses under test are exactly the ones
+/// a real allocation failure would reach.
+class InjectedFault : public std::bad_alloc {
+public:
+  const char *what() const noexcept override {
+    return "cuba: injected fault";
+  }
+};
+
+namespace detail {
+extern std::atomic<bool> Armed;
+/// Advances the probe counter for \p P; true when this probe is the one
+/// configured to fail.  Out of line — only reached while armed.
+bool fireSlow(Point P);
+} // namespace detail
+
+/// True while some point is armed.  One relaxed load; this is the whole
+/// disarmed cost of a probe.
+inline bool armed() { return detail::Armed.load(std::memory_order_relaxed); }
+
+/// Probe: true exactly when the armed point's configured index is hit.
+inline bool fire(Point P) { return armed() && detail::fireSlow(P); }
+
+/// Probe for allocation sites: throws InjectedFault instead of returning.
+inline void checkAlloc() {
+  if (fire(Point::Alloc))
+    throw InjectedFault();
+}
+
+/// Arms point \p P to fail its \p Index-th probe (0-based), resetting
+/// all probe counters.
+void arm(Point P, uint64_t Index);
+
+/// Disarms everything and resets counters.  Probe tallies survive until
+/// the next arm()/reset(), so a sweep can first count a run's probes.
+void disarm();
+
+/// Number of probes point \p P has seen since the last arm()/reset().
+uint64_t probes(Point P);
+
+/// Resets probe counters without changing the armed state.
+void resetCounters();
+
+/// Whether the armed fault has fired yet (at most once per arm()).
+bool fired();
+
+/// Reads CUBA_FAULT_POINT / CUBA_FAULT_AT and arms accordingly; no-op
+/// when the variables are unset or unrecognized.
+void armFromEnv();
+
+/// RAII arming for tests: arms on construction, disarms on destruction.
+class ScopedArm {
+public:
+  ScopedArm(Point P, uint64_t Index) { arm(P, Index); }
+  ~ScopedArm() { disarm(); }
+  ScopedArm(const ScopedArm &) = delete;
+  ScopedArm &operator=(const ScopedArm &) = delete;
+};
+
+} // namespace fault
+} // namespace cuba
+
+#endif // CUBA_SUPPORT_FAULTINJECT_H

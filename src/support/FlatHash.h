@@ -149,6 +149,22 @@ public:
         Fn(Keys[I], Vals[I]);
   }
 
+  /// Like forEach, but the value is mutable.  Keys stay const: rewriting
+  /// a key in place would desynchronise it from its probe position.
+  template <typename Callback> void forEachMut(Callback Fn) {
+    for (size_t I = 0; I < Ctrl.size(); ++I)
+      if (Ctrl[I] == Occupied)
+        Fn(Keys[I], Vals[I]);
+  }
+
+  /// Logical footprint of the backing arrays.  Capacity is a
+  /// deterministic function of the insertion count (growIfNeeded depends
+  /// only on Size), so this figure is reproducible across runs and
+  /// usable for the MaxBytes budget.
+  uint64_t memoryBytes() const {
+    return static_cast<uint64_t>(Ctrl.size()) * (1 + sizeof(K) + sizeof(V));
+  }
+
 private:
   enum : uint8_t { Empty = 0, Occupied = 1 };
 
@@ -242,6 +258,12 @@ public:
     }
   }
 
+  /// Logical footprint of the slot array (deterministic: growth depends
+  /// only on the number of interned ids).
+  uint64_t memoryBytes() const {
+    return static_cast<uint64_t>(Slots.size()) * sizeof(uint32_t);
+  }
+
 private:
   void place(uint64_t H, uint32_t Id) {
     size_t Mask = Slots.size() - 1;
@@ -271,6 +293,9 @@ public:
   template <typename Callback> void forEach(Callback Fn) const {
     M.forEach([&](const K &Key, const Unit &) { Fn(Key); });
   }
+
+  /// Logical footprint of the backing arrays (see FlatMap::memoryBytes).
+  uint64_t memoryBytes() const { return M.memoryBytes(); }
 
 private:
   struct Unit {};

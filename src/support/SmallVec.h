@@ -57,6 +57,9 @@ public:
   uint32_t size() const { return Count; }
   bool empty() const { return Count == 0; }
 
+  /// Elements held without spilling to the heap.
+  static constexpr uint32_t inlineCapacity() { return N; }
+
   T *data() { return Count <= N ? Inline : Heap; }
   const T *data() const { return Count <= N ? Inline : Heap; }
 

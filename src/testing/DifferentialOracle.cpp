@@ -111,8 +111,11 @@ cuba::testing::runDifferentialOracle(const CpdsFile &File,
         Exp.advance() == CbaEngine::RoundStatus::Exhausted;
     Rep.SymbolicExhausted =
         Sym.advance() == SymbolicEngine::RoundStatus::Exhausted;
-    if (Rep.ExplicitExhausted || Rep.SymbolicExhausted)
+    if (Rep.ExplicitExhausted || Rep.SymbolicExhausted) {
+      Rep.ExplicitReason = Exp.limits().reason();
+      Rep.SymbolicReason = Sym.limits().reason();
       break;
+    }
     ++K;
   }
   if (ExpBug != SymBug)

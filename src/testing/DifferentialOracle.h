@@ -81,6 +81,11 @@ struct OracleReport {
   unsigned KCompared = 0;
   bool ExplicitExhausted = false;
   bool SymbolicExhausted = false;
+  /// Which budget axis stopped each engine (None when it was not
+  /// stopped).  Carried so fuzz reports can say *why* an instance was
+  /// truncated (steps vs memory vs states).
+  ExhaustKind ExplicitReason = ExhaustKind::None;
+  ExhaustKind SymbolicReason = ExhaustKind::None;
 
   bool ok() const { return Mismatches.empty(); }
   /// All mismatch lines joined for diagnostics.

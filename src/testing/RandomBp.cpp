@@ -7,6 +7,7 @@
 
 #include "testing/RandomBp.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 
@@ -257,23 +258,77 @@ private:
     return Body;
   }
 
-  /// Labels up to two top-level statements and appends a guarded
-  /// nondeterministic multi-target back-edge: `if (*) { goto L0[, L1]; }`.
-  void addGotoLoop(std::vector<StmtPtr> &Body) {
+  /// Gathers every statement a label may sit on and every body a jump
+  /// may be inserted into.  If/While arms are included (labels inside an
+  /// arm give jumps *into* it, jump sites inside give jumps *out*);
+  /// atomic bodies are excluded entirely -- a jump across the lock
+  /// boundary would unbalance the synthetic lock acquisition.  While
+  /// statements carry no else arm in the surface syntax, so only If
+  /// else-bodies are insertable.
+  void collectGotoSites(std::vector<StmtPtr> &Body, std::vector<Stmt *> &Sites,
+                        std::vector<std::vector<StmtPtr> *> &Bodies) {
+    Bodies.push_back(&Body);
+    for (StmtPtr &S : Body) {
+      Sites.push_back(S.get());
+      if (S->Kind == StmtKind::While)
+        collectGotoSites(S->Body, Sites, Bodies);
+      if (S->Kind == StmtKind::If) {
+        collectGotoSites(S->Body, Sites, Bodies);
+        collectGotoSites(S->ElseBody, Sites, Bodies);
+      }
+    }
+  }
+
+  /// Sprinkles unstructured control flow over a generated body: labels
+  /// on up to three statements anywhere outside atomics (possibly one
+  /// that no jump ever targets -- unreachable labels must stay legal),
+  /// then one or two guarded nondeterministic multi-target jumps
+  /// `if (*) { goto ...; }` at random positions.  A jump inserted before
+  /// its targets is a forward edge, after them a back edge, and label
+  /// and jump positions in different branch arms give jumps into and
+  /// out of arms.  Every jump stays guarded so back edges cannot force
+  /// divergence on their own.
+  void addGotos(std::vector<StmtPtr> &Body) {
     if (Body.empty() || !Rng.chance(O.GotoLoopProb))
       return;
-    Body.front()->Label = "L0";
-    std::vector<std::string> Targets = {"L0"};
-    if (Body.size() >= 3 && Rng.chance(0.5)) {
-      Body[Body.size() / 2]->Label = "L1";
-      Targets.push_back("L1");
+    std::vector<Stmt *> Sites;
+    std::vector<std::vector<StmtPtr> *> Bodies;
+    collectGotoSites(Body, Sites, Bodies);
+
+    unsigned NLabels =
+        1 + static_cast<unsigned>(
+                Rng.below(std::min<uint64_t>(3, Sites.size())));
+    std::vector<std::string> Labels;
+    for (unsigned I = 0; I < NLabels; ++I) {
+      Stmt *S = Sites[Rng.below(Sites.size())];
+      if (!S->Label.empty())
+        continue; // Re-picked a labeled site: just place fewer labels.
+      S->Label = "L" + std::to_string(Labels.size());
+      Labels.push_back(S->Label);
     }
-    auto Jump = mkStmt(StmtKind::Goto);
-    Jump->GotoTargets = std::move(Targets);
-    auto Guard = mkStmt(StmtKind::If);
-    Guard->Cond = mkNondet();
-    Guard->Body.push_back(std::move(Jump));
-    Body.push_back(std::move(Guard));
+
+    // Sometimes withhold the last label from the target pool, leaving it
+    // unreferenced.
+    std::vector<std::string> Targets = Labels;
+    if (Targets.size() > 1 && Rng.chance(0.4))
+      Targets.pop_back();
+
+    unsigned NJumps = Rng.chance(0.4) ? 2 : 1;
+    for (unsigned J = 0; J < NJumps; ++J) {
+      std::vector<std::string> Picked;
+      for (const std::string &L : Targets)
+        if (Rng.chance(0.6))
+          Picked.push_back(L);
+      if (Picked.empty())
+        Picked.push_back(Targets[Rng.below(Targets.size())]);
+      auto Jump = mkStmt(StmtKind::Goto);
+      Jump->GotoTargets = std::move(Picked);
+      auto Guard = mkStmt(StmtKind::If);
+      Guard->Cond = mkNondet();
+      Guard->Body.push_back(std::move(Jump));
+      std::vector<StmtPtr> &Dst = *Bodies[Rng.below(Bodies.size())];
+      Dst.insert(Dst.begin() + Rng.below(Dst.size() + 1), std::move(Guard));
+    }
   }
 
   Function genFunction(const Signature &Sig, bool IsEntry) {
@@ -295,7 +350,7 @@ private:
       Scope.push_back(V);
 
     F.Body = genBody(0, /*InAtomic=*/false, Sig);
-    addGotoLoop(F.Body);
+    addGotos(F.Body);
     if (Sig.ReturnsBool) {
       auto Ret = mkStmt(StmtKind::Return);
       Ret->RetValue = genExpr(O.MaxExprDepth);
@@ -370,7 +425,7 @@ RandomBpOptions cuba::testing::bpShapeOptions(uint64_t Seed) {
     O.CallProb = 0.05;
     O.BranchProb = 0.1;
     break;
-  case 4: // Goto loops: unstructured control flow, no calls.
+  case 4: // Gotos everywhere: unstructured control flow, no calls.
     O.GotoLoopProb = 1.0;
     O.CallProb = 0;
     O.BranchProb = 0.15;

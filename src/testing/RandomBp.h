@@ -60,8 +60,10 @@ struct RandomBpOptions {
   double ParallelAssignProb = 0.25;
   /// Probability that a parallel assignment carries `constrain e`.
   double ConstrainProb = 0.3;
-  /// Probability that a function gets labelled statements plus a
-  /// nondeterministic multi-target back-edge `goto`.
+  /// Probability that a function gets unstructured control flow: labels
+  /// anywhere outside atomics (some possibly untargeted) plus guarded
+  /// nondeterministic multi-target `goto`s -- back edges, forward edges,
+  /// and jumps into and out of branch arms.
   double GotoLoopProb = 0.25;
 };
 

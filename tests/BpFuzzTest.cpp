@@ -102,6 +102,52 @@ TEST(BpFuzz, PrintParsePrintFixpoint) {
   }
 }
 
+// Adversarial control flow: force unstructured gotos into EVERY
+// generated function and run the full pipeline oracle.  The widened
+// generator places labels anywhere outside atomics (branch arms
+// included, some labels deliberately untargeted) and emits guarded
+// multi-target jumps, so this sweep covers back edges, forward edges,
+// and jumps into and out of branch arms.  Structural counters pin the
+// widening's teeth: the sweep must actually contain multi-target
+// jumps and labels inside branch arms, or a generator regression
+// would quietly turn this into a structured-control-flow test.
+TEST(BpFuzz, GotoHeavyProgramsSurviveThePipeline) {
+  unsigned WithGoto = 0, MultiTarget = 0, ArmLabels = 0;
+  auto Walk = [&](auto &&Self, const std::vector<bp::StmtPtr> &Body,
+                  bool InArm) -> void {
+    for (const bp::StmtPtr &S : Body) {
+      if (S->Kind == bp::StmtKind::Goto) {
+        ++WithGoto;
+        if (S->GotoTargets.size() > 1)
+          ++MultiTarget;
+      }
+      if (InArm && !S->Label.empty())
+        ++ArmLabels;
+      bool Arm = S->Kind == bp::StmtKind::If || S->Kind == bp::StmtKind::While;
+      Self(Self, S->Body, InArm || Arm);
+      Self(Self, S->ElseBody, true);
+    }
+  };
+  for (uint64_t I = 0; I < 40; ++I) {
+    uint64_t Seed = baseSeed() + I;
+    RandomBpOptions O = bpShapeOptions(Seed);
+    O.GotoLoopProb = 1.0;
+    bp::Program P = generateRandomBp(Seed, O);
+    for (const bp::Function &F : P.Functions)
+      Walk(Walk, F.Body, false);
+    BpOracleOptions OO = quickOracle();
+    BpOracleReport Rep = runBpOracle(P, OO);
+    EXPECT_TRUE(Rep.ok()) << "seed " << Seed << "\n"
+                          << Rep.str() << "\nprogram:\n"
+                          << Rep.Source;
+    if (::testing::Test::HasFailure())
+      return;
+  }
+  EXPECT_GT(WithGoto, 40u);
+  EXPECT_GT(MultiTarget, 5u);
+  EXPECT_GT(ArmLabels, 5u);
+}
+
 // The translate-level mutation check: a simulated translation bug
 // (the first assignment rule is dropped from the second compile) must
 // trip the oracle on any program that assigns.  This pins the

@@ -48,7 +48,7 @@ struct ExplicitTrace {
   std::vector<size_t> Reached, Visible;
   std::vector<std::vector<GlobalState>> Frontiers;
   std::vector<std::pair<VisibleState, unsigned>> FirstSeen;
-  uint64_t Steps = 0, States = 0;
+  uint64_t Steps = 0, States = 0, PeakBytes = 0;
 
   bool operator==(const ExplicitTrace &) const = default;
 };
@@ -71,19 +71,24 @@ ExplicitTrace runExplicit(const Cpds &C, const ResourceLimits &L,
   T.FirstSeen = E.visibleFirstSeen();
   T.Steps = E.limits().steps();
   T.States = E.limits().states();
+  T.PeakBytes = E.limits().peakBytes();
   return T;
 }
 
 /// Everything observable about a symbolic run, round by round.  The
 /// per-round language-arena size pins DfaId assignment: ids are dense
 /// and append-only, so equal counts at every round plus equal visible
-/// sets mean the interning schedule matched.
+/// sets mean the interning schedule matched.  The per-round saturation
+/// count and retained-cache footprint pin the eviction schedule: evicting
+/// a different set (or at a different round) at some job count would
+/// diverge here even if the verdicts happened to agree.
 struct SymbolicTrace {
   std::vector<int> Statuses;
-  std::vector<size_t> SymStates, Visible, Languages;
+  std::vector<size_t> SymStates, Visible, Languages, Saturations;
+  std::vector<uint64_t> CacheBytes;
   std::vector<std::vector<VisibleState>> NewPerRound;
   std::vector<std::pair<VisibleState, unsigned>> FirstSeen;
-  uint64_t Steps = 0, States = 0;
+  uint64_t Steps = 0, States = 0, PeakBytes = 0;
 
   bool operator==(const SymbolicTrace &) const = default;
 };
@@ -99,6 +104,8 @@ SymbolicTrace runSymbolic(const Cpds &C, const ResourceLimits &L,
     T.SymStates.push_back(E.symbolicStateCount());
     T.Visible.push_back(E.visibleSize());
     T.Languages.push_back(E.languageStore().size());
+    T.Saturations.push_back(E.saturationCount());
+    T.CacheBytes.push_back(E.retainedSatBytes());
     T.NewPerRound.push_back(E.newVisibleThisRound());
     if (Exhausted)
       break;
@@ -106,6 +113,7 @@ SymbolicTrace runSymbolic(const Cpds &C, const ResourceLimits &L,
   T.FirstSeen = E.visibleFirstSeen();
   T.Steps = E.limits().steps();
   T.States = E.limits().states();
+  T.PeakBytes = E.limits().peakBytes();
   return T;
 }
 
@@ -120,6 +128,7 @@ void expectSameExplicit(const ExplicitTrace &Serial, const ExplicitTrace &Par,
       << Tag << " first-seen divergence at seed " << Seed;
   EXPECT_EQ(Serial.Steps, Par.Steps) << Tag << " seed " << Seed;
   EXPECT_EQ(Serial.States, Par.States) << Tag << " seed " << Seed;
+  EXPECT_EQ(Serial.PeakBytes, Par.PeakBytes) << Tag << " seed " << Seed;
 }
 
 void expectSameSymbolic(const SymbolicTrace &Serial, const SymbolicTrace &Par,
@@ -128,12 +137,16 @@ void expectSameSymbolic(const SymbolicTrace &Serial, const SymbolicTrace &Par,
   EXPECT_EQ(Serial.SymStates, Par.SymStates) << Tag << " seed " << Seed;
   EXPECT_EQ(Serial.Visible, Par.Visible) << Tag << " seed " << Seed;
   EXPECT_EQ(Serial.Languages, Par.Languages) << Tag << " seed " << Seed;
+  EXPECT_EQ(Serial.Saturations, Par.Saturations) << Tag << " seed " << Seed;
+  EXPECT_EQ(Serial.CacheBytes, Par.CacheBytes)
+      << Tag << " eviction-schedule divergence at seed " << Seed;
   EXPECT_EQ(Serial.NewPerRound == Par.NewPerRound, true)
       << Tag << " per-round visible divergence at seed " << Seed;
   EXPECT_EQ(Serial.FirstSeen == Par.FirstSeen, true)
       << Tag << " first-seen divergence at seed " << Seed;
   EXPECT_EQ(Serial.Steps, Par.Steps) << Tag << " seed " << Seed;
   EXPECT_EQ(Serial.States, Par.States) << Tag << " seed " << Seed;
+  EXPECT_EQ(Serial.PeakBytes, Par.PeakBytes) << Tag << " seed " << Seed;
 }
 
 class ParallelDeterminismTest : public ::testing::Test {
@@ -227,6 +240,66 @@ TEST_F(ParallelDeterminismTest, PaperModelsMatchAcrossJobCounts) {
                        "model");
     expectSameSymbolic(S1, runSymbolic(File.System, Loose, &Pool8), 0,
                        "model");
+  }
+}
+
+TEST_F(ParallelDeterminismTest, MemoryBudgetMatchesAcrossJobCounts) {
+  // A MaxBytes budget tight enough that many corner-shape instances
+  // exhaust on memory mid-run.  Logical byte accounting is checked only
+  // at serially ordered commit points, so the exhaustion round, the peak
+  // figure, and everything downstream must be bit-identical at any job
+  // count.
+  ResourceLimits MemLimits = FuzzLimits;
+  MemLimits.MaxBytes = 64 * 1024;
+  for (uint64_t Seed = 1; Seed <= 40; ++Seed) {
+    CpdsFile File = cuba::testing::generateRandomCpds(
+        Seed, cuba::testing::cornerShapeOptions(Seed));
+    ExplicitTrace E1 = runExplicit(File.System, MemLimits, nullptr);
+    expectSameExplicit(E1, runExplicit(File.System, MemLimits, &Pool2), Seed,
+                       "mem");
+    expectSameExplicit(E1, runExplicit(File.System, MemLimits, &Pool8), Seed,
+                       "mem");
+    SymbolicTrace S1 = runSymbolic(File.System, MemLimits, nullptr);
+    expectSameSymbolic(S1, runSymbolic(File.System, MemLimits, &Pool2), Seed,
+                       "mem");
+    expectSameSymbolic(S1, runSymbolic(File.System, MemLimits, &Pool8), Seed,
+                       "mem");
+    if (HasFailure())
+      break;
+  }
+}
+
+TEST_F(ParallelDeterminismTest, EvictionScheduleMatchesAcrossJobCounts) {
+  // A cache-retention budget small enough that the symbolic engine
+  // evicts saturations at almost every round boundary.  The per-round
+  // saturation counts and retained-cache footprints in the trace pin the
+  // eviction schedule itself, and re-running after eviction exercises
+  // the cache-rebuild (SatCache remap) path at every job count.
+  ResourceLimits EvictLimits = FuzzLimits;
+  EvictLimits.MaxCacheBytes = 2 * 1024;
+  for (uint64_t Seed = 1; Seed <= 40; ++Seed) {
+    CpdsFile File = cuba::testing::generateRandomCpds(
+        Seed, cuba::testing::cornerShapeOptions(Seed));
+    SymbolicTrace S1 = runSymbolic(File.System, EvictLimits, nullptr);
+    expectSameSymbolic(S1, runSymbolic(File.System, EvictLimits, &Pool2),
+                       Seed, "evict");
+    expectSameSymbolic(S1, runSymbolic(File.System, EvictLimits, &Pool8),
+                       Seed, "evict");
+    if (HasFailure())
+      break;
+  }
+  // The paper models, deeper and wider than the random corner shapes,
+  // under a budget loose enough to run every round but a cache small
+  // enough to keep evicting.
+  ResourceLimits ModelEvict{200'000, 50'000'000, 8, 0};
+  ModelEvict.MaxCacheBytes = 8 * 1024;
+  for (CpdsFile File :
+       {models::buildFig1(), models::buildBluetooth(3, 2, 2)}) {
+    SymbolicTrace S1 = runSymbolic(File.System, ModelEvict, nullptr);
+    expectSameSymbolic(S1, runSymbolic(File.System, ModelEvict, &Pool2), 0,
+                       "model-evict");
+    expectSameSymbolic(S1, runSymbolic(File.System, ModelEvict, &Pool8), 0,
+                       "model-evict");
   }
 }
 

@@ -7,11 +7,15 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <thread>
+
 #include "core/Algorithms.h"
 #include "core/SymbolicAlgorithms.h"
 #include "exec/ThreadPool.h"
 #include "models/Models.h"
 #include "support/ErrorOr.h"
+#include "support/FaultInject.h"
 #include "support/Hashing.h"
 #include "support/Limits.h"
 #include "support/Statistic.h"
@@ -358,6 +362,110 @@ TEST(Limits, SymbolicEngineExhaustsGracefully) {
   SymbolicRunResult R = runAlg3Symbolic(File.System, File.Property, Opts);
   EXPECT_EQ(R.Run.outcome(), Outcome::ResourceLimit);
   EXPECT_TRUE(R.Run.Exhausted);
+  EXPECT_EQ(R.Run.ExhaustedBy, ExhaustKind::Steps);
+}
+
+// Pin the window-*crossing* time probe: batch charges whose size does
+// not divide 4096 never leave the counter exactly on a window boundary,
+// so a `(Steps & 0xfff) == 0` probe would not fire until the counters
+// happen to align (lcm(5, 4096) = 20480 steps here).  Crossing detection
+// must time out within one window's worth of batch charges.
+TEST(Limits, BatchChargeStillProbesTimeAcrossWindow) {
+  ResourceLimits L = ResourceLimits::unlimited();
+  L.MaxMillis = 1;
+  LimitTracker T(L);
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  // The deadline is already past; the first probe must catch it.  One
+  // window is 4096 steps = 820 charges of 5; allow one extra window.
+  unsigned Charges = 0;
+  while (T.chargeStep(5) && Charges < 2000)
+    ++Charges;
+  EXPECT_LT(Charges, 1700u) << "time probe skipped by batch charges";
+  EXPECT_TRUE(T.exhausted());
+  EXPECT_EQ(T.reason(), ExhaustKind::Time);
+}
+
+TEST(Limits, MemoryBudgetIsStickyAndRecordsPeak) {
+  ResourceLimits L = ResourceLimits::unlimited();
+  L.MaxBytes = 1000;
+  LimitTracker T(L);
+  EXPECT_TRUE(T.checkMemory(400));
+  EXPECT_TRUE(T.checkMemory(900));
+  EXPECT_EQ(T.peakBytes(), 900u);
+  EXPECT_FALSE(T.checkMemory(1001));
+  EXPECT_EQ(T.peakBytes(), 1001u);
+  // Sticky: shrinking the footprint does not un-exhaust the run, and
+  // every other charge now fails too.
+  EXPECT_FALSE(T.checkMemory(10));
+  EXPECT_FALSE(T.chargeStep());
+  EXPECT_FALSE(T.chargeState());
+  EXPECT_TRUE(T.exhausted());
+  EXPECT_EQ(T.reason(), ExhaustKind::Memory);
+}
+
+TEST(Limits, MemoryBudgetHitMidRunReturnsBoundedVerdict) {
+  CpdsFile File = models::buildFig1();
+  RunOptions Opts;
+  Opts.Limits = ResourceLimits::unlimited();
+  Opts.Limits.MaxBytes = 512; // A handful of states already exceeds this.
+  ExplicitCombinedResult E =
+      runExplicitCombined(File.System, File.Property, Opts);
+  EXPECT_EQ(E.Run.outcome(), Outcome::ResourceLimit);
+  EXPECT_TRUE(E.Run.Exhausted);
+  EXPECT_EQ(E.Run.ExhaustedBy, ExhaustKind::Memory);
+  SymbolicRunResult S = runAlg3Symbolic(File.System, File.Property, Opts);
+  EXPECT_EQ(S.Run.outcome(), Outcome::ResourceLimit);
+  EXPECT_TRUE(S.Run.Exhausted);
+  EXPECT_EQ(S.Run.ExhaustedBy, ExhaustKind::Memory);
+}
+
+//===----------------------------------------------------------------------===//
+// FaultInject
+//===----------------------------------------------------------------------===//
+
+TEST(FaultInject, DisarmedProbesAreFree) {
+  fault::disarm();
+  EXPECT_FALSE(fault::fire(fault::Point::Alloc));
+  EXPECT_NO_THROW(fault::checkAlloc());
+}
+
+TEST(FaultInject, FiresExactlyAtTheArmedIndexAndOnlyOnce) {
+  fault::ScopedArm Arm(fault::Point::Io, 2);
+  EXPECT_FALSE(fault::fire(fault::Point::Io));   // probe 0
+  EXPECT_FALSE(fault::fire(fault::Point::Alloc)); // other point never fires
+  EXPECT_FALSE(fault::fire(fault::Point::Io));   // probe 1
+  EXPECT_TRUE(fault::fire(fault::Point::Io));    // probe 2: the armed one
+  EXPECT_TRUE(fault::fired());
+  EXPECT_FALSE(fault::fire(fault::Point::Io)); // at most once per arm
+  EXPECT_EQ(fault::probes(fault::Point::Io), 4u);
+  EXPECT_EQ(fault::probes(fault::Point::Alloc), 1u);
+}
+
+TEST(FaultInject, CheckAllocThrowsABadAlloc) {
+  fault::ScopedArm Arm(fault::Point::Alloc, 0);
+  // InjectedFault is-a bad_alloc, so the handler under test is the one a
+  // real allocation failure would reach.
+  EXPECT_THROW(fault::checkAlloc(), std::bad_alloc);
+}
+
+TEST(FaultInject, StepPointFlowsTheNormalTruncationPath) {
+  fault::ScopedArm Arm(fault::Point::Step, 1);
+  LimitTracker T(ResourceLimits::unlimited());
+  EXPECT_TRUE(T.chargeStep()); // probe 0: not yet
+  EXPECT_FALSE(T.chargeStep()); // probe 1: injected exhaustion
+  EXPECT_TRUE(T.exhausted());
+  EXPECT_EQ(T.reason(), ExhaustKind::Injected);
+}
+
+TEST(FaultInject, NeverFiringIndexCountsProbesForSweepSizing) {
+  // A sweep first runs with an unreachable index to tally how many
+  // probes a clean run makes, then replays each index.  Pin the tally
+  // mechanics here.
+  fault::ScopedArm Arm(fault::Point::Worker, UINT64_MAX);
+  for (int I = 0; I < 5; ++I)
+    EXPECT_FALSE(fault::fire(fault::Point::Worker));
+  EXPECT_EQ(fault::probes(fault::Point::Worker), 5u);
+  EXPECT_FALSE(fault::fired());
 }
 
 TEST(Timer, RSSProbesReportPlausibleValues) {

@@ -15,6 +15,8 @@
 ///     --max-states N       stored-state budget (default 2e6)
 ///     --max-steps N        engine-step budget (default 5e7)
 ///     --timeout-ms N       wall-clock budget (default 120000)
+///     --max-mb N           engine-memory budget in MiB (logical bytes;
+///                          default unlimited)
 ///     --jobs N             worker parallelism (default: $CUBA_JOBS, else
 ///                          the hardware concurrency; results are
 ///                          bit-identical for every N)
@@ -27,7 +29,7 @@
 /// (testing/RandomCpds + testing/DifferentialOracle) instead of a file:
 ///
 ///   cuba fuzz [--mode cpds|bp] [--count N] [--seed S] [--max-k K]
-///             [--jobs N] [--emit-cpds]
+///             [--max-mb M] [--jobs N] [--emit-cpds]
 ///
 /// --mode bp swaps the workload for seeded random Boolean programs and
 /// checks the whole frontend pipeline per instance (print/parse
@@ -55,6 +57,7 @@
 #include "core/CubaDriver.h"
 #include "exec/ThreadPool.h"
 #include "pds/CpdsIO.h"
+#include "support/FaultInject.h"
 #include "support/Statistic.h"
 #include "support/StringUtils.h"
 #include "support/Timer.h"
@@ -84,6 +87,9 @@ void printUsage() {
       "  --max-states N       stored-state budget (default 2000000)\n"
       "  --max-steps N        engine-step budget (default 50000000)\n"
       "  --timeout-ms N       wall-clock budget (default 120000)\n"
+      "  --max-mb N           engine-memory budget in MiB, logical bytes\n"
+      "                       (default unlimited; exceeding it reports\n"
+      "                       UNDECIDED (memory), never a crash)\n"
       "  --jobs N             worker parallelism (default: $CUBA_JOBS,\n"
       "                       else hardware concurrency; results are\n"
       "                       bit-identical for every N)\n"
@@ -100,6 +106,7 @@ void printUsage() {
       "  --count N            instances to check (default 200)\n"
       "  --seed S             base seed (default: $CUBA_FUZZ_SEED, else 1)\n"
       "  --max-k N            deepest context bound compared (default 4)\n"
+      "  --max-mb N           per-instance engine-memory budget in MiB\n"
       "  --jobs N             worker parallelism (default: $CUBA_JOBS,\n"
       "                       else hardware concurrency)\n"
       "  --emit-cpds          print each generated instance\n");
@@ -113,6 +120,7 @@ void printUsage() {
 int runFuzz(int Argc, char **Argv) {
   uint64_t Count = 200;
   uint64_t BaseSeed = 1;
+  uint64_t MaxMB = 0;
   unsigned Jobs = 0;
   bool SeedWasSet = false;
   bool EmitCpds = false;
@@ -151,6 +159,9 @@ int runFuzz(int Argc, char **Argv) {
       SeedWasSet = true;
     } else if (Arg == "--max-k" && NumArg(N)) {
       Oracle.MaxK = static_cast<unsigned>(N);
+    } else if (Arg == "--max-mb" && NumArg(N)) {
+      MaxMB = N;
+      Oracle.Limits.MaxBytes = N << 20;
     } else if (Arg == "--jobs" && NumArg(N) && N >= 1) {
       Jobs = static_cast<unsigned>(N);
     } else if (Arg == "--emit-cpds") {
@@ -177,12 +188,21 @@ int runFuzz(int Argc, char **Argv) {
   exec::ThreadPool Pool(Jobs);
   Oracle.Pool = &Pool;
 
+  // Repro lines must replay the whole budget, including the memory axis.
+  std::string MaxMbRepro =
+      MaxMB ? " --max-mb " + std::to_string(MaxMB) : std::string();
+
   std::printf("fuzz: %llu %s instance(s) from base seed %llu, %u job(s)%s\n",
               static_cast<unsigned long long>(Count),
               BpMode ? "Boolean-program" : "CPDS",
               static_cast<unsigned long long>(BaseSeed), Jobs,
               SeedWasSet ? "" : " (set --seed or CUBA_FUZZ_SEED to vary)");
-  uint64_t Exhausted = 0;
+  uint64_t Exhausted = 0, MemExhausted = 0;
+  auto CountExhaustion = [&](const testing::OracleReport &R) {
+    Exhausted += R.ExplicitExhausted || R.SymbolicExhausted;
+    MemExhausted += R.ExplicitReason == ExhaustKind::Memory ||
+                    R.SymbolicReason == ExhaustKind::Memory;
+  };
   for (uint64_t I = 0; I < Count; ++I) {
     // Seeds wrap modulo 2^64 so a base near UINT64_MAX still runs the
     // requested number of instances.
@@ -204,16 +224,17 @@ int runFuzz(int Argc, char **Argv) {
         std::fflush(stdout);
       }
       testing::BpOracleReport Rep = testing::runBpOracle(P, BpOpts);
-      Exhausted += Rep.Engine.ExplicitExhausted || Rep.Engine.SymbolicExhausted;
+      CountExhaustion(Rep.Engine);
       if (!Rep.ok()) {
         std::fprintf(stderr,
                      "fuzz: MISMATCH at seed %llu\n%s\n"
                      "program:\n%s\n"
                      "reproduce: CUBA_FUZZ_SEED=%llu cuba fuzz --mode bp"
-                     " --count 1 --max-k %u --jobs %u\n",
+                     " --count 1 --max-k %u%s --jobs %u\n",
                      static_cast<unsigned long long>(Seed), Rep.str().c_str(),
                      Rep.Source.c_str(),
-                     static_cast<unsigned long long>(Seed), Oracle.MaxK, Jobs);
+                     static_cast<unsigned long long>(Seed), Oracle.MaxK,
+                     MaxMbRepro.c_str(), Jobs);
         return 1;
       }
       continue;
@@ -227,22 +248,26 @@ int runFuzz(int Argc, char **Argv) {
                   printCpds(File).c_str());
     }
     testing::OracleReport Rep = testing::runDifferentialOracle(File, Oracle);
-    Exhausted += Rep.ExplicitExhausted || Rep.SymbolicExhausted;
+    CountExhaustion(Rep);
     if (!Rep.ok()) {
       std::fprintf(stderr,
                    "fuzz: MISMATCH at seed %llu\n%s\n"
                    "instance:\n%s\n"
                    "reproduce: CUBA_FUZZ_SEED=%llu cuba fuzz --count 1"
-                   " --max-k %u --jobs %u\n",
+                   " --max-k %u%s --jobs %u\n",
                    static_cast<unsigned long long>(Seed), Rep.str().c_str(),
                    printCpds(File).c_str(),
-                   static_cast<unsigned long long>(Seed), Oracle.MaxK, Jobs);
+                   static_cast<unsigned long long>(Seed), Oracle.MaxK,
+                   MaxMbRepro.c_str(), Jobs);
       return 1;
     }
   }
-  std::printf("fuzz: all %llu instance(s) agree (%llu budget-truncated)\n",
-              static_cast<unsigned long long>(Count),
-              static_cast<unsigned long long>(Exhausted));
+  std::printf(
+      "fuzz: all %llu instance(s) agree (%llu budget-truncated, %llu by"
+      " memory)\n",
+      static_cast<unsigned long long>(Count),
+      static_cast<unsigned long long>(Exhausted),
+      static_cast<unsigned long long>(MemExhausted));
   return 0;
 }
 
@@ -269,6 +294,8 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Cli) {
       Run.Limits.MaxSteps = N;
     } else if (Arg == "--timeout-ms" && NumArg(N)) {
       Run.Limits.MaxMillis = N;
+    } else if (Arg == "--max-mb" && NumArg(N)) {
+      Run.Limits.MaxBytes = N << 20;
     } else if (Arg == "--jobs" && NumArg(N) && N >= 1) {
       Cli.Jobs = static_cast<unsigned>(N);
     } else if (Arg == "--approach") {
@@ -307,6 +334,9 @@ bool endsWith(std::string_view S, std::string_view Suffix) {
 
 ErrorOr<std::string> readFile(const std::string &Path) {
   // No path in the message: every caller prefixes "cuba: <path>: ".
+  // The Io fault point degrades exactly like an unreadable file.
+  if (fault::fire(fault::Point::Io))
+    return Error("injected I/O fault");
   std::FILE *F = std::fopen(Path.c_str(), "rb");
   if (!F)
     return Error("cannot open file");
@@ -331,7 +361,11 @@ ErrorOr<CpdsFile> loadInput(const std::string &Path) {
 
 } // namespace
 
-int main(int Argc, char **Argv) {
+int main(int Argc, char **Argv) try {
+  // CUBA_FAULT_POINT / CUBA_FAULT_AT arm the deterministic fault
+  // harness for whole-binary robustness sweeps (no-op when unset).
+  fault::armFromEnv();
+
   if (Argc > 1 && std::string_view(Argv[1]) == "fuzz")
     return runFuzz(Argc, Argv);
 
@@ -403,9 +437,13 @@ int main(int Argc, char **Argv) {
       std::printf("trace:\n%s", R.Run.Trace.c_str());
     break;
   case Outcome::ResourceLimit:
+    // ExhaustedBy is None when only the context bound (--max-k) ran out.
     std::printf("verdict:   UNDECIDED within the resource budget "
-                "(explored k <= %u)\n",
-                R.Run.KMax);
+                "(explored k <= %u, exhausted: %s)\n",
+                R.Run.KMax,
+                R.Run.ExhaustedBy == ExhaustKind::None
+                    ? "contexts"
+                    : exhaustKindName(R.Run.ExhaustedBy));
     break;
   }
   std::printf("explored:  k_max=%u, states=%llu, visible=%llu\n", R.Run.KMax,
@@ -430,4 +468,13 @@ int main(int Argc, char **Argv) {
     return 2;
   }
   return 2;
+} catch (const std::bad_alloc &) {
+  // Out of memory anywhere the engines' guards do not cover (frontend,
+  // pool construction, report formatting): still a clean exit with the
+  // resource-limit code, never a crash.
+  std::fprintf(stderr, "cuba: out of memory\n");
+  return 2;
+} catch (const std::exception &E) {
+  std::fprintf(stderr, "cuba: internal error: %s\n", E.what());
+  return 70; // EX_SOFTWARE
 }
