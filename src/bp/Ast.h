@@ -69,6 +69,10 @@ enum class StmtKind : uint8_t {
   Unlock,
   While,        ///< while (e) { stmts }
   If,           ///< if (e) { stmts } else { stmts }
+  Source,       ///< source(x): taint annotation, x becomes tainted.
+  Sanitize,     ///< sanitize(x): taint annotation, x becomes clean.
+  Sink,         ///< sink(x): taint annotation, observing x here is a
+                ///< leak when x may be tainted.
 };
 
 struct Stmt;
@@ -102,6 +106,11 @@ struct Stmt {
   // Filled by Sema for Assign targets: parallel to AssignTargets.
   std::vector<int> TargetSlots;
   std::vector<bool> TargetIsShared;
+
+  // Source / Sanitize / Sink annotations: the named shared variable and
+  // (filled by Sema) its fact index in SemaInfo::TaintFacts.
+  std::string TaintVar;
+  int TaintSlot = -1;
 };
 
 //===----------------------------------------------------------------------===//

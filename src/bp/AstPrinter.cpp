@@ -130,6 +130,15 @@ private:
       indent(Depth);
       Out += "}\n";
       return;
+    case StmtKind::Source:
+      Out += "source(" + S.TaintVar + ");\n";
+      return;
+    case StmtKind::Sanitize:
+      Out += "sanitize(" + S.TaintVar + ");\n";
+      return;
+    case StmtKind::Sink:
+      Out += "sink(" + S.TaintVar + ");\n";
+      return;
     }
   }
 

@@ -295,6 +295,26 @@ private:
       return finishSimple(std::move(S));
     }
 
+    // Taint annotations: `source(x);`, `sanitize(x);`, `sink(x);`.
+    // Contextual keywords -- only with a following '(' -- so variables
+    // named `source` etc. still assign through the fallback below.
+    if ((T.isIdent("source") || T.isIdent("sanitize") || T.isIdent("sink")) &&
+        peek(1).is(TokKind::LParen)) {
+      S->Kind = T.isIdent("source")     ? StmtKind::Source
+                : T.isIdent("sanitize") ? StmtKind::Sanitize
+                                        : StmtKind::Sink;
+      take();
+      if (auto R = expect(TokKind::LParen, "'('"); !R)
+        return R.error();
+      auto V = ident("a shared variable name");
+      if (!V)
+        return V.error();
+      S->TaintVar = std::move(*V);
+      if (auto R = expect(TokKind::RParen, "')'"); !R)
+        return R.error();
+      return finishSimple(std::move(S));
+    }
+
     // Assignment: `x := call f(...)`, or `x1, ..., xn := e1, ..., en`.
     if (at(TokKind::Ident) && !isKeyword(T.Text)) {
       std::vector<std::string> Targets;

@@ -35,6 +35,7 @@ public:
       if (auto R = analyzeFunction(F); !R)
         return R.error();
     }
+    numberTaintFacts();
     if (auto R = collectThreads(); !R)
       return R.error();
     return Info;
@@ -256,9 +257,41 @@ private:
         if (auto R = analyzeBody(F, S.ElseBody, Labels); !R)
           return R.error();
         break;
+      case StmtKind::Source:
+      case StmtKind::Sanitize:
+      case StmtKind::Sink: {
+        auto R = resolveVar(F, S.TaintVar, S.Line, S.Column);
+        if (!R)
+          return R.error();
+        if (!R->second)
+          return err(S.Line, S.Column,
+                     "taint annotations require a shared variable; '" +
+                         S.TaintVar + "' is local to " + F.Name);
+        // Fact indices are assigned after all functions are analyzed
+        // (numberTaintFacts), so annotation order in the source never
+        // changes the numbering -- only shared declaration order does.
+        TaintStmts.emplace_back(&S, R->first);
+        break;
+      }
       }
     }
     return {};
+  }
+
+  /// Numbers the annotated shared variables as taint facts, in shared
+  /// declaration order, and back-patches every annotation's TaintSlot.
+  void numberTaintFacts() {
+    constexpr int Annotated = -2;
+    Info.FactOfShared.assign(P.SharedVars.size(), -1);
+    for (const auto &[S, Slot] : TaintStmts)
+      Info.FactOfShared[Slot] = Annotated;
+    for (size_t I = 0; I < P.SharedVars.size(); ++I)
+      if (Info.FactOfShared[I] == Annotated) {
+        Info.FactOfShared[I] = static_cast<int>(Info.TaintFacts.size());
+        Info.TaintFacts.push_back(P.SharedVars[I]);
+      }
+    for (const auto &[S, Slot] : TaintStmts)
+      S->TaintSlot = Info.FactOfShared[Slot];
   }
 
   ErrorOr<void> collectThreads() {
@@ -295,6 +328,9 @@ private:
   Program &P;
   SemaInfo Info;
   std::unordered_map<std::string, const Function *> Functions;
+  /// Every taint annotation with its resolved shared slot, for fact
+  /// numbering after analysis.
+  std::vector<std::pair<Stmt *, int>> TaintStmts;
 };
 
 } // namespace

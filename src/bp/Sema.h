@@ -29,6 +29,14 @@ struct SemaInfo {
   bool UsesLock = false;
   /// Any bool-returning function (adds the hidden $ret shared bit).
   bool UsesReturnValue = false;
+
+  /// Taint facts: the shared variables named by source / sanitize /
+  /// sink annotations, in shared declaration order.  A fact index is a
+  /// bit position in the dataflow domain (dataflow/TaintDomain.h).
+  std::vector<std::string> TaintFacts;
+  /// Shared slot -> fact index, -1 when the shared variable is never
+  /// annotated.  Parallel to Program::SharedVars.
+  std::vector<int> FactOfShared;
 };
 
 /// Analyzes \p P in place; on success P.ThreadEntries is populated from

@@ -68,6 +68,7 @@ struct FlatOp {
     Return,
     Lock,
     Unlock,
+    Taint,  ///< source/sanitize/sink; S->Kind says which.
   };
   K Kind = K::Skip;
   std::vector<unsigned> Targets;
@@ -200,6 +201,11 @@ private:
       (void)Skip;
       return {};
     }
+    case StmtKind::Source:
+    case StmtKind::Sanitize:
+    case StmtKind::Sink:
+      append(FlatOp::K::Taint, &S);
+      return {};
     case StmtKind::ThreadCreate:
       // Only occurs in main, which is never flattened.
       cuba_unreachable("thread_create survived Sema outside main");
@@ -214,7 +220,9 @@ private:
 /// The CPDS emission context.
 class Emitter {
 public:
-  Emitter(const Program &P, const SemaInfo &Info) : P(P), Info(Info) {}
+  Emitter(const Program &P, const SemaInfo &Info,
+          const TranslateOptions &Opts)
+      : P(P), Info(Info), Opts(Opts) {}
 
   ErrorOr<CpdsFile> run() {
     // Hidden shared bits follow the declared variables.
@@ -229,6 +237,17 @@ public:
     if (Info.UsesReturnValue)
       SharedBitCount += static_cast<unsigned>(P.ThreadEntries.size());
     LockBit = Info.UsesLock ? static_cast<int>(SharedBitCount++) : -1;
+    // Folded taint bits sit ABOVE every hidden bit, so the low
+    // FoldBitBase bits of a folded control state are exactly the
+    // weighted translation's control state (the projection the
+    // dataflow oracle relies on).
+    FoldBitBase = static_cast<int>(SharedBitCount);
+    if (Opts.FoldTaint)
+      SharedBitCount += static_cast<unsigned>(Info.TaintFacts.size());
+    if (Opts.Taint) {
+      Opts.Taint->FactNames = Info.TaintFacts;
+      Opts.Taint->SharedBits = static_cast<unsigned>(FoldBitBase);
+    }
 
     for (const Function &F : P.Functions) {
       if (F.Name == "main")
@@ -376,12 +395,14 @@ private:
     return {};
   }
 
-  void addRule(unsigned T, uint32_t Q, Sym Src, uint32_t Q2, Sym Dst0,
-               Sym Dst1, const char *Label) {
+  /// Returns the new action's index in thread \p T's delta, or
+  /// UINT32_MAX when the testing hook swallowed it.
+  uint32_t addRule(unsigned T, uint32_t Q, Sym Src, uint32_t Q2, Sym Dst0,
+                   Sym Dst1, const char *Label) {
     if (bp_testing::InjectDropAssignRule && !DroppedAssign &&
         std::strcmp(Label, "assign") == 0) {
       DroppedAssign = true;
-      return;
+      return UINT32_MAX;
     }
     Action A;
     A.SrcQ = Q;
@@ -390,7 +411,7 @@ private:
     A.Dst0 = Dst0;
     A.Dst1 = Dst1;
     A.Label = Label;
-    File.System.thread(T).addAction(std::move(A));
+    return File.System.thread(T).addAction(std::move(A));
   }
 
   void emitOp(unsigned T, const std::string &Func, const FlatFunction &Flat,
@@ -465,7 +486,46 @@ private:
       addRule(T, Q, Here, setBit(Q, LockBit, false), Next(Pc + 1, L),
               EpsSym, "unlock");
       return;
+    case FlatOp::K::Taint:
+      emitTaint(T, Op, Pc, Q, L, Here, Next(Pc + 1, L));
+      return;
     }
+  }
+
+  void emitTaint(unsigned T, const FlatOp &Op, unsigned Pc, uint32_t Q,
+                 uint32_t L, Sym Here, Sym NextSym) {
+    (void)Pc;
+    (void)L;
+    int Fact = Op.S->TaintSlot;
+    const char *Label = Op.S->Kind == StmtKind::Source     ? "source"
+                        : Op.S->Kind == StmtKind::Sanitize ? "sanitize"
+                                                           : "sink";
+    uint32_t Q2 = Q;
+    if (Opts.FoldTaint) {
+      int FoldBit = FoldBitBase + Fact;
+      if (Op.S->Kind == StmtKind::Source)
+        Q2 = setBit(Q, FoldBit, true);
+      else if (Op.S->Kind == StmtKind::Sanitize)
+        Q2 = setBit(Q, FoldBit, false);
+    }
+    uint32_t AI = addRule(T, Q, Here, Q2, NextSym, EpsSym, Label);
+    if (!Opts.Taint)
+      return;
+    if (!Opts.FoldTaint && AI != UINT32_MAX &&
+        Op.S->Kind != StmtKind::Sink) {
+      TaintActionWeight W;
+      W.Thread = T;
+      W.Action = AI;
+      if (Op.S->Kind == StmtKind::Source)
+        W.Gen = 1u << Fact;
+      else
+        W.Kill = 1u << Fact;
+      Opts.Taint->Weights.push_back(W);
+    }
+    // One sink record per (thread, frame): the emission loop revisits
+    // this op once per shared valuation Q.
+    if (Op.S->Kind == StmtKind::Sink && Q == 0)
+      Opts.Taint->Sinks.push_back({T, Here, Fact});
   }
 
   void emitAssign(unsigned T, const std::string &Func, const FlatOp &Op,
@@ -532,11 +592,13 @@ private:
 
   const Program &P;
   const SemaInfo &Info;
+  const TranslateOptions &Opts;
   CpdsFile File;
   bool DroppedAssign = false; // bp_testing::InjectDropAssignRule state.
   unsigned SharedBitCount = 0;
   int RetBitBase = -1;
   int LockBit = -1;
+  int FoldBitBase = 0;
   QState ErrState = 0;
   std::unordered_map<std::string, FlatFunction> Flats;
   std::unordered_map<std::string, unsigned> FuncIndex;
@@ -546,9 +608,16 @@ private:
 } // namespace
 
 ErrorOr<CpdsFile> cuba::bp::translateProgram(const Program &P,
-                                             const SemaInfo &Info) {
-  Emitter E(P, Info);
+                                             const SemaInfo &Info,
+                                             const TranslateOptions &Opts) {
+  Emitter E(P, Info, Opts);
   return E.run();
+}
+
+ErrorOr<CpdsFile> cuba::bp::translateProgram(const Program &P,
+                                             const SemaInfo &Info) {
+  TranslateOptions Opts;
+  return translateProgram(P, Info, Opts);
 }
 
 ErrorOr<CpdsFile> cuba::bp::compileBooleanProgram(std::string_view Source) {

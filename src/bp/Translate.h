@@ -55,8 +55,61 @@ extern bool InjectDropAssignRule;
 
 namespace cuba::bp {
 
+/// The weight of one taint-annotation rule: PDS action \p Action of
+/// thread \p Thread applies the GEN/KILL transformer (Kill, Gen) over
+/// the fact bits (SemaInfo::TaintFacts order).
+struct TaintActionWeight {
+  unsigned Thread = 0;
+  uint32_t Action = 0;
+  uint32_t Kill = 0;
+  uint32_t Gen = 0;
+};
+
+/// One sink site: observing \p Fact tainted with thread \p Thread's
+/// control at stack frame \p Frame is a leak.
+struct TaintSinkSite {
+  unsigned Thread = 0;
+  Sym Frame = 0;
+  int Fact = -1;
+};
+
+/// Side table the dataflow client consumes (dataflow/DataflowEngine.h):
+/// which PDS actions carry non-identity transformers, and where the
+/// sinks are.  Frames and action indices refer to the CpdsFile produced
+/// by the same translateProgram call.
+struct TaintInfo {
+  std::vector<std::string> FactNames;
+  std::vector<TaintActionWeight> Weights;
+  std::vector<TaintSinkSite> Sinks;
+  /// Control-state bits of the base (non-folded) translation, hidden
+  /// bits included.  The folded system's control states are
+  /// Q | (facts << SharedBits), with err renumbered last -- the
+  /// projection the dataflow oracle compares through.
+  unsigned SharedBits = 0;
+};
+
+struct TranslateOptions {
+  /// Fold the taint fact bits into the shared control state (appended
+  /// above the hidden $ret/$lock bits): source/sanitize set/clear the
+  /// bit, sink stays a skip.  This is the naive product construction
+  /// the dataflow differential oracle runs through the explicit engine;
+  /// the weighted analysis never pays the 2^facts state blowup.
+  bool FoldTaint = false;
+  /// When non-null, receives the taint side table.  Transformer weights
+  /// are only recorded when !FoldTaint (the folded system carries them
+  /// in its control state); fact names and sink sites always are.
+  TaintInfo *Taint = nullptr;
+};
+
 /// Translates the analyzed program \p P; the returned system is frozen
-/// and carries the assertion property.
+/// and carries the assertion property.  Taint annotations translate to
+/// skip-shaped rules labeled source/sanitize/sink; by default (and in
+/// every non-dataflow pipeline) they are control no-ops, so the two
+/// translation modes differ only in the fold bits -- same per-thread
+/// stack alphabets, same symbol interning order, rule-for-rule
+/// isomorphic deltas.
+ErrorOr<CpdsFile> translateProgram(const Program &P, const SemaInfo &Info,
+                                   const TranslateOptions &Opts);
 ErrorOr<CpdsFile> translateProgram(const Program &P, const SemaInfo &Info);
 
 /// Convenience pipeline: lex, parse, analyze, translate.

@@ -1,0 +1,239 @@
+//===-- dataflow/TaintDomain.cpp - GEN/KILL taint weight domain -----------===//
+//
+// Part of the CUBA project, an implementation of the PLDI 2018 paper
+// "CUBA: Interprocedural Context-UnBounded Analysis of Concurrent Programs".
+//
+//===----------------------------------------------------------------------===//
+
+#include "dataflow/TaintDomain.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace cuba;
+
+TaintWeightTable::TaintWeightTable() {
+  // Pin TfId 0 = identity and SetId 0 = { identity } = one.
+  internTf(TaintTf{});
+  internSet({0});
+}
+
+uint32_t TaintWeightTable::internTf(TaintTf T) {
+  T.Kill &= ~T.Gen; // Canonical form: Gen wins, masks disjoint.
+  uint64_t Key = (static_cast<uint64_t>(T.Kill) << 32) | T.Gen;
+  auto [Slot, New] =
+      TfIndex.tryEmplace(Key, static_cast<uint32_t>(Tfs.size()));
+  if (New) {
+    Tfs.push_back(T);
+    Bytes += sizeof(TaintTf) + 2 * sizeof(uint64_t); // value + index slot
+  }
+  return *Slot;
+}
+
+uint32_t TaintWeightTable::internSet(std::vector<uint32_t> Members) {
+  assert(!Members.empty() && "the empty set is the EmptySet sentinel");
+  assert(std::is_sorted(Members.begin(), Members.end()) &&
+         std::adjacent_find(Members.begin(), Members.end()) ==
+             Members.end() &&
+         "interned sets are sorted and duplicate-free");
+  auto It = SetIndex.find(Members);
+  if (It != SetIndex.end())
+    return It->second;
+  uint32_t Id = static_cast<uint32_t>(Sets.size());
+  Bytes += Members.size() * sizeof(uint32_t) + 8 * sizeof(uint64_t);
+  Sets.push_back(Members);
+  SetIndex.emplace(std::move(Members), Id);
+  return Id;
+}
+
+uint32_t TaintWeightTable::memoised(
+    FlatMap<uint64_t, uint32_t> &Cache, uint32_t A, uint32_t B,
+    uint32_t (TaintWeightTable::*Op)(uint32_t, uint32_t)) {
+  uint64_t Key = (static_cast<uint64_t>(A) << 32) | B;
+  if (const uint32_t *Hit = Cache.find(Key))
+    return *Hit;
+  uint32_t R = (this->*Op)(A, B);
+  // Op may have interned new sets and grown the cache's siblings, but
+  // never this cache itself, so the slot lookup stays valid to redo.
+  *Cache.tryEmplace(Key, R).first = R;
+  Bytes += 2 * sizeof(uint64_t);
+  return R;
+}
+
+uint32_t TaintWeightTable::unionSets(uint32_t A, uint32_t B) {
+  if (A == B)
+    return A;
+  if (A > B)
+    std::swap(A, B); // Union is commutative; normalise the cache key.
+  return memoised(UnionCache, A, B, &TaintWeightTable::unionSetsImpl);
+}
+
+uint32_t TaintWeightTable::unionSetsImpl(uint32_t A, uint32_t B) {
+  std::vector<uint32_t> Out;
+  Out.reserve(Sets[A].size() + Sets[B].size());
+  std::set_union(Sets[A].begin(), Sets[A].end(), Sets[B].begin(),
+                 Sets[B].end(), std::back_inserter(Out));
+  return internSet(std::move(Out));
+}
+
+uint32_t TaintWeightTable::composeSets(uint32_t A, uint32_t B) {
+  // One is the extend identity on either side.
+  if (A == 0)
+    return B;
+  if (B == 0)
+    return A;
+  return memoised(ComposeCache, A, B, &TaintWeightTable::composeSetsImpl);
+}
+
+uint32_t TaintWeightTable::composeSetsImpl(uint32_t A, uint32_t B) {
+  std::vector<uint32_t> Out;
+  Out.reserve(Sets[A].size() * Sets[B].size());
+  for (uint32_t F : Sets[A])
+    for (uint32_t G : Sets[B])
+      Out.push_back(internTf(seqTf(Tfs[F], Tfs[G])));
+  std::sort(Out.begin(), Out.end());
+  Out.erase(std::unique(Out.begin(), Out.end()), Out.end());
+  return internSet(std::move(Out));
+}
+
+uint32_t TaintWeightTable::diffSets(uint32_t A, uint32_t B) {
+  if (A == B)
+    return EmptySet;
+  return memoised(DiffCache, A, B, &TaintWeightTable::diffSetsImpl);
+}
+
+uint32_t TaintWeightTable::diffSetsImpl(uint32_t A, uint32_t B) {
+  std::vector<uint32_t> Out;
+  Out.reserve(Sets[A].size());
+  std::set_difference(Sets[A].begin(), Sets[A].end(), Sets[B].begin(),
+                      Sets[B].end(), std::back_inserter(Out));
+  if (Out.empty())
+    return EmptySet;
+  if (Out.size() == Sets[A].size())
+    return A;
+  return internSet(std::move(Out));
+}
+
+uint32_t TaintWeightTable::composeSetWithTf(uint32_t A, uint32_t T) {
+  if (T == 0)
+    return A;
+  return memoised(ComposeTfCache, A, T,
+                  &TaintWeightTable::composeSetWithTfImpl);
+}
+
+uint32_t TaintWeightTable::composeSetWithTfImpl(uint32_t A, uint32_t T) {
+  std::vector<uint32_t> Out;
+  Out.reserve(Sets[A].size());
+  TaintTf W = Tfs[T];
+  for (uint32_t F : Sets[A])
+    Out.push_back(internTf(seqTf(Tfs[F], W)));
+  std::sort(Out.begin(), Out.end());
+  Out.erase(std::unique(Out.begin(), Out.end()), Out.end());
+  return internSet(std::move(Out));
+}
+
+uint32_t TaintWeightTable::applySetMay(uint32_t A, uint32_t Facts) const {
+  uint32_t Out = 0;
+  for (uint32_t F : Sets[A])
+    Out |= applyTf(Tfs[F], Facts);
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// TaintDomain rows
+//===----------------------------------------------------------------------===//
+
+uint32_t TaintDomain::findRoot(const Row &R, QState Root) {
+  auto It = std::lower_bound(
+      R.begin(), R.end(), Root,
+      [](const Entry &E, QState Q) { return E.Root < Q; });
+  if (It != R.end() && It->Root == Root)
+    return It->Set;
+  return EmptyMark;
+}
+
+bool TaintDomain::accumulate(uint32_t T, const Row &Delta) {
+  Row &A = Active[T];
+  Row &P = Pending[T];
+  bool Fresh = false;
+  Row NP;
+  NP.reserve(P.size() + Delta.size());
+  size_t IA = 0, IP = 0;
+  for (const Entry &E : Delta) {
+    while (IP < P.size() && P[IP].Root < E.Root)
+      NP.push_back(P[IP++]);
+    while (IA < A.size() && A[IA].Root < E.Root)
+      ++IA;
+    // New information at this root: the delta minus what is already
+    // active, minus what is already pending.
+    uint32_t N = E.Set;
+    if (IA < A.size() && A[IA].Root == E.Root)
+      N = Tab.diffSets(N, A[IA].Set);
+    uint32_t Cur = EmptyMark;
+    if (IP < P.size() && P[IP].Root == E.Root)
+      Cur = P[IP].Set;
+    if (N != EmptyMark && Cur != EmptyMark)
+      N = Tab.diffSets(N, Cur);
+    if (N == EmptyMark) {
+      if (Cur != EmptyMark)
+        NP.push_back(P[IP++]);
+      continue;
+    }
+    Fresh = true;
+    if (Cur != EmptyMark) {
+      NP.push_back({E.Root, Tab.unionSets(Cur, N)});
+      ++IP;
+    } else {
+      NP.push_back({E.Root, N});
+    }
+  }
+  while (IP < P.size())
+    NP.push_back(P[IP++]);
+  if (Fresh) {
+    PendingEntries += NP.size() - P.size();
+    P = std::move(NP);
+  }
+  return Fresh;
+}
+
+void TaintDomain::take(uint32_t T, Row &CurDelta) {
+  CurDelta = std::move(Pending[T]);
+  Pending[T].clear();
+  PendingEntries -= CurDelta.size();
+  Row &A = Active[T];
+  Row NA;
+  NA.reserve(A.size() + CurDelta.size());
+  size_t IA = 0;
+  for (const Entry &E : CurDelta) {
+    while (IA < A.size() && A[IA].Root < E.Root)
+      NA.push_back(A[IA++]);
+    if (IA < A.size() && A[IA].Root == E.Root) {
+      NA.push_back({E.Root, Tab.unionSets(A[IA].Set, E.Set)});
+      ++IA;
+    } else {
+      NA.push_back(E);
+    }
+  }
+  while (IA < A.size())
+    NA.push_back(A[IA++]);
+  ActiveEntries += NA.size() - A.size();
+  A = std::move(NA);
+}
+
+bool TaintDomain::composeRows(const Row &First, const Row &Second, Row &Out) {
+  Out.clear();
+  size_t I = 0, J = 0;
+  while (I < First.size() && J < Second.size()) {
+    if (First[I].Root < Second[J].Root) {
+      ++I;
+    } else if (Second[J].Root < First[I].Root) {
+      ++J;
+    } else {
+      Out.push_back(
+          {First[I].Root, Tab.composeSets(First[I].Set, Second[J].Set)});
+      ++I;
+      ++J;
+    }
+  }
+  return !Out.empty();
+}

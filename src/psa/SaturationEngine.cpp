@@ -8,10 +8,9 @@
 #include "psa/SaturationEngine.h"
 
 #include "fa/Canonicalize.h"
-#include "support/FlatHash.h"
-#include "support/RingQueue.h"
+#include "psa/Semiring.h"
+#include "psa/WeightedPostStar.h"
 #include "support/Statistic.h"
-#include "support/Unreachable.h"
 
 using namespace cuba;
 
@@ -50,268 +49,31 @@ SharedSaturation::extractRoot(QState Root) const {
   return Out;
 }
 
-namespace cuba {
-
-/// The shared saturation engine; see the header for the mask semantics.
-///
-/// The worklist carries (transition, pending mask delta) batches:
-/// addTransition ORs genuinely new bits into the transition's pending
-/// row and enqueues it once; a pop consumes the whole pending row, folds
-/// it into the active mask, and propagates that delta through rule
-/// firing and epsilon composition.  Masks only ever grow, so the
-/// fixpoint terminates and processing order cannot change the result.
-class SharedSaturator {
-public:
-  SharedSaturator(const Pds &P, uint32_t NumShared, const CanonicalDfa &Lang,
-                  LimitTracker *Limits)
-      : P(P), Limits(Limits), NumShared(NumShared) {
-    assert(P.frozen() && "shared post* requires a frozen PDS");
-    assert(Lang.Start != CanonicalDfa::NoState &&
-           "shared post* input language must be non-empty");
-    assert(Lang.NumSymbols == P.numSymbols() &&
-           "input language must range over the PDS stack alphabet");
-    Sat.NumShared = NumShared;
-    Sat.NumSymbols = P.numSymbols();
-    Sat.MaskWords = (NumShared + 63) / 64;
-    W = Sat.MaskWords;
-    FullMask.assign(W, ~uint64_t(0));
-    if (NumShared % 64)
-      FullMask[W - 1] = (uint64_t(1) << (NumShared % 64)) - 1;
-    TmpMask.resize(W);
-
-    // States: shared, then the DFA copy, then helpers on demand.
-    Sat.NumStates = NumShared + Lang.numStates();
-    Sat.AcceptBase.assign(Sat.NumStates, 0);
-    for (uint32_t U = 0; U < Lang.numStates(); ++U)
-      if (Lang.Accepting[U])
-        Sat.AcceptBase[NumShared + U] = 1;
-    Sat.StartAccepting = Lang.Accepting[Lang.Start] != 0;
-    Out.resize(Sat.NumStates);
-    EpsIn.resize(Sat.NumStates);
-
-    // Capacity hints, mirroring postStar's: the saturated relation
-    // grows with the input edges and the pushdown program.
-    size_t InputEdges = Lang.Table.size() + NumShared * Lang.NumSymbols;
-    Worklist.reserve(InputEdges + 2 * P.actions().size());
-    TransIndex.reserve(InputEdges + 4 * P.actions().size());
-
-    // Seed the DFA copy (every root: full mask) and the per-root mirror
-    // rows (singleton masks).
-    for (uint32_t U = 0; U < Lang.numStates(); ++U) {
-      for (Sym X = 1; X <= Lang.NumSymbols; ++X) {
-        uint32_t V =
-            Lang.Table[static_cast<size_t>(U) * Lang.NumSymbols + (X - 1)];
-        if (V != CanonicalDfa::NoState)
-          addTransition(NumShared + U, X, NumShared + V, FullMask.data());
-      }
-    }
-    std::vector<uint64_t> Single(W, 0);
-    for (QState Q = 0; Q < NumShared; ++Q) {
-      Single[Q / 64] = uint64_t(1) << (Q % 64);
-      for (Sym X = 1; X <= Lang.NumSymbols; ++X) {
-        uint32_t V = Lang.Table[static_cast<size_t>(Lang.Start) *
-                                    Lang.NumSymbols +
-                                (X - 1)];
-        if (V != CanonicalDfa::NoState)
-          addTransition(Q, X, NumShared + V, Single.data());
-      }
-      Single[Q / 64] = 0;
-    }
-  }
-
-  /// Logical footprint of the in-flight saturation: the relation under
-  /// construction plus the worklist bookkeeping that grows with it.  A
-  /// pure function of the pops processed so far, so a budget that trips
-  /// on it trips at the same pop no matter who runs the saturation --
-  /// the engine's live tracker or a parallel speculation's recorder.
-  uint64_t localBytes() const {
-    return Sat.memoryBytes() + Pending.size() * sizeof(uint64_t) +
-           InQueue.size() + TransIndex.memoryBytes();
-  }
-
-  SharedSaturationResult run() {
-    static Statistic PopCounter("saturation.pops");
-    while (!Worklist.empty()) {
-      if (Limits && !Limits->chargeStep()) {
-        Complete = false;
-        break;
-      }
-      if (Limits && !Limits->checkMemory(localBytes())) {
-        Complete = false;
-        break;
-      }
-      ++PopCounter;
-      uint32_t T = Worklist.pop();
-      InQueue[T] = 0;
-      // Fold the pending delta into the active mask, then propagate it.
-      CurDelta.assign(Pending.begin() + size_t(T) * W,
-                      Pending.begin() + size_t(T) * W + W);
-      for (uint32_t I = 0; I < W; ++I) {
-        Pending[size_t(T) * W + I] = 0;
-        Sat.Masks[size_t(T) * W + I] |= CurDelta[I];
-      }
-      if (Sat.TLabel[T] != EpsSym)
-        processSymbol(T);
-      else
-        processEpsilon(T);
-    }
-    return {std::move(Sat), Complete};
-  }
-
-private:
-  static uint64_t key(uint32_t From, Sym Label, uint32_t To) {
-    // Always-on guard: past 2^21 states the packed fields would alias
-    // and distinct transitions would silently merge -- a wrong verdict.
-    // Fail loudly instead; systems that large need a wider key.
-    if ((From | Label | To) >= (1u << 21))
-      cuba_unreachable(
-          "saturation automaton exceeds the 21-bit transition packing");
-    return (static_cast<uint64_t>(From) << 42) |
-           (static_cast<uint64_t>(Label) << 21) | To;
-  }
-
-  /// Records \p Delta on transition (From, Label, To), creating it on
-  /// first sight; enqueues the transition when genuinely new bits
-  /// arrived.
-  void addTransition(uint32_t From, Sym Label, uint32_t To,
-                     const uint64_t *Delta) {
-    auto [Slot, New] = TransIndex.tryEmplace(
-        key(From, Label, To), static_cast<uint32_t>(Sat.TFrom.size()));
-    uint32_t T = *Slot;
-    if (New) {
-      Sat.TFrom.push_back(From);
-      Sat.TLabel.push_back(Label);
-      Sat.TTo.push_back(To);
-      Sat.Masks.resize(Sat.Masks.size() + W, 0);
-      Pending.resize(Pending.size() + W, 0);
-      InQueue.push_back(0);
-      Out[From].push_back(T);
-      if (Label == EpsSym)
-        EpsIn[To].push_back(T);
-    } else if (psa_testing::InjectDropMaskGrowth) {
-      return; // Simulated bug: existing transitions never gain roots.
-    }
-    bool Fresh = false;
-    for (uint32_t I = 0; I < W; ++I) {
-      uint64_t NewBits = Delta[I] & ~(Sat.Masks[size_t(T) * W + I] |
-                                      Pending[size_t(T) * W + I]);
-      if (NewBits) {
-        Pending[size_t(T) * W + I] |= NewBits;
-        Fresh = true;
-      }
-    }
-    if (Fresh && !InQueue[T]) {
-      InQueue[T] = 1;
-      Worklist.push(T);
-    }
-  }
-
-  /// Intersects \p Delta with transition \p T2's active mask into
-  /// TmpMask; returns false when empty (nothing to propagate).
-  bool intersect(const uint64_t *Delta, uint32_t T2) {
-    uint64_t Any = 0;
-    for (uint32_t I = 0; I < W; ++I) {
-      TmpMask[I] = Delta[I] & Sat.Masks[size_t(T2) * W + I];
-      Any |= TmpMask[I];
-    }
-    return Any != 0;
-  }
-
-  /// Returns the helper state s(p', y1) shared by all pushes that write
-  /// (p', y1 ...), creating it on first use.
-  uint32_t helperState(QState DstQ, Sym Top) {
-    uint64_t K = (static_cast<uint64_t>(DstQ) << 32) | Top;
-    auto [Slot, New] = Helpers.tryEmplace(K, 0);
-    if (New) {
-      *Slot = Sat.NumStates++;
-      Sat.AcceptBase.push_back(0);
-      Out.emplace_back();
-      EpsIn.emplace_back();
-    }
-    return *Slot;
-  }
-
-  void processSymbol(uint32_t T) {
-    uint32_t From = Sat.TFrom[T], To = Sat.TTo[T];
-    Sym Label = Sat.TLabel[T];
-    // Symmetric epsilon composition: (x, eps, From) + T => (x, Label, To)
-    // for the roots both premises share.  Indexed loops throughout:
-    // addTransition appends to the adjacency rows.
-    for (size_t K = 0; K < EpsIn[From].size(); ++K) {
-      uint32_t E = EpsIn[From][K];
-      if (intersect(CurDelta.data(), E))
-        addTransition(Sat.TFrom[E], Label, To, TmpMask.data());
-    }
-    // PDS rules fire only from shared states, for exactly the roots the
-    // triggering transition is active for.
-    if (From >= NumShared)
-      return;
-    for (uint32_t AI : P.actionsFrom(From, Label)) {
-      const Action &A = P.actions()[AI];
-      switch (A.kind()) {
-      case ActionKind::Pop:
-        addTransition(A.DstQ, EpsSym, To, CurDelta.data());
-        break;
-      case ActionKind::Overwrite:
-        addTransition(A.DstQ, A.Dst0, To, CurDelta.data());
-        break;
-      case ActionKind::Push: {
-        uint32_t S = helperState(A.DstQ, A.Dst0);
-        addTransition(A.DstQ, A.Dst0, S, CurDelta.data());
-        addTransition(S, A.Dst1, To, CurDelta.data());
-        break;
-      }
-      case ActionKind::EmptyChange:
-      case ActionKind::EmptyPush:
-        cuba_unreachable("shared post* requires the bottom transform to "
-                         "have removed empty-stack rules");
-      }
-    }
-  }
-
-  void processEpsilon(uint32_t T) {
-    uint32_t From = Sat.TFrom[T], To = Sat.TTo[T];
-    // (From, eps, To) composes with everything leaving To.  No
-    // epsilon-chain pass is needed: every epsilon edge originates at a
-    // shared state (pop rules) and ends at a non-shared one (targets
-    // inherit from transitions that never enter shared states), so
-    // EpsIn[From] is empty for every epsilon transition -- chains of
-    // two epsilon edges cannot exist.
-    for (size_t K = 0; K < Out[To].size(); ++K) {
-      uint32_t T2 = Out[To][K];
-      if (intersect(CurDelta.data(), T2))
-        addTransition(From, Sat.TLabel[T2], Sat.TTo[T2], TmpMask.data());
-    }
-  }
-
-  const Pds &P;
-  LimitTracker *Limits;
-  uint32_t NumShared;
-  uint32_t W = 1;
-  bool Complete = true;
-
-  SharedSaturation Sat;
-  std::vector<uint64_t> FullMask, TmpMask, CurDelta;
-
-  /// Pending mask deltas (one row per transition) and queue membership.
-  std::vector<uint64_t> Pending;
-  std::vector<uint8_t> InQueue;
-  RingQueue<uint32_t> Worklist;
-  FlatMap<uint64_t, uint32_t> TransIndex;
-
-  /// Per-state adjacency of transition indices.
-  std::vector<std::vector<uint32_t>> Out;
-  std::vector<std::vector<uint32_t>> EpsIn;
-  FlatMap<uint64_t, uint32_t> Helpers;
-};
-
-} // namespace cuba
-
 SharedSaturationResult cuba::sharedPostStar(const Pds &P, uint32_t NumShared,
                                             const CanonicalDfa &Lang,
                                             LimitTracker *Limits) {
   static Statistic SatCounter("saturation.shared");
   ++SatCounter;
-  SharedSaturator S(P, NumShared, Lang, Limits);
-  return S.run();
+  // The classical mask saturation is the boolean-set instantiation of
+  // the semiring-generic core; the retained relation adopts the
+  // domain's flat mask rows without a copy.  Bit-identity with the
+  // pre-refactor engine is pinned by SharedSaturationTest against
+  // tests/ReferenceSharedSaturation.h.
+  WeightedSaturatorT<BoolSetDomain> S(P, NumShared, Lang, Limits,
+                                      BoolSetDomain());
+  WeightedResult<BoolSetDomain> R = S.run();
+  SharedSaturationResult Out;
+  Out.Complete = R.Complete;
+  SharedSaturation &Sat = Out.Sat;
+  Sat.NumShared = R.Rel.NumShared;
+  Sat.NumStates = R.Rel.NumStates;
+  Sat.NumSymbols = R.Rel.NumSymbols;
+  Sat.MaskWords = R.Rel.Dom.maskWords();
+  Sat.TFrom = std::move(R.Rel.TFrom);
+  Sat.TTo = std::move(R.Rel.TTo);
+  Sat.TLabel = std::move(R.Rel.TLabel);
+  Sat.Masks = R.Rel.Dom.takeActive();
+  Sat.AcceptBase = std::move(R.Rel.AcceptBase);
+  Sat.StartAccepting = R.Rel.StartAccepting;
+  return Out;
 }

@@ -39,6 +39,15 @@
 /// charged against the caller's LimitTracker; an exhausted saturation
 /// reports Complete == false and underapproximates.
 ///
+/// The saturation itself runs on the semiring-generic core
+/// (psa/WeightedPostStar.h) instantiated with the boolean-set domain
+/// (psa/Semiring.h): a root mask is a row of boolean-set weights, OR is
+/// `combine`, intersection at epsilon composition is `extend`.  The
+/// instantiation is bit-identical to the pre-refactor mask engine
+/// (pinned by SharedSaturationTest against
+/// tests/ReferenceSharedSaturation.h); this header stays the stable
+/// mask-level interface every existing caller uses.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef CUBA_PSA_SATURATIONENGINE_H
@@ -52,6 +61,12 @@
 #include "support/Limits.h"
 
 namespace cuba {
+
+class SharedSaturation;
+struct SharedSaturationResult;
+SharedSaturationResult sharedPostStar(const Pds &P, uint32_t NumShared,
+                                      const CanonicalDfa &Lang,
+                                      LimitTracker *Limits);
 
 namespace psa_testing {
 /// Testing hook for the shared-saturation property suite's
@@ -83,6 +98,14 @@ public:
     return (Masks[T * MaskWords + Root / 64] >> (Root % 64)) & 1;
   }
 
+  /// Flat transition-array reads, in creation order; the property
+  /// suite compares these word for word against the pre-refactor shim
+  /// (tests/ReferenceSharedSaturation.h).
+  uint32_t transFrom(size_t T) const { return TFrom[T]; }
+  uint32_t transTo(size_t T) const { return TTo[T]; }
+  Sym transLabel(size_t T) const { return TLabel[T]; }
+  const std::vector<uint64_t> &maskRows() const { return Masks; }
+
   /// Materialises the sub-NFA active for \p Root: every transition whose
   /// mask contains Root, with the input language's acceptance on the DFA
   /// copy (and on Root itself when the language accepts the empty word).
@@ -108,7 +131,10 @@ public:
   }
 
 private:
-  friend class SharedSaturator;
+  friend SharedSaturationResult sharedPostStar(const Pds &P,
+                                               uint32_t NumShared,
+                                               const CanonicalDfa &Lang,
+                                               LimitTracker *Limits);
 
   uint32_t NumShared = 0;
   uint32_t NumStates = 0;

@@ -1,0 +1,194 @@
+//===-- psa/Semiring.h - Weight domains for shared post* --------*- C++ -*-===//
+//
+// Part of the CUBA project, an implementation of the PLDI 2018 paper
+// "CUBA: Interprocedural Context-UnBounded Analysis of Concurrent Programs".
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Weight domains for the semiring-generic saturation core
+/// (psa/WeightedPostStar.h), in the WPDS tradition (Reps/Schwoon/Jha):
+/// every transition of the saturated P-automaton carries one weight per
+/// shared root, drawn from a bounded idempotent semiring
+///
+///   (D, combine, extend, zero, one)
+///
+/// where `combine` joins the weights of alternative derivations
+/// (idempotent, commutative; the fixpoint exists because weights only
+/// grow), `extend` sequences them along a derivation, `zero` is the
+/// absent weight (annihilator of extend, identity of combine), and
+/// `one` is the weight of the seed edges (identity of extend).  The
+/// worklist needs one more operation the algebra alone does not give:
+/// an *unchanged* test -- "did combine add information?" -- which gates
+/// re-enqueueing a transition.
+///
+/// Rather than exposing scalar weights, a domain manages whole
+/// *root-indexed rows* (one weight per shared root per transition,
+/// active + pending halves), so an instantiation can pick its own
+/// storage: the boolean-set domain below keeps the exact flat
+/// uint64-mask layout the pre-refactor engine used -- a root mask IS a
+/// row over the boolean-set semiring ({absent, present}, OR, AND) with
+/// weight `one` at each present root -- which is what makes the
+/// refactor bit-identical (pinned by SharedSaturationTest).  The
+/// GEN/KILL taint domain (dataflow/TaintDomain.h) stores sparse rows of
+/// interned transformer sets over the same interface.
+///
+/// The operations a domain must provide (duck-typed; WeightedSaturatorT
+/// is the single consumer):
+///
+///   using Row;                      // scratch row value type
+///   void init(uint32_t NumShared);
+///   const Row &fullRow();           // one at every root (DFA-copy seeds)
+///   const Row &singletonRow(QState) // one at a single root (mirror rows;
+///                                   // valid until the next call)
+///   void addTransitionRow();        // append a zero active+pending row
+///   bool accumulate(T, Delta);      // pending[T] combine= the part of
+///                                   // Delta not already known; true iff
+///                                   // anything actually grew (the
+///                                   // `unchanged` test, negated)
+///   void take(T, CurDelta);         // move pending[T] into active[T],
+///                                   // exporting the delta
+///   bool extendSymbolWithEps(SymDelta, EpsT, Out);
+///                                   // Out = extend(SymDelta, active[EpsT])
+///                                   // per root; false when all zero
+///   bool extendEpsWithSymbol(EpsDelta, SymT, Out);
+///                                   // Out = extend(active[SymT], EpsDelta)
+///   const Row &applyRule(Delta, ActionIdx, Scratch);
+///                                   // extend(Delta, ruleWeight(ActionIdx))
+///   const Row &pushEntryRow(Delta, Scratch);
+///                                   // Delta's support, each root weight one
+///                                   // (the Schwoon push helper entry edge)
+///   bool activeFor(T, Root);        // active[T][Root] != zero
+///   uint64_t activeBytes() / pendingBytes();  // budget accounting
+///
+/// The two extend directions deserve a note.  Saturation edges are read
+/// top-first, and along an accepting path the FIRST-read edge's weight
+/// applies LAST in execution order, so `extend(a, b)` throughout means
+/// "a's derivation happened, then b's" -- function composition b after
+/// a.  Epsilon composition (x -eps-> s) + (s -y-> t) => (x -y-> t)
+/// extends the symbol edge's weight with the epsilon edge's
+/// (extendSymbolWithEps) or vice versa (extendEpsWithSymbol) depending
+/// on which premise supplied the delta.  The boolean-set instantiation
+/// cannot tell the directions apart -- intersection is commutative --
+/// which is exactly why the pre-refactor mask engine never needed two
+/// names for it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CUBA_PSA_SEMIRING_H
+#define CUBA_PSA_SEMIRING_H
+
+#include <cstdint>
+#include <vector>
+
+#include "pds/Pds.h"
+
+namespace cuba {
+
+/// The boolean-set semiring ({absent, present}, combine = OR, extend =
+/// AND, zero = absent, one = present) over flat uint64 mask rows: the
+/// domain of the classical shared saturation, where a transition's row
+/// is exactly its root mask.  Storage and operation order replicate the
+/// pre-refactor engine word for word.
+class BoolSetDomain {
+public:
+  using Row = std::vector<uint64_t>;
+
+  void init(uint32_t NumSharedIn) {
+    NumShared = NumSharedIn;
+    W = (NumShared + 63) / 64;
+    Full.assign(W, ~uint64_t(0));
+    if (NumShared % 64)
+      Full[W - 1] = (uint64_t(1) << (NumShared % 64)) - 1;
+    Single.assign(W, 0);
+  }
+
+  uint32_t maskWords() const { return W; }
+
+  const Row &fullRow() const { return Full; }
+
+  const Row &singletonRow(QState Q) {
+    Single.assign(W, 0);
+    Single[Q / 64] = uint64_t(1) << (Q % 64);
+    return Single;
+  }
+
+  void addTransitionRow() {
+    Active.resize(Active.size() + W, 0);
+    Pending.resize(Pending.size() + W, 0);
+  }
+
+  bool accumulate(uint32_t T, const Row &Delta) {
+    bool Fresh = false;
+    for (uint32_t I = 0; I < W; ++I) {
+      uint64_t NewBits = Delta[I] & ~(Active[size_t(T) * W + I] |
+                                      Pending[size_t(T) * W + I]);
+      if (NewBits) {
+        Pending[size_t(T) * W + I] |= NewBits;
+        Fresh = true;
+      }
+    }
+    return Fresh;
+  }
+
+  void take(uint32_t T, Row &CurDelta) {
+    CurDelta.assign(Pending.begin() + size_t(T) * W,
+                    Pending.begin() + size_t(T) * W + W);
+    for (uint32_t I = 0; I < W; ++I) {
+      Pending[size_t(T) * W + I] = 0;
+      Active[size_t(T) * W + I] |= CurDelta[I];
+    }
+  }
+
+  bool extendSymbolWithEps(const Row &SymDelta, uint32_t EpsT, Row &Out) {
+    return intersect(SymDelta, EpsT, Out);
+  }
+
+  bool extendEpsWithSymbol(const Row &EpsDelta, uint32_t SymT, Row &Out) {
+    return intersect(EpsDelta, SymT, Out);
+  }
+
+  /// Boolean-set rule weights are all `one`: extend is the identity, so
+  /// the delta passes through without a copy.
+  const Row &applyRule(const Row &Delta, uint32_t /*ActionIdx*/,
+                       Row & /*Scratch*/) const {
+    return Delta;
+  }
+
+  /// Support with weight one IS the mask itself.
+  const Row &pushEntryRow(const Row &Delta, Row & /*Scratch*/) const {
+    return Delta;
+  }
+
+  bool activeFor(size_t T, QState Root) const {
+    return (Active[T * W + Root / 64] >> (Root % 64)) & 1;
+  }
+
+  uint64_t activeBytes() const { return Active.size() * sizeof(uint64_t); }
+  uint64_t pendingBytes() const { return Pending.size() * sizeof(uint64_t); }
+
+  /// Surrenders the active rows as the retained flat mask array (the
+  /// SharedSaturation::Masks layout).
+  std::vector<uint64_t> takeActive() { return std::move(Active); }
+
+private:
+  bool intersect(const Row &Delta, uint32_t T2, Row &Out) {
+    if (Out.size() != W)
+      Out.resize(W);
+    uint64_t Any = 0;
+    for (uint32_t I = 0; I < W; ++I) {
+      Out[I] = Delta[I] & Active[size_t(T2) * W + I];
+      Any |= Out[I];
+    }
+    return Any != 0;
+  }
+
+  uint32_t NumShared = 0;
+  uint32_t W = 1;
+  std::vector<uint64_t> Active, Pending;
+  Row Full, Single;
+};
+
+} // namespace cuba
+
+#endif // CUBA_PSA_SEMIRING_H

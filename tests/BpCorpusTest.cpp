@@ -137,9 +137,12 @@ TEST(BpCorpus, VerdictsSurviveReprint) {
 
 namespace {
 
-/// Runs the cuba binary and captures combined stdout+stderr.
-std::pair<int, std::string> runTool(const std::string &Args) {
-  std::string Cmd = std::string(CUBA_TOOL) + " " + Args + " 2>&1";
+/// Runs the cuba binary and captures combined stdout+stderr; \p Env is
+/// an optional VAR=value prefix for the child environment.
+std::pair<int, std::string> runTool(const std::string &Args,
+                                    const std::string &Env = {}) {
+  std::string Cmd = (Env.empty() ? std::string() : Env + " ") +
+                    std::string(CUBA_TOOL) + " " + Args + " 2>&1";
   std::FILE *P = popen(Cmd.c_str(), "r");
   EXPECT_NE(P, nullptr);
   std::string Out;
@@ -175,6 +178,142 @@ TEST(BpCorpus, CliErrorsCarryLineAndColumn) {
   EXPECT_NE(Output.find("cuba: " + Bad + ": 2:"), std::string::npos)
       << Output;
   std::remove(Bad.c_str());
+}
+
+TEST(BpCorpus, CliRejectsMalformedFlagValues) {
+  // Every numeric flag value is validated hard: malformed text,
+  // out-of-range magnitudes, and the historical silent-truncation
+  // cases (--max-k / --jobs casting through unsigned, --max-mb's
+  // << 20 wrapping past 64 bits) all exit 64 with a diagnostic that
+  // names the flag and the accepted range.
+  struct Case {
+    const char *Args;
+    const char *Flag;
+  };
+  const Case Cases[] = {
+      {"--max-k abc model.bp", "--max-k"},
+      {"--max-k 4294967296 model.bp", "--max-k"}, // used to truncate to 0
+      {"--jobs 0 model.bp", "--jobs"},
+      {"--jobs 1025 model.bp", "--jobs"},
+      {"--jobs 4294967297 model.bp", "--jobs"}, // used to truncate to 1
+      {"--max-mb 17592186044416 model.bp", "--max-mb"}, // << 20 wrapped
+      {"--max-states 12x model.bp", "--max-states"},
+      {"--max-k model.bp", "--max-k"}, // value swallowed the input path
+      {"--approach wat model.bp", "--approach"},
+      {"fuzz --seed xyz", "--seed"},
+      {"fuzz --jobs 0", "--jobs"},
+      {"fuzz --max-mb 17592186044416", "--max-mb"},
+      {"fuzz --mode wat", "--mode"},
+      {"dataflow --max-k 4294967296 model.bp", "--max-k"},
+      {"dataflow --jobs 1025 model.bp", "--jobs"},
+  };
+  for (const Case &C : Cases) {
+    auto [Rc, Out] = runTool(C.Args);
+    EXPECT_EQ(Rc, 64) << C.Args;
+    EXPECT_NE(Out.find(std::string("cuba: invalid ") + C.Flag),
+              std::string::npos)
+        << C.Args << " produced:\n"
+        << Out;
+    EXPECT_NE(Out.find("usage"), std::string::npos) << C.Args;
+    // The named diagnostic replaces the usage wall: the full usage text
+    // would bury it.
+    EXPECT_EQ(Out.find("usage: cuba [options]"), std::string::npos)
+        << C.Args;
+  }
+}
+
+TEST(BpCorpus, CliAcceptsBoundaryFlagValues) {
+  // The range maxima themselves are legal; in particular --jobs 1024
+  // must construct a pool, not error.  A nonexistent input keeps the
+  // run cheap: parsing succeeds, loading fails with the named error.
+  auto [Rc, Out] = runTool("--max-k 4294967295 --max-mb 16777216 --jobs 4 "
+                           "/nonexistent/model.bp");
+  EXPECT_EQ(Rc, 64);
+  EXPECT_NE(Out.find("cannot open file"), std::string::npos) << Out;
+  EXPECT_EQ(Out.find("invalid"), std::string::npos) << Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Golden fuzz MISMATCH repro lines
+//===----------------------------------------------------------------------===//
+
+TEST(BpCorpus, FuzzMismatchReproLineCarriesEveryFlag) {
+  // CUBA_FUZZ_INJECT=drop-combine simulates a lost `combine` in the
+  // saturation core, forcing the engines to disagree so the MISMATCH
+  // report itself can be pinned: for both workloads the repro line must
+  // replay the seed and every verdict-relevant flag at the values the
+  // failing run used (--count collapses to 1).
+  struct Mode {
+    const char *ModeArgs;
+    const char *WantRepro;
+  };
+  const Mode Modes[] = {
+      {"",
+       "reproduce: CUBA_FUZZ_SEED=1 cuba fuzz --count 1"
+       " --max-k 3 --max-mb 64 --jobs 2"},
+      {"--mode bp ",
+       "reproduce: CUBA_FUZZ_SEED=2 cuba fuzz --mode bp --count 1"
+       " --max-k 3 --max-mb 64 --jobs 2"},
+  };
+  for (const Mode &M : Modes) {
+    auto [Rc, Out] =
+        runTool(std::string("fuzz ") + M.ModeArgs +
+                    "--count 40 --seed 1 --max-k 3 --max-mb 64 --jobs 2",
+                "CUBA_FUZZ_INJECT=drop-combine");
+    EXPECT_EQ(Rc, 1) << M.ModeArgs << Out;
+    EXPECT_NE(Out.find("fuzz: MISMATCH at seed "), std::string::npos)
+        << M.ModeArgs << Out;
+    EXPECT_NE(Out.find(M.WantRepro), std::string::npos)
+        << M.ModeArgs << " produced:\n"
+        << Out;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// The dataflow subcommand
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Writes a temp .bp file and returns its path.
+std::string writeTempBp(const char *Name, const char *Source) {
+  std::string Path = std::string(::testing::TempDir()) + Name;
+  std::ofstream Out(Path);
+  Out << Source;
+  return Path;
+}
+
+} // namespace
+
+TEST(BpCorpus, CliDataflowLeakVerdict) {
+  std::string Path = writeTempBp("corpus_leak.bp",
+                                 "decl x;\n\nvoid t() {\n  source(x);\n"
+                                 "  sink(x);\n}\n\nvoid main() {\n"
+                                 "  thread_create(&t);\n}\n\n");
+  auto [Rc, Out] = runTool("dataflow --verify --jobs 2 " + Path);
+  EXPECT_EQ(Rc, 1) << Out;
+  EXPECT_NE(Out.find("facts:     1 (x)"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("leak:      thread 0 at "), std::string::npos) << Out;
+  EXPECT_NE(Out.find("verify:    agrees with the folded product reference"),
+            std::string::npos)
+      << Out;
+  EXPECT_NE(Out.find("verdict:   LEAK"), std::string::npos) << Out;
+  std::remove(Path.c_str());
+}
+
+TEST(BpCorpus, CliDataflowSafeVerdict) {
+  // The sanitize between source and sink clears the fact on every path,
+  // and no other thread can re-taint it.
+  std::string Path = writeTempBp("corpus_safe.bp",
+                                 "decl x;\n\nvoid t() {\n  source(x);\n"
+                                 "  sanitize(x);\n  sink(x);\n}\n\n"
+                                 "void main() {\n  thread_create(&t);\n}"
+                                 "\n\n");
+  auto [Rc, Out] = runTool("dataflow --verify --jobs 2 " + Path);
+  EXPECT_EQ(Rc, 0) << Out;
+  EXPECT_EQ(Out.find("leak:"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("verdict:   SAFE"), std::string::npos) << Out;
+  std::remove(Path.c_str());
 }
 
 TEST(BpCorpus, CliEmitCpdsRoundTripsOnCorpus) {

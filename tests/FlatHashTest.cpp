@@ -54,6 +54,50 @@ TEST(FlatMap, InsertFindErase) {
   EXPECT_TRUE(M.empty());
 }
 
+TEST(FlatMap, ForEachMutMutatesEveryValueAcrossRehash) {
+  // Mutations through forEachMut must stick for every entry, including
+  // ones relocated by rehash growth and survivors of backward-shift
+  // erasure; each entry must be visited exactly once.
+  FlatMap<uint32_t, uint32_t> M;
+  const uint32_t N = 1'000; // Several rehash rounds from capacity 16.
+  for (uint32_t I = 0; I < N; ++I)
+    M.tryEmplace(I * 0x9e3779b9u, I);
+  // Backward-shift erase a third of the keys, creating shifted clusters.
+  for (uint32_t I = 0; I < N; I += 3)
+    EXPECT_TRUE(M.erase(I * 0x9e3779b9u));
+
+  std::set<uint32_t> Visited;
+  M.forEachMut([&](const uint32_t &Key, uint32_t &Val) {
+    EXPECT_TRUE(Visited.insert(Val).second) << "entry visited twice";
+    EXPECT_EQ(Key, Val * 0x9e3779b9u);
+    Val += 1'000'000;
+  });
+  EXPECT_EQ(Visited.size(), M.size());
+
+  // Keep inserting afterwards (more rehashes) -- mutated values must
+  // survive the relocations too.
+  for (uint32_t I = N; I < 4 * N; ++I)
+    M.tryEmplace(I * 0x9e3779b9u, I);
+  size_t Mutated = 0, Fresh = 0;
+  for (uint32_t I = 0; I < 4 * N; ++I) {
+    const uint32_t *V = M.find(I * 0x9e3779b9u);
+    if (I < N && I % 3 == 0) {
+      EXPECT_EQ(V, nullptr);
+      continue;
+    }
+    ASSERT_NE(V, nullptr) << I;
+    if (I < N) {
+      EXPECT_EQ(*V, I + 1'000'000) << "mutation lost for key " << I;
+      ++Mutated;
+    } else {
+      EXPECT_EQ(*V, I);
+      ++Fresh;
+    }
+  }
+  EXPECT_EQ(Mutated, N - (N + 2) / 3);
+  EXPECT_EQ(Fresh, 3u * N);
+}
+
 TEST(FlatMap, GrowthAcrossRehashKeepsAllEntries) {
   FlatMap<uint32_t, uint32_t> M;
   const uint32_t N = 10'000; // Forces ~10 rehash rounds from capacity 16.

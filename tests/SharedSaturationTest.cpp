@@ -27,6 +27,7 @@
 #include <cstdlib>
 
 #include "ReferencePostStar.h"
+#include "ReferenceSharedSaturation.h"
 #include "fa/Canonicalize.h"
 #include "psa/BottomTransform.h"
 #include "psa/SaturationEngine.h"
@@ -245,6 +246,80 @@ TEST(SharedSaturation, BudgetTruncationIsDetected) {
   SharedSaturationResult Ok =
       sharedPostStar(Inst.P, Inst.NumShared, Inst.Lang, &Exact);
   EXPECT_TRUE(Ok.Complete);
+}
+
+//===----------------------------------------------------------------------===//
+// The pure-generalization proof for the semiring refactor: the
+// boolean-set instantiation of the templated core must be bit-identical
+// to the pre-refactor mask engine -- same transitions in the same
+// creation order, same mask rows, same acceptance, the same Complete
+// flag, and the same number of budget steps charged -- on every
+// instance of the suite, both unbounded and under a truncating budget.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Runs both engines on one instance under equal budgets and asserts
+/// word-for-word equality of the retained relations and charges.
+void expectBitIdentical(const Instance &Inst, const ResourceLimits &RL) {
+  LimitTracker ProdLimits(RL), RefLimits(RL);
+  SharedSaturationResult Prod =
+      sharedPostStar(Inst.P, Inst.NumShared, Inst.Lang, &ProdLimits);
+  reference::RefSaturation Ref = reference::refSharedPostStar(
+      Inst.P, Inst.NumShared, Inst.Lang, &RefLimits);
+
+  ASSERT_EQ(Prod.Complete, Ref.Complete) << "seed " << Inst.Seed;
+  ASSERT_EQ(ProdLimits.steps(), RefLimits.steps()) << "seed " << Inst.Seed;
+  ASSERT_EQ(ProdLimits.exhausted(), RefLimits.exhausted())
+      << "seed " << Inst.Seed;
+  ASSERT_EQ(Prod.Sat.numStates(), Ref.NumStates) << "seed " << Inst.Seed;
+  ASSERT_EQ(Prod.Sat.numShared(), Ref.NumShared);
+  ASSERT_EQ(Prod.Sat.numSymbols(), Ref.NumSymbols);
+  ASSERT_EQ(Prod.Sat.maskWords(), Ref.MaskWords);
+  ASSERT_EQ(Prod.Sat.memoryBytes(), Ref.memoryBytes()) << "seed " << Inst.Seed;
+  ASSERT_EQ(Prod.Sat.numTransitions(), Ref.TFrom.size())
+      << "seed " << Inst.Seed;
+  for (size_t T = 0; T < Ref.TFrom.size(); ++T) {
+    ASSERT_EQ(Prod.Sat.transFrom(T), Ref.TFrom[T])
+        << "seed " << Inst.Seed << ", transition " << T;
+    ASSERT_EQ(Prod.Sat.transLabel(T), Ref.TLabel[T])
+        << "seed " << Inst.Seed << ", transition " << T;
+    ASSERT_EQ(Prod.Sat.transTo(T), Ref.TTo[T])
+        << "seed " << Inst.Seed << ", transition " << T;
+  }
+  ASSERT_EQ(Prod.Sat.maskRows(), Ref.Masks) << "seed " << Inst.Seed;
+}
+
+} // namespace
+
+TEST(SharedSaturation, BitIdenticalToPreRefactorEngine) {
+  for (const Instance &Inst : makeInstances(baseSeed(), NumInstances)) {
+    expectBitIdentical(Inst, ResourceLimits::unlimited());
+    if (::testing::Test::HasFailure())
+      break;
+  }
+}
+
+TEST(SharedSaturation, BitIdenticalUnderTruncatingBudgets) {
+  // Charge parity must hold at every truncation point, not just at the
+  // fixpoint: sweep a few budgets through each instance, including one
+  // that cuts the run mid-saturation.
+  for (const Instance &Inst : makeInstances(baseSeed() + 31337, 24)) {
+    LimitTracker Free((ResourceLimits::unlimited()));
+    SharedSaturationResult Full =
+        sharedPostStar(Inst.P, Inst.NumShared, Inst.Lang, &Free);
+    ASSERT_TRUE(Full.Complete);
+    uint64_t Pops = Free.steps();
+    for (uint64_t Budget : {uint64_t(1), Pops / 2, Pops}) {
+      if (!Budget)
+        continue;
+      ResourceLimits RL = ResourceLimits::unlimited();
+      RL.MaxSteps = Budget;
+      expectBitIdentical(Inst, RL);
+    }
+    if (::testing::Test::HasFailure())
+      break;
+  }
 }
 
 //===----------------------------------------------------------------------===//

@@ -25,6 +25,18 @@
 ///     --emit-cpds          print the (translated) system and exit
 ///     --stats              dump internal statistics counters
 ///
+/// The `dataflow` subcommand runs the weighted interprocedural taint
+/// analysis (dataflow/DataflowEngine) on an annotated Boolean program:
+///
+///   cuba dataflow [options] <input.bp>
+///     --max-k N          context-bound cap (default 8)
+///     --max-states/--max-steps/--max-mb   engine budgets
+///     --jobs N           parallelism of the --verify reference engine
+///                        (the weighted engine itself is serial)
+///     --report-facts     print every visible state with its fact set
+///     --verify           cross-check against the folded product
+///                        reference (exit 70 on disagreement)
+///
 /// The `fuzz` subcommand drives the randomized differential harness
 /// (testing/RandomCpds + testing/DifferentialOracle) instead of a file:
 ///
@@ -40,8 +52,12 @@
 /// variable, else 1; a failure prints the offending seed and the exact
 /// command reproducing it.
 ///
+/// Numeric flag values are validated hard: a malformed or out-of-range
+/// value is a named usage error (exit 64), never a silent truncation.
+///
 /// Exit codes: 0 safety proved / all fuzz instances agree, 1 bug found
-/// or differential mismatch, 2 resource limit, 64 usage or input error.
+/// or differential mismatch, 2 resource limit, 64 usage or input error,
+/// 70 internal error (including a --verify disagreement).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -53,10 +69,14 @@
 
 #include "bp/AstPrinter.h"
 #include "bp/Parser.h"
+#include "bp/Sema.h"
 #include "bp/Translate.h"
 #include "core/CubaDriver.h"
+#include "dataflow/DataflowEngine.h"
+#include "testing/DataflowOracle.h"
 #include "exec/ThreadPool.h"
 #include "pds/CpdsIO.h"
+#include "psa/SaturationEngine.h"
 #include "support/FaultInject.h"
 #include "support/Statistic.h"
 #include "support/StringUtils.h"
@@ -99,6 +119,18 @@ void printUsage() {
       "  --emit-cpds          print the (translated) system and exit\n"
       "  --stats              dump internal statistics counters\n"
       "\n"
+      "usage: cuba dataflow [options] <input.bp>\n"
+      "                       weighted interprocedural taint analysis\n"
+      "  --max-k N            context-bound cap (default 8)\n"
+      "  --max-states N       stored-state budget (default 2000000)\n"
+      "  --max-steps N        engine-step budget (default 50000000)\n"
+      "  --max-mb N           engine-memory budget in MiB\n"
+      "  --jobs N             parallelism of the --verify reference\n"
+      "                       engine (the weighted engine is serial)\n"
+      "  --report-facts       print every visible state with its facts\n"
+      "  --verify             cross-check against the folded product\n"
+      "                       reference; a disagreement exits 70\n"
+      "\n"
       "usage: cuba fuzz [options]     randomized differential testing\n"
       "  --mode cpds|bp       workload: random CPDS instances (default)\n"
       "                       or random Boolean programs pushed through\n"
@@ -110,6 +142,50 @@ void printUsage() {
       "  --jobs N             worker parallelism (default: $CUBA_JOBS,\n"
       "                       else hardware concurrency)\n"
       "  --emit-cpds          print each generated instance\n");
+}
+
+//===----------------------------------------------------------------------===//
+// Flag-value parsing: malformed or out-of-range values are named hard
+// errors, never silent truncations.
+//===----------------------------------------------------------------------===//
+
+/// Every context-bound flag feeds an `unsigned`; values past UINT32_MAX
+/// used to truncate silently (e.g. --max-k 4294967296 became 0).
+constexpr uint64_t MaxKFlagMax = UINT32_MAX;
+/// Worker counts beyond any real machine are configuration mistakes,
+/// and the old cast-to-unsigned parse truncated 2^32+1 down to 1.
+constexpr uint64_t JobsFlagMax = 1024;
+/// --max-mb is scaled by `<< 20` into bytes; bounding the MiB value at
+/// 2^24 (16 TiB) keeps the shift inside 64 bits instead of wrapping to
+/// a tiny (or unlimited) budget.
+constexpr uint64_t MaxMbFlagMax = uint64_t(1) << 24;
+
+/// Parses the value of flag \p Flag from Argv[I+1] into \p Out,
+/// enforcing [\p Min, \p Max].  On a missing, malformed, or
+/// out-of-range value prints a diagnostic naming the flag plus a usage
+/// hint and returns false; the caller exits 64 without re-dumping the
+/// full usage text.
+bool flagValue(std::string_view Flag, int Argc, char **Argv, int &I,
+               uint64_t Min, uint64_t Max, uint64_t &Out) {
+  static constexpr char Hint[] = "(run 'cuba' with no arguments for usage)";
+  if (I + 1 >= Argc) {
+    std::fprintf(stderr, "cuba: %.*s expects a value %s\n",
+                 static_cast<int>(Flag.size()), Flag.data(), Hint);
+    return false;
+  }
+  const char *Text = Argv[++I];
+  auto V = parseUnsigned(Text);
+  if (!V || *V < Min || *V > Max) {
+    std::fprintf(stderr,
+                 "cuba: invalid %.*s value '%s': expected an integer in "
+                 "[%llu, %llu] %s\n",
+                 static_cast<int>(Flag.size()), Flag.data(), Text,
+                 static_cast<unsigned long long>(Min),
+                 static_cast<unsigned long long>(Max), Hint);
+    return false;
+  }
+  Out = *V;
+  return true;
 }
 
 //===----------------------------------------------------------------------===//
@@ -140,42 +216,50 @@ int runFuzz(int Argc, char **Argv) {
                    Env);
     }
   }
+  // Testing hook: CUBA_FUZZ_INJECT=drop-combine simulates a lost
+  // `combine` in the saturation core (existing transitions never gain
+  // weight), so the MISMATCH reporting path itself -- message, program
+  // dump, repro line -- is reachable deterministically and can be
+  // pinned by golden-output tests.
+  if (const char *Inject = std::getenv("CUBA_FUZZ_INJECT"))
+    if (std::string_view(Inject) == "drop-combine")
+      psa_testing::InjectDropMaskGrowth = true;
   for (int I = 2; I < Argc; ++I) {
     std::string_view Arg = Argv[I];
-    auto NumArg = [&](uint64_t &Out) {
-      if (I + 1 >= Argc)
-        return false;
-      auto V = parseUnsigned(Argv[++I]);
-      if (!V)
-        return false;
-      Out = *V;
-      return true;
-    };
     uint64_t N = 0;
-    if (Arg == "--count" && NumArg(N)) {
+    if (Arg == "--count") {
+      if (!flagValue(Arg, Argc, Argv, I, 0, UINT64_MAX, N))
+        return 64;
       Count = N;
-    } else if (Arg == "--seed" && NumArg(N)) {
+    } else if (Arg == "--seed") {
+      if (!flagValue(Arg, Argc, Argv, I, 0, UINT64_MAX, N))
+        return 64;
       BaseSeed = N;
       SeedWasSet = true;
-    } else if (Arg == "--max-k" && NumArg(N)) {
+    } else if (Arg == "--max-k") {
+      if (!flagValue(Arg, Argc, Argv, I, 0, MaxKFlagMax, N))
+        return 64;
       Oracle.MaxK = static_cast<unsigned>(N);
-    } else if (Arg == "--max-mb" && NumArg(N)) {
+    } else if (Arg == "--max-mb") {
+      if (!flagValue(Arg, Argc, Argv, I, 0, MaxMbFlagMax, N))
+        return 64;
       MaxMB = N;
       Oracle.Limits.MaxBytes = N << 20;
-    } else if (Arg == "--jobs" && NumArg(N) && N >= 1) {
+    } else if (Arg == "--jobs") {
+      if (!flagValue(Arg, Argc, Argv, I, 1, JobsFlagMax, N))
+        return 64;
       Jobs = static_cast<unsigned>(N);
     } else if (Arg == "--emit-cpds") {
       EmitCpds = true;
     } else if (Arg == "--mode") {
-      if (I + 1 >= Argc) {
-        printUsage();
-        return 64;
-      }
-      std::string_view Mode = Argv[++I];
-      if (Mode == "bp")
+      std::string_view Mode = I + 1 < Argc ? Argv[++I] : "";
+      if (Mode == "bp") {
         BpMode = true;
-      else if (Mode != "cpds") {
-        printUsage();
+      } else if (Mode != "cpds") {
+        std::fprintf(stderr,
+                     "cuba: invalid --mode value '%.*s': expected cpds or"
+                     " bp (run 'cuba' with no arguments for usage)\n",
+                     static_cast<int>(Mode.size()), Mode.data());
         return 64;
       }
     } else {
@@ -271,43 +355,55 @@ int runFuzz(int Argc, char **Argv) {
   return 0;
 }
 
-bool parseArgs(int Argc, char **Argv, CliOptions &Cli) {
+/// Ok: proceed.  Usage: unknown argument or missing input, caller dumps
+/// the full usage text.  Diagnosed: a named flag error was already
+/// printed; the caller just exits 64.
+enum class ParseResult { Ok, Usage, Diagnosed };
+
+ParseResult parseArgs(int Argc, char **Argv, CliOptions &Cli) {
   RunOptions &Run = Cli.Driver.Run;
   Run.Limits.MaxContexts = 32;
   for (int I = 1; I < Argc; ++I) {
     std::string_view Arg = Argv[I];
-    auto NumArg = [&](uint64_t &Out) {
-      if (I + 1 >= Argc)
-        return false;
-      auto V = parseUnsigned(Argv[++I]);
-      if (!V)
-        return false;
-      Out = *V;
-      return true;
-    };
     uint64_t N = 0;
-    if (Arg == "--max-k" && NumArg(N)) {
+    if (Arg == "--max-k") {
+      if (!flagValue(Arg, Argc, Argv, I, 0, MaxKFlagMax, N))
+        return ParseResult::Diagnosed;
       Run.Limits.MaxContexts = static_cast<unsigned>(N);
-    } else if (Arg == "--max-states" && NumArg(N)) {
+    } else if (Arg == "--max-states") {
+      if (!flagValue(Arg, Argc, Argv, I, 0, UINT64_MAX, N))
+        return ParseResult::Diagnosed;
       Run.Limits.MaxStates = N;
-    } else if (Arg == "--max-steps" && NumArg(N)) {
+    } else if (Arg == "--max-steps") {
+      if (!flagValue(Arg, Argc, Argv, I, 0, UINT64_MAX, N))
+        return ParseResult::Diagnosed;
       Run.Limits.MaxSteps = N;
-    } else if (Arg == "--timeout-ms" && NumArg(N)) {
+    } else if (Arg == "--timeout-ms") {
+      if (!flagValue(Arg, Argc, Argv, I, 0, UINT64_MAX, N))
+        return ParseResult::Diagnosed;
       Run.Limits.MaxMillis = N;
-    } else if (Arg == "--max-mb" && NumArg(N)) {
+    } else if (Arg == "--max-mb") {
+      if (!flagValue(Arg, Argc, Argv, I, 0, MaxMbFlagMax, N))
+        return ParseResult::Diagnosed;
       Run.Limits.MaxBytes = N << 20;
-    } else if (Arg == "--jobs" && NumArg(N) && N >= 1) {
+    } else if (Arg == "--jobs") {
+      if (!flagValue(Arg, Argc, Argv, I, 1, JobsFlagMax, N))
+        return ParseResult::Diagnosed;
       Cli.Jobs = static_cast<unsigned>(N);
     } else if (Arg == "--approach") {
-      if (I + 1 >= Argc)
-        return false;
-      std::string_view A = Argv[++I];
-      if (A == "explicit")
+      std::string_view A = I + 1 < Argc ? Argv[++I] : "";
+      if (A == "explicit") {
         Cli.Driver.Force = ApproachKind::ExplicitCombined;
-      else if (A == "symbolic")
+      } else if (A == "symbolic") {
         Cli.Driver.Force = ApproachKind::Symbolic;
-      else if (A != "auto")
-        return false;
+      } else if (A != "auto") {
+        std::fprintf(stderr,
+                     "cuba: invalid --approach value '%.*s': expected auto,"
+                     " explicit, or symbolic (run 'cuba' with no arguments"
+                     " for usage)\n",
+                     static_cast<int>(A.size()), A.data());
+        return ParseResult::Diagnosed;
+      }
     } else if (Arg == "--continue-after-bug") {
       Run.ContinueAfterBug = true;
     } else if (Arg == "--trace") {
@@ -321,10 +417,10 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Cli) {
     } else if (!Arg.empty() && Arg[0] != '-' && Cli.InputPath.empty()) {
       Cli.InputPath = Arg;
     } else {
-      return false;
+      return ParseResult::Usage;
     }
   }
-  return !Cli.InputPath.empty();
+  return Cli.InputPath.empty() ? ParseResult::Usage : ParseResult::Ok;
 }
 
 bool endsWith(std::string_view S, std::string_view Suffix) {
@@ -359,6 +455,201 @@ ErrorOr<CpdsFile> loadInput(const std::string &Path) {
   return parseCpdsFile(Path);
 }
 
+//===----------------------------------------------------------------------===//
+// The dataflow subcommand: weighted interprocedural taint analysis.
+//===----------------------------------------------------------------------===//
+
+/// Renders one folded visible state with its fact set decoded, for
+/// --report-facts.
+std::string renderDataflowState(const Cpds &C, const bp::TaintInfo &Taint,
+                                const VisibleState &V, unsigned Round) {
+  QState FoldErr = static_cast<QState>(1)
+                   << (Taint.SharedBits + Taint.FactNames.size());
+  std::string Out = "k=" + std::to_string(Round) + " ";
+  if (V.Q == FoldErr) {
+    Out += "err";
+  } else {
+    Out += "q=" + std::to_string(V.Q & ((1u << Taint.SharedBits) - 1));
+    uint32_t Facts = V.Q >> Taint.SharedBits;
+    Out += " facts={";
+    bool First = true;
+    for (size_t F = 0; F < Taint.FactNames.size(); ++F) {
+      if (!(Facts & (1u << F)))
+        continue;
+      if (!First)
+        Out += ",";
+      Out += Taint.FactNames[F];
+      First = false;
+    }
+    Out += "}";
+  }
+  for (unsigned I = 0; I < V.Tops.size(); ++I)
+    Out += " | " + C.thread(I).symbolName(V.Tops[I]);
+  return Out;
+}
+
+int runDataflow(int Argc, char **Argv) {
+  std::string Input;
+  ResourceLimits Limits;
+  Limits.MaxContexts = 8;
+  unsigned Jobs = 0;
+  bool Verify = false;
+  bool ReportFacts = false;
+  for (int I = 2; I < Argc; ++I) {
+    std::string_view Arg = Argv[I];
+    uint64_t N = 0;
+    if (Arg == "--max-k") {
+      if (!flagValue(Arg, Argc, Argv, I, 0, MaxKFlagMax, N))
+        return 64;
+      Limits.MaxContexts = static_cast<unsigned>(N);
+    } else if (Arg == "--max-states") {
+      if (!flagValue(Arg, Argc, Argv, I, 0, UINT64_MAX, N))
+        return 64;
+      Limits.MaxStates = N;
+    } else if (Arg == "--max-steps") {
+      if (!flagValue(Arg, Argc, Argv, I, 0, UINT64_MAX, N))
+        return 64;
+      Limits.MaxSteps = N;
+    } else if (Arg == "--timeout-ms") {
+      if (!flagValue(Arg, Argc, Argv, I, 0, UINT64_MAX, N))
+        return 64;
+      Limits.MaxMillis = N;
+    } else if (Arg == "--max-mb") {
+      if (!flagValue(Arg, Argc, Argv, I, 0, MaxMbFlagMax, N))
+        return 64;
+      Limits.MaxBytes = N << 20;
+    } else if (Arg == "--jobs") {
+      if (!flagValue(Arg, Argc, Argv, I, 1, JobsFlagMax, N))
+        return 64;
+      Jobs = static_cast<unsigned>(N);
+    } else if (Arg == "--verify") {
+      Verify = true;
+    } else if (Arg == "--report-facts") {
+      ReportFacts = true;
+    } else if (!Arg.empty() && Arg[0] != '-' && Input.empty()) {
+      Input = Arg;
+    } else {
+      printUsage();
+      return 64;
+    }
+  }
+  if (Input.empty() || !endsWith(Input, ".bp")) {
+    std::fprintf(stderr, "cuba dataflow: needs one .bp input file\n");
+    printUsage();
+    return 64;
+  }
+
+  auto Text = readFile(Input);
+  if (!Text) {
+    std::fprintf(stderr, "cuba: %s: %s\n", Input.c_str(),
+                 Text.error().str().c_str());
+    return 64;
+  }
+  auto Prog = bp::parseProgram(*Text);
+  if (!Prog) {
+    std::fprintf(stderr, "cuba: %s: %s\n", Input.c_str(),
+                 Prog.error().str().c_str());
+    return 64;
+  }
+  auto Info = bp::analyzeProgram(*Prog);
+  if (!Info) {
+    std::fprintf(stderr, "cuba: %s: %s\n", Input.c_str(),
+                 Info.error().str().c_str());
+    return 64;
+  }
+
+  bp::TaintInfo Taint;
+  bp::TranslateOptions TOpts;
+  TOpts.Taint = &Taint;
+  auto File = bp::translateProgram(*Prog, *Info, TOpts);
+  if (!File) {
+    std::fprintf(stderr, "cuba: %s: %s\n", Input.c_str(),
+                 File.error().str().c_str());
+    return 64;
+  }
+
+  WallTimer T;
+  DataflowEngine W(File->System, Taint, Limits);
+  bool Exhausted = false;
+  while (W.bound() < Limits.MaxContexts && !W.frontierEmpty()) {
+    if (W.advance() == DataflowEngine::RoundStatus::Exhausted) {
+      Exhausted = true;
+      break;
+    }
+  }
+  bool Converged = !Exhausted && W.frontierEmpty();
+  std::vector<SinkHit> Hits = W.sinkHits();
+
+  std::printf("input:     %s\n", Input.c_str());
+  std::string FactList;
+  for (const std::string &F : Taint.FactNames)
+    FactList += (FactList.empty() ? "" : ", ") + F;
+  std::printf("facts:     %zu (%s)\n", Taint.FactNames.size(),
+              FactList.c_str());
+  std::printf("sinks:     %zu site(s)\n", Taint.Sinks.size());
+  std::printf("explored:  k_max=%u%s, states=%zu, visible=%zu,"
+              " saturations=%zu\n",
+              W.bound(), Converged ? " (converged)" : "", W.stateCount(),
+              W.visibleSize(), W.saturationCount());
+  std::printf("resources: %.2f ms, %.1f MB peak\n", T.millis(),
+              static_cast<double>(W.limits().peakBytes()) / (1024 * 1024));
+
+  if (ReportFacts)
+    for (const auto &[V, Round] : W.visibleFirstSeen())
+      std::printf("visible:   %s\n",
+                  renderDataflowState(File->System, Taint, V, Round).c_str());
+
+  for (const SinkHit &H : Hits)
+    std::printf("leak:      thread %u at '%s' may observe tainted '%s'"
+                " (first at k=%u)\n",
+                H.Thread,
+                File->System.thread(H.Thread).symbolName(H.Frame).c_str(),
+                Taint.FactNames[H.Fact].c_str(), H.Round);
+
+  if (Verify) {
+    unsigned RefJobs = Jobs ? Jobs : exec::ThreadPool::defaultJobs();
+    exec::ThreadPool Pool(RefJobs);
+    testing::DataflowOracleOptions OOpts;
+    OOpts.MaxK = Limits.MaxContexts;
+    OOpts.Limits = Limits;
+    OOpts.Pool = &Pool;
+    testing::DataflowOracleReport Rep =
+        testing::runDataflowOracle(*Prog, OOpts);
+    if (Rep.FoldedRejected) {
+      std::printf("verify:    skipped (the folded product exceeds the"
+                  " frontend size guard)\n");
+    } else if (!Rep.ok()) {
+      std::fprintf(stderr, "cuba dataflow: verify MISMATCH against the"
+                           " folded product reference\n%s\n",
+                   Rep.str().c_str());
+      return 70;
+    } else {
+      std::printf("verify:    agrees with the folded product reference"
+                  " (k <= %u, %u job(s))\n",
+                  Rep.KCompared, RefJobs);
+    }
+  }
+
+  if (!Hits.empty()) {
+    std::printf("verdict:   LEAK within %u contexts\n", Hits.front().Round);
+    return 1;
+  }
+  if (Exhausted) {
+    std::printf("verdict:   UNDECIDED within the resource budget"
+                " (explored k <= %u, exhausted: %s)\n",
+                W.bound(), exhaustKindName(W.limits().reason()));
+    return 2;
+  }
+  if (Converged)
+    std::printf("verdict:   SAFE for every context bound"
+                " (state space converged at k = %u)\n",
+                W.bound());
+  else
+    std::printf("verdict:   SAFE up to the context bound k = %u\n",
+                W.bound());
+  return 0;
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) try {
@@ -368,11 +659,18 @@ int main(int Argc, char **Argv) try {
 
   if (Argc > 1 && std::string_view(Argv[1]) == "fuzz")
     return runFuzz(Argc, Argv);
+  if (Argc > 1 && std::string_view(Argv[1]) == "dataflow")
+    return runDataflow(Argc, Argv);
 
   CliOptions Cli;
-  if (!parseArgs(Argc, Argv, Cli)) {
+  switch (parseArgs(Argc, Argv, Cli)) {
+  case ParseResult::Ok:
+    break;
+  case ParseResult::Usage:
     printUsage();
     return 64;
+  case ParseResult::Diagnosed:
+    return 64; // The named flag error already carried the usage hint.
   }
 
   if (Cli.DumpAst) {
