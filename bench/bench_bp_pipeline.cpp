@@ -18,6 +18,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "BenchUtil.h"
+
 #include <filesystem>
 #include <fstream>
 #include <sstream>
@@ -130,6 +132,7 @@ int main(int argc, char **argv) {
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv))
     return 1;
+  cuba::benchutil::addRunContext();
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   return 0;

@@ -19,6 +19,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "BenchUtil.h"
+
 #include <string>
 
 #include "bp/Parser.h"
@@ -137,4 +139,4 @@ BENCHMARK(BM_DataflowFoldedReference)
     ->Args({12, 5})
     ->Unit(benchmark::kMillisecond);
 
-BENCHMARK_MAIN();
+CUBA_BENCH_MAIN()

@@ -15,6 +15,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "BenchUtil.h"
+
 #include "core/CbaEngine.h"
 #include "models/Models.h"
 
@@ -54,4 +56,4 @@ BENCHMARK(BM_ExplicitClosureWide)->Arg(3)->Arg(5)->Arg(7);
 
 } // namespace
 
-BENCHMARK_MAIN();
+CUBA_BENCH_MAIN()

@@ -14,6 +14,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "BenchUtil.h"
+
 #include "../tests/ReferencePostStar.h"
 #include "bdd/BddSet.h"
 #include "fa/Canonicalize.h"
@@ -162,4 +164,4 @@ BENCHMARK(BM_BddSetInsert);
 
 } // namespace
 
-BENCHMARK_MAIN();
+CUBA_BENCH_MAIN()

@@ -15,6 +15,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "BenchUtil.h"
+
 #include "core/SymbolicEngine.h"
 #include "fa/Dfa.h"
 #include "fa/Nfa.h"
@@ -90,4 +92,4 @@ BENCHMARK(BM_SymbolicRounds)->Arg(2)->Arg(4)->Arg(6);
 
 } // namespace
 
-BENCHMARK_MAIN();
+CUBA_BENCH_MAIN()

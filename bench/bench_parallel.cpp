@@ -20,6 +20,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "BenchUtil.h"
+
 #include "core/CbaEngine.h"
 #include "core/SymbolicEngine.h"
 #include "exec/ThreadPool.h"
@@ -107,4 +109,4 @@ BENCHMARK(BM_SymbolicRoundsParNarrow)
 
 } // namespace
 
-BENCHMARK_MAIN();
+CUBA_BENCH_MAIN()

@@ -8,8 +8,10 @@
 #include "core/CbaEngine.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "exec/ParallelRound.h"
+#include "obs/Trace.h"
 #include "support/Statistic.h"
 
 using namespace cuba;
@@ -223,12 +225,22 @@ CbaEngine::closeUnderThreadParallel(unsigned I,
     size_t NumChunks = exec::chunkCount(Level.size(), Grain);
     if (ChunksBuf.size() < NumChunks)
       ChunksBuf.resize(NumChunks);
-    exec::parallelChunks(*Pool, Level.size(), Grain,
-                         [&](unsigned Worker, size_t Chunk, size_t Begin,
-                             size_t End) {
-                           deriveChunk(Worker, ChunksBuf[Chunk], I, Level,
-                                       Begin, End);
-                         });
+    {
+      // Per-level derive/commit spans are wall-category: levels only
+      // exist on the parallel path, so they are exempt from the
+      // cross-jobs trace contract (chunking varies with the pool size).
+      obs::ScopedSpan Derive("derive-level", obs::Trace::CatWall);
+      Derive.arg("level", Level.size());
+      Derive.arg("chunks", NumChunks);
+      exec::parallelChunks(*Pool, Level.size(), Grain,
+                           [&](unsigned Worker, size_t Chunk, size_t Begin,
+                               size_t End) {
+                             deriveChunk(Worker, ChunksBuf[Chunk], I, Level,
+                                         Begin, End);
+                           });
+    }
+    obs::ScopedSpan Commit("commit-level", obs::Trace::CatWall);
+    Commit.arg("level", Level.size());
 
     // Serial ordered commit.
     Next.clear();
@@ -298,7 +310,13 @@ CbaEngine::closeUnderThreadParallel(unsigned I,
 
 CbaEngine::RoundStatus CbaEngine::advance() {
   static Statistic Rounds("cba.rounds");
+  static obs::Histogram RoundMicros("cba.round_micros",
+                                    /*Deterministic=*/false);
+  static obs::Gauge BytesHwm("cba.bytes.hwm");
   ++Rounds;
+  auto T0 = std::chrono::steady_clock::now();
+  obs::ScopedSpan Round("round", obs::Trace::CatDet);
+  Round.arg("k", Bound);
   // Seeds are snapshotted before the round: states discovered during
   // this round must not become seeds of a later thread's closure, or
   // the round would mix multiple context switches.
@@ -310,18 +328,46 @@ CbaEngine::RoundStatus CbaEngine::advance() {
   } else {
     Seeds = Frontier;
   }
+  Round.arg("seeds", Seeds.size());
+
+  auto FinishRound = [&](std::vector<uint32_t> &NewFrontier) {
+    // Budget consumption curve, all deterministic functions of serially
+    // committed state (the parallel paths exhaust at identical points).
+    Round.arg("new_states", NewFrontier.size());
+    Round.arg("steps", Limits.steps());
+    Round.arg("states", Limits.states());
+    Round.arg("peak_bytes", Limits.peakBytes());
+    BytesHwm.recordMax(stateBytes() + CommittedArenaBytes);
+    RoundMicros.observe(static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - T0)
+            .count()));
+  };
+
   std::vector<uint32_t> NewFrontier;
   for (unsigned I = 0; I < C.numThreads(); ++I) {
+    // One span per per-thread closure; emitted in both round paths, so
+    // it is det-category (its duration covers the parallel levels, but
+    // the content does not depend on them).
+    size_t Before = NewFrontier.size();
+    obs::ScopedSpan Closure("closure", obs::Trace::CatDet);
+    Closure.arg("thread", I);
     RoundStatus St = Pool ? closeUnderThreadParallel(I, Seeds, NewFrontier)
                           : closeUnderThread(I, Seeds, NewFrontier);
-    if (St == RoundStatus::Exhausted)
+    Closure.arg("new_states", NewFrontier.size() - Before);
+    if (St == RoundStatus::Exhausted) {
+      FinishRound(NewFrontier);
       return RoundStatus::Exhausted;
+    }
     // Closure boundary: the stack arena and visible set agree between
     // the serial and parallel paths here, so fold them into the byte
     // budget now (mid-closure their contents differ by path).
-    if (!checkMemoryAtBoundary())
+    if (!checkMemoryAtBoundary()) {
+      FinishRound(NewFrontier);
       return RoundStatus::Exhausted;
+    }
   }
+  FinishRound(NewFrontier);
   ++Bound;
   Frontier = std::move(NewFrontier);
   return RoundStatus::Ok;

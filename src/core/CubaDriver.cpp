@@ -7,6 +7,7 @@
 
 #include "core/CubaDriver.h"
 
+#include "obs/Trace.h"
 #include "support/FaultInject.h"
 #include "support/Timer.h"
 
@@ -23,8 +24,12 @@ DriverResult cuba::runCuba(const Cpds &C, const SafetyProperty &Prop,
   // incomplete answer, never a crash.
   LimitTracker FcrLimits(Opts.Run.Limits);
   auto SafeFcr = [&]() -> FcrResult {
+    obs::ScopedSpan Span("fcr", obs::Trace::CatDet);
     try {
-      return checkFcr(C, &FcrLimits);
+      FcrResult Res = checkFcr(C, &FcrLimits);
+      Span.arg("holds", Res.Holds);
+      Span.arg("complete", Res.Complete);
+      return Res;
     } catch (const std::bad_alloc &) {
       FcrResult Failed;
       Failed.Complete = false; // Holds stays false: "unknown".

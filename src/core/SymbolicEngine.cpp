@@ -9,8 +9,11 @@
 
 #include <algorithm>
 
+#include <chrono>
+
 #include "exec/ParallelRound.h"
 #include "fa/Canonicalize.h"
+#include "obs/Trace.h"
 #include "support/Statistic.h"
 
 using namespace cuba;
@@ -165,8 +168,21 @@ bool SymbolicEngine::replayTransaction(const Transaction &TR,
 
 uint32_t SymbolicEngine::registerSaturation(unsigned I, DfaId Lang,
                                             SharedSaturation Sat,
-                                            uint64_t BaseSteps) {
+                                            uint64_t BaseSteps,
+                                            uint64_t BeginNs, uint64_t EndNs,
+                                            uint32_t Worker) {
+  static obs::Histogram PopsPerSat("symbolic.pops_per_saturation");
   fault::checkAlloc();
+  PopsPerSat.observe(BaseSteps);
+  if (obs::Trace::enabled()) {
+    obs::SpanArg Args[] = {{"thread", I},
+                           {"lang", Lang},
+                           {"pops", BaseSteps},
+                           {"sat_states", Sat.numStates()},
+                           {"bytes", Sat.memoryBytes()}};
+    obs::Trace::span("saturate", obs::Trace::CatDet, Worker, BeginNs, EndNs,
+                     Args, 5);
+  }
   uint32_t Idx = static_cast<uint32_t>(SharedSats.size());
   SatBytes += Sat.memoryBytes();
   SharedSats.push_back({std::move(Sat), BaseSteps, {}, I, Lang, Bound});
@@ -180,6 +196,7 @@ uint32_t SymbolicEngine::registerSaturation(unsigned I, DfaId Lang,
 void SymbolicEngine::extractRootPending(const SharedSaturation &Sat,
                                         QState Root,
                                         PendingExtraction &P) const {
+  P.TsBegin = obs::Trace::nowNs();
   // The per-successor charge mirrors the pre-refactor pipeline's
   // rooted-NFA cost: the size of the automaton the canonicalization
   // reads, identical for every target of one root.
@@ -188,11 +205,21 @@ void SymbolicEngine::extractRootPending(const SharedSaturation &Sat,
     uint64_t Hash = D.hash();
     P.Succs.push_back({Q2, std::move(D), Hash, Cost});
   }
+  P.TsEnd = obs::Trace::nowNs();
 }
 
 bool SymbolicEngine::commitRootExtraction(
     uint32_t SatIdx, PendingExtraction &P, const SymbolicState &S, unsigned I,
     std::vector<SymbolicState> &NewFrontier) {
+  static obs::Histogram Fanout("symbolic.extraction_fanout");
+  Fanout.observe(P.Succs.size());
+  if (obs::Trace::enabled()) {
+    obs::SpanArg Args[] = {{"thread", I},
+                           {"root", S.Q},
+                           {"fanout", P.Succs.size()}};
+    obs::Trace::span("extract", obs::Trace::CatDet, P.Worker, P.TsBegin,
+                     P.TsEnd, Args, 3);
+  }
   SharedSat &SS = SharedSats[SatIdx];
   Transaction TR;
   TR.BaseSteps = SS.PendingBase; // First extracted root carries the base.
@@ -250,12 +277,14 @@ bool SymbolicEngine::expand(const SymbolicState &S, unsigned I,
     // Fresh language: one shared saturation serves every root that will
     // ever expand it, charged live (one step per saturation pop).
     uint64_t StepsBefore = Limits.steps();
+    uint64_t Ts0 = obs::Trace::nowNs();
     SharedSaturationResult R = sharedPostStar(
         Bottomed[I].P, C.numSharedStates(), Store.get(Lang), &Limits);
+    uint64_t Ts1 = obs::Trace::nowNs();
     if (!R.Complete)
       return false;
     SatIdx = registerSaturation(I, Lang, std::move(R.Sat),
-                                Limits.steps() - StepsBefore);
+                                Limits.steps() - StepsBefore, Ts0, Ts1, 0);
   }
 
   // Fresh root on a (now) saturated language: extract, then run the
@@ -267,6 +296,12 @@ bool SymbolicEngine::expand(const SymbolicState &S, unsigned I,
 
 SymbolicEngine::RoundStatus
 SymbolicEngine::advanceRoundSerial(std::vector<SymbolicState> &NewFrontier) {
+  // The "commit" span covers the round's whole expansion sequence (the
+  // serial path has no separate speculative phase); its expansion count
+  // mirrors the parallel commit's exactly, including the truncation
+  // point on exhaustion, so the det trace stays jobs-identical.
+  obs::ScopedSpan Commit("commit", obs::Trace::CatDet);
+  uint64_t Expansions = 0;
   for (const SymbolicState &S : Frontier) {
     uint32_t Produced = *States.find(S);
     for (unsigned I = 0; I < C.numThreads(); ++I) {
@@ -274,14 +309,20 @@ SymbolicEngine::advanceRoundSerial(std::vector<SymbolicState> &NewFrontier) {
       // re-expanding yields only language-subsumed rows.
       if (Produced & (1u << I))
         continue;
-      if (!expand(S, I, NewFrontier))
+      ++Expansions;
+      if (!expand(S, I, NewFrontier)) {
+        Commit.arg("expansions", Expansions);
         return RoundStatus::Exhausted;
+      }
     }
   }
+  Commit.arg("expansions", Expansions);
   return RoundStatus::Ok;
 }
 
-void SymbolicEngine::computePendingSat(PendingSat &P) const {
+void SymbolicEngine::computePendingSat(PendingSat &P,
+                                       uint32_t Worker) const {
+  P.Worker = Worker;
   // Everything here reads only state frozen for the round: the
   // bottom-transformed PDSs, the DfaStore arena and the retained
   // saturations (both only append, in the serial commit), and the pds
@@ -298,9 +339,11 @@ void SymbolicEngine::computePendingSat(PendingSat &P) const {
     ResourceLimits RL = ResourceLimits::unlimited();
     RL.MaxBytes = Limits.limits().MaxBytes;
     LimitTracker Recorder(RL);
+    P.TsBegin = obs::Trace::nowNs();
     SharedSaturationResult R = sharedPostStar(
         Bottomed[P.Thread].P, C.numSharedStates(), Store.get(P.InLang),
         &Recorder);
+    P.TsEnd = obs::Trace::nowNs();
     assert((R.Complete || RL.MaxBytes) &&
            "only a byte budget can truncate the recorder");
     P.BaseSteps = Recorder.steps();
@@ -310,8 +353,10 @@ void SymbolicEngine::computePendingSat(PendingSat &P) const {
     Sat = &P.Sat;
   }
   P.Extr.resize(P.Roots.size());
-  for (size_t R = 0; R < P.Roots.size(); ++R)
+  for (size_t R = 0; R < P.Roots.size(); ++R) {
     extractRootPending(*Sat, P.Roots[R], P.Extr[R]);
+    P.Extr[R].Worker = Worker;
+  }
 }
 
 SymbolicEngine::RoundStatus
@@ -363,21 +408,30 @@ SymbolicEngine::advanceRoundParallel(std::vector<SymbolicState> &NewFrontier) {
   // Phase 2 (parallel): speculative saturations + extractions, one task
   // per (thread, language) key.  Tasks the serial run would never reach
   // (it exhausted earlier) are computed and discarded; the budget
-  // replay below is what decides.
-  exec::parallelFor(*Pool, Pending.size(), 1, [&](unsigned, size_t T) {
-    computePendingSat(Pending[T]);
-  });
+  // replay below is what decides.  The span is wall-category: it only
+  // exists on the parallel path, so it is exempt from the cross-jobs
+  // trace contract.
+  {
+    obs::ScopedSpan Spec("speculate", obs::Trace::CatWall);
+    Spec.arg("tasks", Pending.size());
+    exec::parallelFor(*Pool, Pending.size(), 1, [&](unsigned W, size_t T) {
+      computePendingSat(Pending[T], W);
+    });
+  }
 
   // Phase 3 (serial): replay the round's expansion sequence in serial
   // order against the real budget -- live producer masks, the empty
   // -language guard, cache hits, interning (DfaId assignment order ==
   // serial order) and successor registration, exactly as expand() would.
+  obs::ScopedSpan Commit("commit", obs::Trace::CatDet);
+  uint64_t Expansions = 0;
   for (const SymbolicState &S : Frontier) {
     uint32_t Produced = *States.find(S);
     for (unsigned I = 0; I < C.numThreads(); ++I) {
       if (Produced & (1u << I))
         continue;
       ++TransCounter;
+      ++Expansions;
       DfaId Lang = S.Langs[I];
       if (Store.get(Lang).Start == CanonicalDfa::NoState)
         continue;
@@ -390,8 +444,10 @@ SymbolicEngine::advanceRoundParallel(std::vector<SymbolicState> &NewFrontier) {
           // the serial hit path (shared with expand(), so the two
           // charge schedules cannot drift apart).
           ++HitCounter;
-          if (!replayTransaction(Transactions[*Rec], S, I, NewFrontier))
+          if (!replayTransaction(Transactions[*Rec], S, I, NewFrontier)) {
+            Commit.arg("expansions", Expansions);
             return RoundStatus::Exhausted;
+          }
           continue;
         }
       }
@@ -403,20 +459,25 @@ SymbolicEngine::advanceRoundParallel(std::vector<SymbolicState> &NewFrontier) {
         // peak folds after the steps, mirroring the serial loop's
         // chargeStep-then-checkMemory order; an incomplete (byte
         // -truncated) speculation aborts like serial's !R.Complete.
-        if (!Limits.chargeStepsUnit(PS.BaseSteps))
+        if (!Limits.chargeStepsUnit(PS.BaseSteps) ||
+            !Limits.checkMemory(PS.PeakSatBytes) || !PS.Complete) {
+          Commit.arg("expansions", Expansions);
           return RoundStatus::Exhausted;
-        if (!Limits.checkMemory(PS.PeakSatBytes) || !PS.Complete)
-          return RoundStatus::Exhausted;
+        }
         SatIdx = registerSaturation(I, Lang, std::move(PS.Sat),
-                                    PS.BaseSteps);
+                                    PS.BaseSteps, PS.TsBegin, PS.TsEnd,
+                                    PS.Worker);
       }
       // Fresh root: the rest of the sequence is the code expand()
       // itself runs.
       PendingExtraction &PE = PS.Extr[*PS.RootIdx.find(S.Q)];
-      if (!commitRootExtraction(SatIdx, PE, S, I, NewFrontier))
+      if (!commitRootExtraction(SatIdx, PE, S, I, NewFrontier)) {
+        Commit.arg("expansions", Expansions);
         return RoundStatus::Exhausted;
+      }
     }
   }
+  Commit.arg("expansions", Expansions);
   return RoundStatus::Ok;
 }
 
@@ -425,6 +486,9 @@ void SymbolicEngine::evictSaturations() {
   if (!Budget || SatBytes <= Budget)
     return;
   static Statistic Evictions("symbolic.sat_evictions");
+  // The eviction schedule is deterministic (serial round boundary), so
+  // the span -- including its evicted/retained figures -- is too.
+  obs::ScopedSpan Span("evict", obs::Trace::CatDet);
 
   // Oldest generations first, registration order breaking ties; entries
   // touched in the round just committed are pinned (the frontier will
@@ -438,13 +502,17 @@ void SymbolicEngine::evictSaturations() {
   });
   std::vector<uint8_t> Evict(SharedSats.size(), 0);
   uint64_t Retained = SatBytes;
+  uint64_t EvictedNow = 0;
   for (uint32_t Idx : Order) {
     if (Retained <= Budget || SharedSats[Idx].LastUsed == Bound)
       break;
     Evict[Idx] = 1;
     Retained -= SharedSats[Idx].Sat.memoryBytes();
     ++Evictions;
+    ++EvictedNow;
   }
+  Span.arg("evicted", EvictedNow);
+  Span.arg("retained_bytes", Retained);
   if (Retained == SatBytes)
     return;
 
@@ -488,15 +556,44 @@ void SymbolicEngine::evictSaturations() {
 
 SymbolicEngine::RoundStatus SymbolicEngine::advance() {
   static Statistic Rounds("symbolic.rounds");
+  // Round latency varies with scheduling and machine load, so the
+  // histogram sits on the wall side of the determinism split.
+  static obs::Histogram RoundMicros("symbolic.round_micros",
+                                    /*Deterministic=*/false);
+  static obs::Gauge BytesHwm("symbolic.bytes.hwm");
+  static obs::Gauge SatBytesHwm("symbolic.sat_bytes.hwm");
+  static obs::Gauge CacheEntriesHwm("symbolic.cache_entries.hwm");
   ++Rounds;
+  auto T0 = std::chrono::steady_clock::now();
+  obs::ScopedSpan Round("round", obs::Trace::CatDet);
+  Round.arg("k", Bound);
+  Round.arg("frontier", Frontier.size());
+
   std::vector<SymbolicState> NewFrontier;
   RoundStatus St = Pool ? advanceRoundParallel(NewFrontier)
                         : advanceRoundSerial(NewFrontier);
+
+  // Budget consumption curve: the cumulative tracker figures as of this
+  // round's end, all deterministic functions of serially committed
+  // state (even at the exhaustion round -- both paths truncate at the
+  // identical charge).
+  Round.arg("steps", Limits.steps());
+  Round.arg("states", Limits.states());
+  Round.arg("peak_bytes", Limits.peakBytes());
+  RoundMicros.observe(static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - T0)
+          .count()));
   if (St == RoundStatus::Exhausted)
     return RoundStatus::Exhausted;
   // The serial round boundary: the only point where retention decisions
   // are made, so they are identical at any `--jobs`.
   evictSaturations();
+  Round.arg("new_states", NewFrontier.size());
+  Round.arg("bytes", memoryUsage());
+  BytesHwm.recordMax(memoryUsage());
+  SatBytesHwm.recordMax(SatBytes);
+  CacheEntriesHwm.recordMax(SharedSats.size());
   ++Bound;
   Frontier = std::move(NewFrontier);
   return RoundStatus::Ok;

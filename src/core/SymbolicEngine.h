@@ -209,7 +209,11 @@ private:
   /// A per-root extraction staged before budget charging and interning:
   /// canonical successor languages by value with their structural
   /// hashes and charge schedule.  Shared by the serial fresh path and
-  /// the parallel speculative phase.
+  /// the parallel speculative phase.  The trace fields record where and
+  /// when the extraction actually ran (a worker in parallel rounds);
+  /// the serial commit emits the "extract" span from them, so span
+  /// *content* stays identical at any job count while the attribution
+  /// is honest.
   struct PendingExtraction {
     struct PSucc {
       QState Q;
@@ -218,6 +222,9 @@ private:
       uint64_t StepCost;
     };
     std::vector<PSucc> Succs;
+    uint64_t TsBegin = 0;
+    uint64_t TsEnd = 0;
+    uint32_t Worker = 0;
   };
 
   /// One distinct (thread, input DfaId) unit of speculative work in a
@@ -239,6 +246,12 @@ private:
     std::vector<QState> Roots;
     FlatMap<uint32_t, uint32_t> RootIdx; // root -> Extr index
     std::vector<PendingExtraction> Extr;
+    /// Trace attribution of the speculative saturation (see
+    /// PendingExtraction): emitted by the serial commit's
+    /// registerSaturation.
+    uint64_t TsBegin = 0;
+    uint64_t TsEnd = 0;
+    uint32_t Worker = 0;
   };
 
   /// Expands symbolic state \p S by thread \p I; new successors are
@@ -248,9 +261,12 @@ private:
 
   /// Installs a completed saturation under (thread \p I, \p Lang) with
   /// \p BaseSteps still to be charged to the first extracted root's
-  /// record; returns its SharedSats index.
+  /// record; returns its SharedSats index.  A serial commit point in
+  /// both round paths: emits the "saturate" trace span with the
+  /// recorded [\p BeginNs, \p EndNs] x \p Worker attribution.
   uint32_t registerSaturation(unsigned I, DfaId Lang, SharedSaturation Sat,
-                              uint64_t BaseSteps);
+                              uint64_t BaseSteps, uint64_t BeginNs,
+                              uint64_t EndNs, uint32_t Worker);
 
   /// Extracts root \p Root's canonical successor languages (with
   /// structural hashes and charge schedule) from \p Sat.  Pure; shared
@@ -279,8 +295,9 @@ private:
 
   /// Computes \p P's saturation (unless cached) and per-root
   /// extractions against the frozen arena (parallel phase; must not
-  /// touch engine state).
-  void computePendingSat(PendingSat &P) const;
+  /// touch engine state).  \p Worker is recorded for trace attribution
+  /// only.
+  void computePendingSat(PendingSat &P, uint32_t Worker) const;
 
   /// Registers \p S (if new) at round \p Round, recording its visible
   /// projections; \p Producer is the expanding thread (UINT32_MAX for

@@ -10,6 +10,7 @@
 #include <algorithm>
 #include <unordered_set>
 
+#include "obs/Trace.h"
 #include "pds/VisibleSet.h"
 #include "support/FlatHash.h"
 
@@ -18,6 +19,9 @@ using namespace cuba;
 std::vector<VisibleState> cuba::computeZ(const Cpds &C,
                                          LimitTracker *Limits) {
   assert(C.frozen() && "computeZ requires a frozen CPDS");
+  // Serial BFS, so the span (and its visible-count arg, added at every
+  // exit) is deterministic at any `--jobs`.
+  obs::ScopedSpan Span("z-overapprox", obs::Trace::CatDet);
   VisiblePacker Packer(C);
 
   // Exploration accumulates into Queue (every state enters it exactly
@@ -62,20 +66,27 @@ std::vector<VisibleState> cuba::computeZ(const Cpds &C,
       Succs.clear();
       // Queue may grow (and move) below; index per iteration.
       C.abstractSuccessors(Queue[Head], I, Succs);
-      if (Limits && !Limits->chargeStep(Succs.size() + 1))
+      if (Limits && !Limits->chargeStep(Succs.size() + 1)) {
+        Span.arg("exhausted", 1);
         return {}; // Budget exhausted: no usable overapproximation.
-      if (Limits && !Limits->checkMemory(LiveBytes()))
+      }
+      if (Limits && !Limits->checkMemory(LiveBytes())) {
+        Span.arg("exhausted", 1);
         return {};
+      }
       for (VisibleState &S : Succs) {
         if (!FirstVisit(S))
           continue;
-        if (Limits && !Limits->chargeState())
+        if (Limits && !Limits->chargeState()) {
+          Span.arg("exhausted", 1);
           return {};
+        }
         Queue.push_back(std::move(S));
       }
     }
   }
 
+  Span.arg("visible", Queue.size());
   std::sort(Queue.begin(), Queue.end());
   return Queue;
 }

@@ -8,9 +8,11 @@
 #include "dataflow/DataflowEngine.h"
 
 #include <algorithm>
+#include <chrono>
 #include <tuple>
 
 #include "fa/Canonicalize.h"
+#include "obs/Trace.h"
 #include "support/FaultInject.h"
 #include "support/Statistic.h"
 
@@ -187,7 +189,11 @@ uint32_t DataflowEngine::saturate(unsigned I, DfaId Lang) {
   if (const uint32_t *Found = SatCache[I].find(Lang))
     return *Found;
   static Statistic SatCounter("dataflow.saturations");
+  static obs::Histogram PopsPerSat("dataflow.pops_per_saturation");
   ++SatCounter;
+  obs::ScopedSpan Span("saturate", obs::Trace::CatDet);
+  Span.arg("thread", I);
+  Span.arg("lang", Lang);
 
   // Fresh (thread, language): build the domain with this thread's rule
   // transformers interned, then run the generic saturator charged live.
@@ -202,11 +208,14 @@ uint32_t DataflowEngine::saturate(unsigned I, DfaId Lang) {
       Bottomed[I].P, C.numSharedStates(), Store.get(Lang), &Limits,
       TaintDomain(std::move(Tab), std::move(TfBy)));
   WeightedResult<TaintDomain> R = Sat.run();
+  PopsPerSat.observe(Limits.steps() - StepsBefore);
+  Span.arg("pops", Limits.steps() - StepsBefore);
   if (!R.Complete)
     return UINT32_MAX;
 
   fault::checkAlloc();
   uint32_t Idx = static_cast<uint32_t>(Sats.size());
+  Span.arg("bytes", R.Rel.memoryBytes());
   SatBytes += R.Rel.memoryBytes();
   WSat W;
   W.Rel = std::move(R.Rel);
@@ -223,6 +232,8 @@ uint32_t DataflowEngine::rootProduct(uint32_t SatIdx, QState Root) {
     return *Found;
   static Statistic ProductCounter("dataflow.products");
   ++ProductCounter;
+  obs::ScopedSpan Span("product", obs::Trace::CatDet);
+  Span.arg("root", Root);
 
   WeightedRelation<TaintDomain> &Rel = W.Rel;
   TaintWeightTable &Tab = Rel.Dom.table();
@@ -287,6 +298,7 @@ uint32_t DataflowEngine::rootProduct(uint32_t SatIdx, QState Root) {
       P.Accepts.push_back(Pid);
   }
 
+  Span.arg("pstates", P.PStates.size());
   SatBytes += P.memoryBytes();
   uint32_t Idx = static_cast<uint32_t>(RootProducts.size());
   RootProducts.push_back(std::move(P));
@@ -298,7 +310,11 @@ bool DataflowEngine::commitExtraction(uint32_t SatIdx, const DataflowState &S,
                                       unsigned I,
                                       std::vector<DataflowState> &NewFrontier) {
   static Statistic ExtractCounter("dataflow.extractions");
+  static obs::Histogram Fanout("dataflow.extraction_fanout");
   ++ExtractCounter;
+  obs::ScopedSpan Span("extract", obs::Trace::CatDet);
+  Span.arg("thread", I);
+  Span.arg("root", S.Q);
   uint32_t PIdx = rootProduct(SatIdx, S.Q);
   WSat &W = Sats[SatIdx];
   RootProduct &P = RootProducts[PIdx];
@@ -350,6 +366,8 @@ bool DataflowEngine::commitExtraction(uint32_t SatIdx, const DataflowState &S,
   // prefix was charged and registered, and the engine is stopping.
   if (!Ok)
     return false;
+  Fanout.observe(TR.Succs.size());
+  Span.arg("fanout", TR.Succs.size());
   Transactions.push_back(std::move(TR));
   W.Records.tryEmplace(recordKey(S.Q, S.Facts),
                        static_cast<uint32_t>(Transactions.size() - 1));
@@ -379,7 +397,28 @@ bool DataflowEngine::expand(const DataflowState &S, unsigned I,
 
 DataflowEngine::RoundStatus DataflowEngine::advance() {
   static Statistic Rounds("dataflow.rounds");
+  static obs::Histogram RoundMicros("dataflow.round_micros",
+                                    /*Deterministic=*/false);
+  static obs::Gauge BytesHwm("dataflow.bytes.hwm");
   ++Rounds;
+  auto T0 = std::chrono::steady_clock::now();
+  // The engine is serial, so the span content is trivially
+  // jobs-independent; it still carries the det category so dataflow
+  // traces diff clean alongside the boolean engines'.
+  obs::ScopedSpan Round("dataflow-round", obs::Trace::CatDet);
+  Round.arg("k", Bound);
+  Round.arg("frontier", Frontier.size());
+  auto Finish = [&](size_t NewStates) {
+    Round.arg("new_states", NewStates);
+    Round.arg("steps", Limits.steps());
+    Round.arg("states", Limits.states());
+    Round.arg("peak_bytes", Limits.peakBytes());
+    BytesHwm.recordMax(memoryUsage());
+    RoundMicros.observe(static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - T0)
+            .count()));
+  };
   std::vector<DataflowState> NewFrontier;
   for (const DataflowState &S : Frontier) {
     uint32_t Produced = *States.find(S);
@@ -389,10 +428,13 @@ DataflowEngine::RoundStatus DataflowEngine::advance() {
       // successors -- the same argument as the boolean engines'.
       if (Produced & (1u << I))
         continue;
-      if (!expand(S, I, NewFrontier))
+      if (!expand(S, I, NewFrontier)) {
+        Finish(NewFrontier.size());
         return RoundStatus::Exhausted;
+      }
     }
   }
+  Finish(NewFrontier.size());
   ++Bound;
   Frontier = std::move(NewFrontier);
   return RoundStatus::Ok;

@@ -9,6 +9,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <cstdlib>
 
 #include "support/FaultInject.h"
@@ -68,6 +69,7 @@ ThreadPool::ThreadPool(unsigned Jobs) {
   // beyond it extra workers only oversubscribe.
   unsigned Target = std::clamp(Jobs, 1u, 256u);
   SpinOnIdle = std::thread::hardware_concurrency() >= Target;
+  Stats = std::make_unique<StatsCell[]>(Target);
   Workers.reserve(Target - 1);
   try {
     for (unsigned I = 1; I < Target; ++I)
@@ -116,6 +118,7 @@ void ThreadPool::recordException(size_t Task) {
 size_t ThreadPool::participate(unsigned Worker, const TaskRef &Fn,
                                size_t NumTasks) {
   ParticipantScope Scope(this, Worker);
+  auto Begin = std::chrono::steady_clock::now();
   size_t Done = 0;
   for (;;) {
     size_t T = NextTask.fetch_add(1, std::memory_order_relaxed);
@@ -133,7 +136,29 @@ size_t ThreadPool::participate(unsigned Worker, const TaskRef &Fn,
     }
     ++Done;
   }
+  if (Done) {
+    // One clock pair per batch participation, not per task, so the
+    // accounting cost is unmeasurable on the engines' small levels.
+    uint64_t Ns = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - Begin)
+            .count());
+    StatsCell &C = Stats[Worker];
+    C.BusyNs.fetch_add(Ns, std::memory_order_relaxed);
+    C.Tasks.fetch_add(Done, std::memory_order_relaxed);
+    C.Batches.fetch_add(1, std::memory_order_relaxed);
+  }
   return Done;
+}
+
+std::vector<WorkerStats> ThreadPool::workerStats() const {
+  std::vector<WorkerStats> Out(jobs());
+  for (unsigned I = 0; I < Out.size(); ++I) {
+    Out[I].BusyNs = Stats[I].BusyNs.load(std::memory_order_relaxed);
+    Out[I].Tasks = Stats[I].Tasks.load(std::memory_order_relaxed);
+    Out[I].Batches = Stats[I].Batches.load(std::memory_order_relaxed);
+  }
+  return Out;
 }
 
 void ThreadPool::workerLoop(unsigned Worker) {
@@ -194,12 +219,25 @@ void ThreadPool::run(size_t N, TaskRef F) {
   if (N == 1 || Workers.empty() || Nested) {
     unsigned Worker = Nested ? CurrentParticipant.Worker : 0;
     ParticipantScope Scope(this, Worker);
+    auto Begin = std::chrono::steady_clock::now();
     for (size_t T = 0; T < N; ++T) {
       // Same probe as participate(), so the Worker fault point also
       // covers inline (single-task / nested / workerless) batches.
       if (fault::fire(fault::Point::Worker))
         throw fault::InjectedFault();
       F(Worker, T);
+    }
+    // Nested batches are already inside the outer participation's
+    // clock; accounting them again would double-count the busy time.
+    if (!Nested) {
+      uint64_t Ns = static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - Begin)
+              .count());
+      StatsCell &C = Stats[Worker];
+      C.BusyNs.fetch_add(Ns, std::memory_order_relaxed);
+      C.Tasks.fetch_add(N, std::memory_order_relaxed);
+      C.Batches.fetch_add(1, std::memory_order_relaxed);
     }
     return;
   }

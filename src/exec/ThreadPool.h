@@ -37,13 +37,26 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <exception>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <type_traits>
 #include <vector>
 
 namespace cuba::exec {
+
+/// Lifetime accounting for one pool participant (worker 0 is the
+/// calling/driver thread): cumulative wall-clock spent executing tasks,
+/// tasks executed, and batches participated in.  Purely observational --
+/// the values depend on scheduling and are reported under the "wall"
+/// side of the observability split.
+struct WorkerStats {
+  uint64_t BusyNs = 0;
+  uint64_t Tasks = 0;
+  uint64_t Batches = 0;
+};
 
 /// Non-owning view of a `void(unsigned Worker, size_t Task)` callable;
 /// run() takes this instead of std::function so per-batch dispatch never
@@ -101,6 +114,12 @@ public:
   /// hardware concurrency (at least 1).
   static unsigned defaultJobs();
 
+  /// Per-participant busy/task/batch totals since construction, indexed
+  /// by worker id (jobs() entries).  Safe to call between batches; a
+  /// concurrent batch may be mid-update, so treat the figures as
+  /// monotone approximations.
+  std::vector<WorkerStats> workerStats() const;
+
 private:
   void workerLoop(unsigned Worker);
   /// Claims and executes tasks until the batch is drained; returns the
@@ -130,6 +149,15 @@ private:
   size_t FirstExcTask = 0;
 
   std::atomic<size_t> NextTask{0};
+
+  /// One padded accounting cell per participant, written only by its
+  /// owner (relaxed atomics so workerStats() reads race-free).
+  struct alignas(64) StatsCell {
+    std::atomic<uint64_t> BusyNs{0};
+    std::atomic<uint64_t> Tasks{0};
+    std::atomic<uint64_t> Batches{0};
+  };
+  std::unique_ptr<StatsCell[]> Stats;
 };
 
 } // namespace cuba::exec

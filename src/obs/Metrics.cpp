@@ -1,0 +1,330 @@
+//===-- obs/Metrics.cpp - Typed metrics registry --------------------------===//
+//
+// Part of the CUBA project, an implementation of the PLDI 2018 paper
+// "CUBA: Interprocedural Context-UnBounded Analysis of Concurrent Programs".
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Metrics.h"
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <cassert>
+#include <mutex>
+#include <unordered_map>
+
+using namespace cuba;
+using namespace cuba::obs;
+
+namespace {
+
+/// One thread's slot shard.  Fixed-size relaxed atomics: the owner
+/// writes without contention, snapshot() reads concurrently without a
+/// data race, and there is no growth to coordinate.
+struct Shard {
+  std::array<std::atomic<uint64_t>, Metrics::MaxSlots> Vals{};
+};
+
+struct Instrument {
+  std::string Name;
+  Kind K = Kind::Counter;
+  bool Deterministic = true;
+  uint32_t Slot = 0;
+  uint32_t Width = 1;
+};
+
+struct Registry {
+  std::mutex M;
+  std::vector<Instrument> Instruments; // Registration order.
+  std::unordered_map<std::string, uint32_t> Index; // Name -> index above.
+  uint32_t NextSlot = 0;
+  std::vector<Shard *> Live;
+  /// Totals folded in by exited threads, slot-indexed.  Gauge slots fold
+  /// by max (MaxSlotBits marks them); everything else by sum.
+  std::array<uint64_t, Metrics::MaxSlots> Retired{};
+  std::array<bool, Metrics::MaxSlots> MaxSlot{};
+};
+
+/// Deliberately leaked: worker threads fold their shards into the
+/// registry from thread_local destructors, which may run after static
+/// destruction on the main thread.
+Registry &registry() {
+  static Registry *R = new Registry;
+  return *R;
+}
+
+/// Registers this thread's shard on first use and folds it into Retired
+/// at thread exit.
+struct TlsShard {
+  Shard S;
+  bool Registered = false;
+
+  ~TlsShard() {
+    if (!Registered)
+      return;
+    Registry &R = registry();
+    std::lock_guard<std::mutex> L(R.M);
+    for (uint32_t I = 0; I < Metrics::MaxSlots; ++I) {
+      uint64_t V = S.Vals[I].load(std::memory_order_relaxed);
+      if (R.MaxSlot[I])
+        R.Retired[I] = std::max(R.Retired[I], V);
+      else
+        R.Retired[I] += V;
+    }
+    std::erase(R.Live, &S);
+  }
+};
+
+thread_local TlsShard Tls;
+
+Shard &localShard() {
+  if (!Tls.Registered) {
+    Registry &R = registry();
+    std::lock_guard<std::mutex> L(R.M);
+    R.Live.push_back(&Tls.S);
+    Tls.Registered = true;
+  }
+  return Tls.S;
+}
+
+/// Folds one slot across the retired totals and every live shard,
+/// respecting the slot's fold operation.  Caller holds R.M.
+uint64_t foldSlot(Registry &R, uint32_t Slot) {
+  uint64_t V = R.Retired[Slot];
+  for (Shard *S : R.Live) {
+    uint64_t W = S->Vals[Slot].load(std::memory_order_relaxed);
+    V = R.MaxSlot[Slot] ? std::max(V, W) : V + W;
+  }
+  return V;
+}
+
+} // namespace
+
+uint32_t Metrics::registerInstrument(const char *Name, Kind K,
+                                     bool Deterministic, uint32_t Width) {
+  Registry &R = registry();
+  std::lock_guard<std::mutex> L(R.M);
+  auto It = R.Index.find(Name);
+  if (It != R.Index.end()) {
+    const Instrument &I = R.Instruments[It->second];
+    assert(I.K == K && "instrument re-registered with a different kind");
+    return I.Slot;
+  }
+  // Past the cap every new instrument aliases the last slot; the
+  // snapshot then reports merged values under the first such name, which
+  // keeps the hot path branch-free (the engines register a few dozen).
+  uint32_t Slot = R.NextSlot;
+  if (Slot + Width > MaxSlots) {
+    assert(false && "raise Metrics::MaxSlots");
+    Slot = MaxSlots - 1;
+    Width = 1;
+  } else {
+    R.NextSlot += Width;
+  }
+  if (K == Kind::Gauge)
+    for (uint32_t I = 0; I < Width; ++I)
+      R.MaxSlot[Slot + I] = true;
+  uint32_t Idx = static_cast<uint32_t>(R.Instruments.size());
+  R.Instruments.push_back({Name, K, Deterministic, Slot, Width});
+  R.Index.emplace(Name, Idx);
+  return Slot;
+}
+
+Counter::Counter(const char *Name, bool Deterministic)
+    : Slot(Metrics::registerInstrument(Name, Kind::Counter, Deterministic,
+                                       1)) {}
+
+void Counter::add(uint64_t N) {
+  localShard().Vals[Slot].fetch_add(N, std::memory_order_relaxed);
+}
+
+Gauge::Gauge(const char *Name, bool Deterministic)
+    : Slot(Metrics::registerInstrument(Name, Kind::Gauge, Deterministic,
+                                       1)) {}
+
+void Gauge::recordMax(uint64_t V) {
+  // The shard is thread-owned: only this thread writes the slot, so a
+  // plain load-compare-store is race-free against concurrent snapshots.
+  std::atomic<uint64_t> &S = localShard().Vals[Slot];
+  if (V > S.load(std::memory_order_relaxed))
+    S.store(V, std::memory_order_relaxed);
+}
+
+Histogram::Histogram(const char *Name, bool Deterministic)
+    : Slot(Metrics::registerInstrument(Name, Kind::Histogram, Deterministic,
+                                       NumBuckets)) {}
+
+void Histogram::observe(uint64_t V) {
+  localShard().Vals[Slot + bucketOf(V)].fetch_add(1,
+                                                  std::memory_order_relaxed);
+}
+
+std::vector<InstrumentSnapshot> Metrics::snapshot() {
+  Registry &R = registry();
+  std::lock_guard<std::mutex> L(R.M);
+  std::vector<InstrumentSnapshot> Out;
+  Out.reserve(R.Instruments.size());
+  for (const Instrument &I : R.Instruments) {
+    InstrumentSnapshot S;
+    S.Name = I.Name;
+    S.K = I.K;
+    S.Deterministic = I.Deterministic;
+    if (I.K == Kind::Histogram) {
+      S.Buckets.resize(I.Width);
+      for (uint32_t B = 0; B < I.Width; ++B) {
+        S.Buckets[B] = foldSlot(R, I.Slot + B);
+        S.Value += S.Buckets[B];
+      }
+    } else {
+      S.Value = foldSlot(R, I.Slot);
+    }
+    Out.push_back(std::move(S));
+  }
+  std::sort(Out.begin(), Out.end(),
+            [](const InstrumentSnapshot &A, const InstrumentSnapshot &B) {
+              return A.Name < B.Name;
+            });
+  return Out;
+}
+
+uint64_t Metrics::value(const std::string &Name) {
+  Registry &R = registry();
+  std::lock_guard<std::mutex> L(R.M);
+  auto It = R.Index.find(Name);
+  if (It == R.Index.end())
+    return 0;
+  const Instrument &I = R.Instruments[It->second];
+  uint64_t V = 0;
+  for (uint32_t B = 0; B < I.Width; ++B) {
+    uint64_t W = foldSlot(R, I.Slot + B);
+    V = I.K == Kind::Histogram ? V + W : W;
+  }
+  return V;
+}
+
+void Metrics::resetAll() {
+  Registry &R = registry();
+  std::lock_guard<std::mutex> L(R.M);
+  R.Retired.fill(0);
+  for (Shard *S : R.Live)
+    for (auto &V : S->Vals)
+      V.store(0, std::memory_order_relaxed);
+}
+
+//===----------------------------------------------------------------------===//
+// --stats-json rendering
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+void appendEscaped(std::string &Out, const std::string &S) {
+  for (char C : S) {
+    if (C == '"' || C == '\\')
+      Out += '\\';
+    Out += C;
+  }
+}
+
+/// One "name": value line inside an object section.
+void appendEntry(std::string &Out, const std::string &Name,
+                 const std::string &RawValue, bool &First) {
+  if (!First)
+    Out += ",\n";
+  First = false;
+  Out += "    \"";
+  appendEscaped(Out, Name);
+  Out += "\": ";
+  Out += RawValue;
+}
+
+std::string renderHistogram(const InstrumentSnapshot &S) {
+  // Sparse rendering: [bucket lower bound, count] pairs for the nonzero
+  // buckets only -- deterministic (a pure function of the counts) and
+  // readable for the typical narrow distributions.
+  std::string V = "{\"total\": " + std::to_string(S.Value) +
+                  ", \"buckets\": [";
+  bool First = true;
+  for (uint32_t B = 0; B < S.Buckets.size(); ++B) {
+    if (!S.Buckets[B])
+      continue;
+    if (!First)
+      V += ", ";
+    First = false;
+    V += "[" + std::to_string(Histogram::bucketLow(B)) + ", " +
+         std::to_string(S.Buckets[B]) + "]";
+  }
+  V += "]}";
+  return V;
+}
+
+} // namespace
+
+std::string cuba::obs::renderStatsJson(
+    const std::vector<InstrumentSnapshot> &Snapshot,
+    const std::vector<std::pair<std::string, std::string>> &WallExtra) {
+  std::string Out = "{\n  \"schema\": \"cuba-stats-v1\",\n";
+
+  auto Section = [&](const char *Key, Kind K) {
+    Out += "  \"";
+    Out += Key;
+    Out += "\": {\n";
+    bool First = true;
+    for (const InstrumentSnapshot &S : Snapshot) {
+      if (S.K != K || !S.Deterministic)
+        continue;
+      std::string V = K == Kind::Histogram ? renderHistogram(S)
+                                           : std::to_string(S.Value);
+      appendEntry(Out, S.Name, V, First);
+    }
+    Out += "\n  }";
+  };
+
+  Section("counters", Kind::Counter);
+  Out += ",\n";
+  Section("gauges", Kind::Gauge);
+  Out += ",\n";
+  Section("histograms", Kind::Histogram);
+  Out += ",\n";
+
+  // Everything below this key is exempt from the cross-jobs determinism
+  // contract: scheduling-dependent instruments and caller-supplied run
+  // context (timings, jobs, pool accounting, build stamps).
+  Out += "  \"wall\": {\n";
+  bool First = true;
+  for (const auto &[K, V] : WallExtra)
+    appendEntry(Out, K, V, First);
+  if (!First)
+    Out += ",\n";
+  First = true;
+  Out += "    \"counters\": {\n";
+  {
+    bool F2 = true;
+    for (const InstrumentSnapshot &S : Snapshot) {
+      if (S.Deterministic || S.K == Kind::Histogram)
+        continue;
+      if (!F2)
+        Out += ",\n";
+      F2 = false;
+      Out += "      \"";
+      appendEscaped(Out, S.Name);
+      Out += "\": " + std::to_string(S.Value);
+    }
+  }
+  Out += "\n    },\n    \"histograms\": {\n";
+  {
+    bool F2 = true;
+    for (const InstrumentSnapshot &S : Snapshot) {
+      if (S.Deterministic || S.K != Kind::Histogram)
+        continue;
+      if (!F2)
+        Out += ",\n";
+      F2 = false;
+      Out += "      \"";
+      appendEscaped(Out, S.Name);
+      Out += "\": " + renderHistogram(S);
+    }
+  }
+  Out += "\n    }\n  }\n}\n";
+  return Out;
+}

@@ -34,7 +34,8 @@ Nfa SharedSaturation::rootView(QState Root) const {
 
 std::vector<std::pair<QState, CanonicalDfa>>
 SharedSaturation::extractRoot(QState Root) const {
-  static Statistic ExtractCounter("saturation.extractions");
+  static Statistic ExtractCounter("saturation.extractions",
+                                  /*Deterministic=*/false);
   ++ExtractCounter;
   Nfa View = rootView(Root);
   std::vector<std::pair<QState, CanonicalDfa>> Out;
@@ -52,7 +53,8 @@ SharedSaturation::extractRoot(QState Root) const {
 SharedSaturationResult cuba::sharedPostStar(const Pds &P, uint32_t NumShared,
                                             const CanonicalDfa &Lang,
                                             LimitTracker *Limits) {
-  static Statistic SatCounter("saturation.shared");
+  static Statistic SatCounter("saturation.shared",
+                              /*Deterministic=*/false);
   ++SatCounter;
   // The classical mask saturation is the boolean-set instantiation of
   // the semiring-generic core; the retained relation adopts the

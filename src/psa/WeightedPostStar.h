@@ -157,7 +157,8 @@ public:
   }
 
   WeightedResult<Domain> run() {
-    static Statistic PopCounter("saturation.pops");
+    static Statistic PopCounter("saturation.pops",
+                                /*Deterministic=*/false);
     while (!Worklist.empty()) {
       if (Limits && !Limits->chargeStep()) {
         Complete = false;

@@ -7,127 +7,14 @@
 
 #include "support/Statistic.h"
 
-#include <array>
-#include <atomic>
-#include <cassert>
-#include <mutex>
-#include <unordered_map>
-
 using namespace cuba;
 
-namespace {
-
-/// One thread's counter slots.  Fixed-size relaxed atomics: the owner
-/// bumps without contention, snapshot() reads concurrently without a
-/// data race, and there is no growth to coordinate.
-struct Shard {
-  std::array<std::atomic<uint64_t>, Statistics::MaxCounters> Vals{};
-};
-
-struct Registry {
-  std::mutex M;
-  std::vector<std::string> Names; // Slot -> name, registration order.
-  std::unordered_map<std::string, uint32_t> Index;
-  std::vector<Shard *> Live;
-  /// Totals folded in by exited threads, slot-indexed.
-  std::array<uint64_t, Statistics::MaxCounters> Retired{};
-};
-
-/// Deliberately leaked: worker threads fold their shards into the
-/// registry from thread_local destructors, which may run after static
-/// destruction on the main thread.
-Registry &registry() {
-  static Registry *R = new Registry;
-  return *R;
-}
-
-/// Registers this thread's shard on first use and folds it into Retired
-/// at thread exit.
-struct TlsShard {
-  Shard S;
-  bool Registered = false;
-
-  ~TlsShard() {
-    if (!Registered)
-      return;
-    Registry &R = registry();
-    std::lock_guard<std::mutex> L(R.M);
-    for (uint32_t I = 0; I < Statistics::MaxCounters; ++I)
-      R.Retired[I] += S.Vals[I].load(std::memory_order_relaxed);
-    std::erase(R.Live, &S);
-  }
-};
-
-thread_local TlsShard Tls;
-
-Shard &localShard() {
-  if (!Tls.Registered) {
-    Registry &R = registry();
-    std::lock_guard<std::mutex> L(R.M);
-    R.Live.push_back(&Tls.S);
-    Tls.Registered = true;
-  }
-  return Tls.S;
-}
-
-uint64_t sumSlot(Registry &R, uint32_t Slot) {
-  uint64_t V = R.Retired[Slot];
-  for (Shard *S : R.Live)
-    V += S->Vals[Slot].load(std::memory_order_relaxed);
-  return V;
-}
-
-} // namespace
-
-uint32_t Statistics::registerCounter(const char *Name) {
-  Registry &R = registry();
-  std::lock_guard<std::mutex> L(R.M);
-  auto It = R.Index.find(Name);
-  if (It != R.Index.end())
-    return It->second;
-  // Past the cap every new name aliases the last slot; the snapshot then
-  // reports their merged count under the first such name, which keeps
-  // the hot path branch-free (engines register ~a dozen counters).
-  uint32_t Slot = static_cast<uint32_t>(R.Names.size());
-  if (Slot >= MaxCounters) {
-    assert(false && "raise Statistics::MaxCounters");
-    Slot = MaxCounters - 1;
-  } else {
-    R.Names.emplace_back(Name);
-  }
-  R.Index.emplace(Name, Slot);
-  return Slot;
-}
-
-Statistic::Statistic(const char *Name)
-    : Slot(Statistics::registerCounter(Name)) {}
-
-void Statistic::add(uint64_t N) {
-  localShard().Vals[Slot].fetch_add(N, std::memory_order_relaxed);
-}
-
 std::vector<std::pair<std::string, uint64_t>> Statistics::snapshot() {
-  Registry &R = registry();
-  std::lock_guard<std::mutex> L(R.M);
   std::vector<std::pair<std::string, uint64_t>> Out;
-  Out.reserve(R.Names.size());
-  for (uint32_t I = 0; I < R.Names.size(); ++I)
-    Out.emplace_back(R.Names[I], sumSlot(R, I));
+  // Metrics::snapshot() is already name-sorted; keep only the counters
+  // so existing --stats consumers see the same shape as before.
+  for (const obs::InstrumentSnapshot &S : obs::Metrics::snapshot())
+    if (S.K == obs::Kind::Counter)
+      Out.emplace_back(S.Name, S.Value);
   return Out;
-}
-
-uint64_t Statistics::value(const std::string &Name) {
-  Registry &R = registry();
-  std::lock_guard<std::mutex> L(R.M);
-  auto It = R.Index.find(Name);
-  return It == R.Index.end() ? 0 : sumSlot(R, It->second);
-}
-
-void Statistics::resetAll() {
-  Registry &R = registry();
-  std::lock_guard<std::mutex> L(R.M);
-  R.Retired.fill(0);
-  for (Shard *S : R.Live)
-    for (auto &V : S->Vals)
-      V.store(0, std::memory_order_relaxed);
 }

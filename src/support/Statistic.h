@@ -10,18 +10,26 @@
 /// engines bump counters ("poststar.transitions", "cba.closures", ...) and
 /// tools can dump them all after a run.
 ///
-/// Counters are safe to bump from the exec/ThreadPool workers: each
-/// thread owns a shard of relaxed atomic slots (uncontended on the hot
-/// paths -- no cache line ever ping-pongs between workers), and
-/// snapshot() sums the live shards plus the totals folded in by exited
-/// threads.  Hot paths hold a `static Statistic` handle, which resolves
-/// the name to a slot exactly once per process -- there are no
-/// string-keyed lookups per event.
+/// As of the observability layer this is a thin compatibility facade
+/// over obs/Metrics.h -- a Statistic IS an obs::Counter, sharing the
+/// same per-thread shards, fold rules, and name space, so obs::Metrics
+/// and --stats-json see every legacy counter.  The sharding contract is
+/// unchanged: bumps are uncontended relaxed atomics, safe from
+/// exec/ThreadPool workers, and snapshot() folds live shards plus the
+/// totals retired by exited threads.  Hot paths hold a
+/// `static Statistic` handle, which resolves the name to a slot exactly
+/// once per process.
+///
+/// Counters carry a determinism class (see obs/Metrics.h): pass
+/// `Deterministic = false` for counters bumped in speculative parallel
+/// phases whose totals legitimately vary with `--jobs` scheduling.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef CUBA_SUPPORT_STATISTIC_H
 #define CUBA_SUPPORT_STATISTIC_H
+
+#include "obs/Metrics.h"
 
 #include <cstdint>
 #include <string>
@@ -34,48 +42,48 @@ namespace cuba {
 /// hot paths) and bumps the calling thread's shard on increment.
 class Statistic {
 public:
-  explicit Statistic(const char *Name);
+  explicit Statistic(const char *Name, bool Deterministic = true)
+      : C(Name, Deterministic) {}
 
   Statistic &operator++() {
-    add(1);
+    C.add(1);
     return *this;
   }
-  void operator++(int) { add(1); }
+  void operator++(int) { C.add(1); }
   Statistic &operator+=(uint64_t N) {
-    add(N);
+    C.add(N);
     return *this;
   }
 
 private:
-  void add(uint64_t N);
-
-  uint32_t Slot;
+  obs::Counter C;
 };
 
-/// Process-wide statistics registry.
+/// Process-wide statistics registry: the counter-only view of
+/// obs::Metrics.
 class Statistics {
 public:
-  /// Hard cap on distinct counters, so thread shards can be fixed-size
-  /// atomic arrays (no reallocation racing against snapshot()).  Counters
-  /// registered beyond the cap all alias the final overflow slot.
-  static constexpr uint32_t MaxCounters = 64;
+  /// Retained for compatibility; the shared slot space is now
+  /// obs::Metrics::MaxSlots (counters, gauges, and histogram buckets
+  /// all draw from it).
+  static constexpr uint32_t MaxCounters = obs::Metrics::MaxSlots;
 
-  /// Snapshot of all (name, value) pairs in registration order; each
-  /// value sums every thread's shard.  Values written by pool workers are
-  /// only guaranteed complete once their batch has joined.
+  /// Snapshot of all counter (name, value) pairs, sorted by name --
+  /// explicitly NOT registration order, which varies with code path and
+  /// build.  Each value folds every thread's shard; values written by
+  /// pool workers are only guaranteed complete once their batch has
+  /// joined.
   static std::vector<std::pair<std::string, uint64_t>> snapshot();
 
   /// Current summed value of the counter named \p Name (0 when never
   /// registered); for tests and diagnostics.
-  static uint64_t value(const std::string &Name);
+  static uint64_t value(const std::string &Name) {
+    return obs::Metrics::value(Name);
+  }
 
-  /// Resets every registered counter to zero (used between benchmark
+  /// Resets every registered instrument to zero (used between benchmark
   /// runs).  Call only while no worker is concurrently bumping counters.
-  static void resetAll();
-
-private:
-  friend class Statistic;
-  static uint32_t registerCounter(const char *Name);
+  static void resetAll() { obs::Metrics::resetAll(); }
 };
 
 } // namespace cuba

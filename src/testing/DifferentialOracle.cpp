@@ -118,6 +118,8 @@ cuba::testing::runDifferentialOracle(const CpdsFile &File,
     }
     ++K;
   }
+  Rep.PeakBytes =
+      std::max(Exp.limits().peakBytes(), Sym.limits().peakBytes());
   if (ExpBug != SymBug)
     Mismatch("first property violation differs: explicit " +
              describeBound(ExpBug) + " vs symbolic " + describeBound(SymBug));

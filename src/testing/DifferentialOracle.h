@@ -86,6 +86,9 @@ struct OracleReport {
   /// truncated (steps vs memory vs states).
   ExhaustKind ExplicitReason = ExhaustKind::None;
   ExhaustKind SymbolicReason = ExhaustKind::None;
+  /// Peak logical footprint over the phase-1 lockstep pair (the max of
+  /// the two engines' trackers), for `cuba fuzz --stats` per-seed lines.
+  uint64_t PeakBytes = 0;
 
   bool ok() const { return Mismatches.empty(); }
   /// All mismatch lines joined for diagnostics.

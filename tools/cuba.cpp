@@ -55,15 +55,25 @@
 /// Numeric flag values are validated hard: a malformed or out-of-range
 /// value is a named usage error (exit 64), never a silent truncation.
 ///
+/// All three subcommands take the observability outputs:
+///
+///   --trace-out FILE     write a Chrome trace_event JSON profile of the
+///                        run (load it at https://ui.perfetto.dev)
+///   --stats-json FILE    write the metrics registry as JSON; the part
+///                        outside the "wall" object is byte-identical at
+///                        any --jobs
+///
 /// Exit codes: 0 safety proved / all fuzz instances agree, 1 bug found
 /// or differential mismatch, 2 resource limit, 64 usage or input error,
-/// 70 internal error (including a --verify disagreement).
+/// 70 internal error (including a --verify disagreement), 74 a requested
+/// output file could not be written.
 ///
 //===----------------------------------------------------------------------===//
 
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include <cstdlib>
 
@@ -75,6 +85,8 @@
 #include "dataflow/DataflowEngine.h"
 #include "testing/DataflowOracle.h"
 #include "exec/ThreadPool.h"
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
 #include "pds/CpdsIO.h"
 #include "psa/SaturationEngine.h"
 #include "support/FaultInject.h"
@@ -90,6 +102,53 @@ using namespace cuba;
 
 namespace {
 
+/// The observability outputs every subcommand shares: an optional
+/// Chrome-trace profile and an optional metrics-registry JSON dump.
+struct ObsOutputs {
+  std::string TraceOut;  // --trace-out FILE; empty = off.
+  std::string StatsJson; // --stats-json FILE; empty = off.
+
+  bool any() const { return !TraceOut.empty() || !StatsJson.empty(); }
+
+  /// Arms trace collection when --trace-out was given; call before any
+  /// engine work so every span lands in the buffer.
+  void beginTrace() const {
+    if (!TraceOut.empty())
+      obs::Trace::begin();
+  }
+
+  /// Writes the requested files; \p WallExtra lands in the stats
+  /// payload's "wall" object.  Returns false after printing a diagnostic
+  /// when a file cannot be written (the caller exits 74).
+  bool write(const std::vector<std::pair<std::string, std::string>>
+                 &WallExtra) const {
+    bool Ok = true;
+    if (!TraceOut.empty()) {
+      obs::Trace::end();
+      if (!obs::Trace::writeFile(TraceOut)) {
+        std::fprintf(stderr, "cuba: %s: cannot write trace file\n",
+                     TraceOut.c_str());
+        Ok = false;
+      }
+    }
+    if (!StatsJson.empty()) {
+      std::string Json =
+          obs::renderStatsJson(obs::Metrics::snapshot(), WallExtra);
+      std::FILE *F = std::fopen(StatsJson.c_str(), "wb");
+      bool Wrote =
+          F && std::fwrite(Json.data(), 1, Json.size(), F) == Json.size();
+      if (F)
+        Wrote = std::fclose(F) == 0 && Wrote;
+      if (!Wrote) {
+        std::fprintf(stderr, "cuba: %s: cannot write stats file\n",
+                     StatsJson.c_str());
+        Ok = false;
+      }
+    }
+    return Ok;
+  }
+};
+
 struct CliOptions {
   std::string InputPath;
   DriverOptions Driver;
@@ -97,6 +156,7 @@ struct CliOptions {
   bool EmitCpds = false;
   bool DumpAst = false;
   bool Stats = false;
+  ObsOutputs Obs;
 };
 
 void printUsage() {
@@ -118,6 +178,9 @@ void printUsage() {
       "  --trace              print a concrete interleaving on a bug\n"
       "  --emit-cpds          print the (translated) system and exit\n"
       "  --stats              dump internal statistics counters\n"
+      "  --trace-out FILE     write a Chrome trace_event JSON profile\n"
+      "                       (Perfetto-loadable)\n"
+      "  --stats-json FILE    write the metrics registry as JSON\n"
       "\n"
       "usage: cuba dataflow [options] <input.bp>\n"
       "                       weighted interprocedural taint analysis\n"
@@ -130,6 +193,8 @@ void printUsage() {
       "  --report-facts       print every visible state with its facts\n"
       "  --verify             cross-check against the folded product\n"
       "                       reference; a disagreement exits 70\n"
+      "  --trace-out FILE     write a Chrome trace_event JSON profile\n"
+      "  --stats-json FILE    write the metrics registry as JSON\n"
       "\n"
       "usage: cuba fuzz [options]     randomized differential testing\n"
       "  --mode cpds|bp       workload: random CPDS instances (default)\n"
@@ -141,7 +206,11 @@ void printUsage() {
       "  --max-mb N           per-instance engine-memory budget in MiB\n"
       "  --jobs N             worker parallelism (default: $CUBA_JOBS,\n"
       "                       else hardware concurrency)\n"
-      "  --emit-cpds          print each generated instance\n");
+      "  --emit-cpds          print each generated instance\n"
+      "  --stats              per-seed wall-clock / peak-bytes lines and\n"
+      "                       aggregate cache-hit / truncation rates\n"
+      "  --trace-out FILE     write a Chrome trace_event JSON profile\n"
+      "  --stats-json FILE    write the metrics registry as JSON\n");
 }
 
 //===----------------------------------------------------------------------===//
@@ -188,6 +257,71 @@ bool flagValue(std::string_view Flag, int Argc, char **Argv, int &I,
   return true;
 }
 
+/// Like flagValue, but for flags whose value is a string (file paths).
+bool stringFlag(std::string_view Flag, int Argc, char **Argv, int &I,
+                std::string &Out) {
+  if (I + 1 >= Argc) {
+    std::fprintf(stderr,
+                 "cuba: %.*s expects a value (run 'cuba' with no arguments"
+                 " for usage)\n",
+                 static_cast<int>(Flag.size()), Flag.data());
+    return false;
+  }
+  Out = Argv[++I];
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Observability context: raw-JSON fragments for the "wall" object of
+// --stats-json.
+//===----------------------------------------------------------------------===//
+
+/// Quotes \p S as a JSON string (file paths and verdict words).
+std::string jsonQuote(std::string_view S) {
+  std::string Out = "\"";
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+  Out += '"';
+  return Out;
+}
+
+/// Milliseconds with two decimals, as a raw JSON number.
+std::string jsonMillis(double Ms) {
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "%.2f", Ms);
+  return Buf;
+}
+
+/// The pool's per-worker accounting as a JSON array (pure wall-clock
+/// telemetry: busy nanoseconds, tasks, and batches per worker).
+std::string workersJson(const exec::ThreadPool &Pool) {
+  std::string Out = "[";
+  for (const exec::WorkerStats &W : Pool.workerStats()) {
+    if (Out.size() > 1)
+      Out += ", ";
+    Out += "{\"busy_ns\": " + std::to_string(W.BusyNs) +
+           ", \"tasks\": " + std::to_string(W.Tasks) +
+           ", \"batches\": " + std::to_string(W.Batches) + "}";
+  }
+  return Out + "]";
+}
+
 //===----------------------------------------------------------------------===//
 // The fuzz subcommand: generate seeded instances and cross-check every
 // engine on each one.
@@ -201,6 +335,8 @@ int runFuzz(int Argc, char **Argv) {
   bool SeedWasSet = false;
   bool EmitCpds = false;
   bool BpMode = false;
+  bool Stats = false;
+  ObsOutputs Obs;
   testing::OracleOptions Oracle;
   Oracle.MaxK = 4;
   // No wall-clock cutoff: whether a mismatch is reached must depend only
@@ -251,6 +387,14 @@ int runFuzz(int Argc, char **Argv) {
       Jobs = static_cast<unsigned>(N);
     } else if (Arg == "--emit-cpds") {
       EmitCpds = true;
+    } else if (Arg == "--stats") {
+      Stats = true;
+    } else if (Arg == "--trace-out") {
+      if (!stringFlag(Arg, Argc, Argv, I, Obs.TraceOut))
+        return 64;
+    } else if (Arg == "--stats-json") {
+      if (!stringFlag(Arg, Argc, Argv, I, Obs.StatsJson))
+        return 64;
     } else if (Arg == "--mode") {
       std::string_view Mode = I + 1 < Argc ? Argv[++I] : "";
       if (Mode == "bp") {
@@ -287,6 +431,24 @@ int runFuzz(int Argc, char **Argv) {
     MemExhausted += R.ExplicitReason == ExhaustKind::Memory ||
                     R.SymbolicReason == ExhaustKind::Memory;
   };
+  // Per-seed wall-clock / peak-bytes lines, each carrying the exact
+  // single-instance repro command (--stats only; the default output
+  // stays one header plus one footer so log filters keep working).
+  auto PrintSeedStats = [&](uint64_t Seed, double Millis,
+                            uint64_t PeakBytes) {
+    if (!Stats)
+      return;
+    std::printf("stats: seed=%llu wall_ms=%.2f peak_bytes=%llu"
+                " reproduce: CUBA_FUZZ_SEED=%llu cuba fuzz%s --count 1"
+                " --max-k %u%s --jobs %u\n",
+                static_cast<unsigned long long>(Seed), Millis,
+                static_cast<unsigned long long>(PeakBytes),
+                static_cast<unsigned long long>(Seed),
+                BpMode ? " --mode bp" : "", Oracle.MaxK, MaxMbRepro.c_str(),
+                Jobs);
+  };
+  Obs.beginTrace();
+  WallTimer FuzzTimer;
   for (uint64_t I = 0; I < Count; ++I) {
     // Seeds wrap modulo 2^64 so a base near UINT64_MAX still runs the
     // requested number of instances.
@@ -307,7 +469,9 @@ int runFuzz(int Argc, char **Argv) {
                     bp::printProgram(P).c_str());
         std::fflush(stdout);
       }
+      WallTimer SeedTimer;
       testing::BpOracleReport Rep = testing::runBpOracle(P, BpOpts);
+      PrintSeedStats(Seed, SeedTimer.millis(), Rep.Engine.PeakBytes);
       CountExhaustion(Rep.Engine);
       if (!Rep.ok()) {
         std::fprintf(stderr,
@@ -331,7 +495,9 @@ int runFuzz(int Argc, char **Argv) {
                   static_cast<unsigned long long>(Seed),
                   printCpds(File).c_str());
     }
+    WallTimer SeedTimer;
     testing::OracleReport Rep = testing::runDifferentialOracle(File, Oracle);
+    PrintSeedStats(Seed, SeedTimer.millis(), Rep.PeakBytes);
     CountExhaustion(Rep);
     if (!Rep.ok()) {
       std::fprintf(stderr,
@@ -352,6 +518,37 @@ int runFuzz(int Argc, char **Argv) {
       static_cast<unsigned long long>(Count),
       static_cast<unsigned long long>(Exhausted),
       static_cast<unsigned long long>(MemExhausted));
+  // Aggregates over the whole run: SatCache effectiveness and how often
+  // the per-instance budget truncated the comparison.
+  uint64_t Trans = obs::Metrics::value("symbolic.transactions");
+  uint64_t Cached = obs::Metrics::value("symbolic.transactions.cached");
+  if (Stats)
+    std::printf("stats: sat-cache hits %llu/%llu (%.1f%%), truncated"
+                " %llu/%llu instance(s) (%.1f%%)\n",
+                static_cast<unsigned long long>(Cached),
+                static_cast<unsigned long long>(Trans),
+                Trans ? 100.0 * static_cast<double>(Cached) /
+                            static_cast<double>(Trans)
+                      : 0.0,
+                static_cast<unsigned long long>(Exhausted),
+                static_cast<unsigned long long>(Count),
+                Count ? 100.0 * static_cast<double>(Exhausted) /
+                            static_cast<double>(Count)
+                      : 0.0);
+  if (Obs.any()) {
+    std::vector<std::pair<std::string, std::string>> Wall;
+    Wall.emplace_back("subcommand", jsonQuote("fuzz"));
+    Wall.emplace_back("mode", jsonQuote(BpMode ? "bp" : "cpds"));
+    Wall.emplace_back("base_seed", std::to_string(BaseSeed));
+    Wall.emplace_back("count", std::to_string(Count));
+    Wall.emplace_back("jobs", std::to_string(Jobs));
+    Wall.emplace_back("elapsed_ms", jsonMillis(FuzzTimer.millis()));
+    Wall.emplace_back("truncated", std::to_string(Exhausted));
+    Wall.emplace_back("truncated_by_memory", std::to_string(MemExhausted));
+    Wall.emplace_back("workers", workersJson(Pool));
+    if (!Obs.write(Wall))
+      return 74;
+  }
   return 0;
 }
 
@@ -414,6 +611,12 @@ ParseResult parseArgs(int Argc, char **Argv, CliOptions &Cli) {
       Cli.DumpAst = true;
     } else if (Arg == "--stats") {
       Cli.Stats = true;
+    } else if (Arg == "--trace-out") {
+      if (!stringFlag(Arg, Argc, Argv, I, Cli.Obs.TraceOut))
+        return ParseResult::Diagnosed;
+    } else if (Arg == "--stats-json") {
+      if (!stringFlag(Arg, Argc, Argv, I, Cli.Obs.StatsJson))
+        return ParseResult::Diagnosed;
     } else if (!Arg.empty() && Arg[0] != '-' && Cli.InputPath.empty()) {
       Cli.InputPath = Arg;
     } else {
@@ -495,6 +698,7 @@ int runDataflow(int Argc, char **Argv) {
   unsigned Jobs = 0;
   bool Verify = false;
   bool ReportFacts = false;
+  ObsOutputs Obs;
   for (int I = 2; I < Argc; ++I) {
     std::string_view Arg = Argv[I];
     uint64_t N = 0;
@@ -526,6 +730,12 @@ int runDataflow(int Argc, char **Argv) {
       Verify = true;
     } else if (Arg == "--report-facts") {
       ReportFacts = true;
+    } else if (Arg == "--trace-out") {
+      if (!stringFlag(Arg, Argc, Argv, I, Obs.TraceOut))
+        return 64;
+    } else if (Arg == "--stats-json") {
+      if (!stringFlag(Arg, Argc, Argv, I, Obs.StatsJson))
+        return 64;
     } else if (!Arg.empty() && Arg[0] != '-' && Input.empty()) {
       Input = Arg;
     } else {
@@ -568,6 +778,7 @@ int runDataflow(int Argc, char **Argv) {
     return 64;
   }
 
+  Obs.beginTrace();
   WallTimer T;
   DataflowEngine W(File->System, Taint, Limits);
   bool Exhausted = false;
@@ -628,6 +839,20 @@ int runDataflow(int Argc, char **Argv) {
                   " (k <= %u, %u job(s))\n",
                   Rep.KCompared, RefJobs);
     }
+  }
+
+  if (Obs.any()) {
+    std::vector<std::pair<std::string, std::string>> Wall;
+    Wall.emplace_back("subcommand", jsonQuote("dataflow"));
+    Wall.emplace_back("input", jsonQuote(Input));
+    Wall.emplace_back("verdict", jsonQuote(!Hits.empty()  ? "leak"
+                                           : Exhausted    ? "undecided"
+                                                          : "safe"));
+    Wall.emplace_back("k_max", std::to_string(W.bound()));
+    Wall.emplace_back("elapsed_ms", jsonMillis(T.millis()));
+    Wall.emplace_back("peak_bytes", std::to_string(W.limits().peakBytes()));
+    if (!Obs.write(Wall))
+      return 74;
   }
 
   if (!Hits.empty()) {
@@ -712,6 +937,7 @@ int main(int Argc, char **Argv) try {
   exec::ThreadPool Pool(Jobs);
   Cli.Driver.Run.Pool = &Pool;
 
+  Cli.Obs.beginTrace();
   DriverResult R = runCuba(File->System, File->Property, Cli.Driver);
 
   std::printf("input:     %s\n", Cli.InputPath.c_str());
@@ -755,6 +981,22 @@ int main(int Argc, char **Argv) try {
     for (const auto &[Name, Value] : Statistics::snapshot())
       std::printf("%10llu  %s\n", static_cast<unsigned long long>(Value),
                   Name.c_str());
+  }
+
+  if (Cli.Obs.any()) {
+    std::vector<std::pair<std::string, std::string>> Wall;
+    Wall.emplace_back("subcommand", jsonQuote("run"));
+    Wall.emplace_back("input", jsonQuote(Cli.InputPath));
+    Wall.emplace_back("jobs", std::to_string(Jobs));
+    Wall.emplace_back("approach",
+                      jsonQuote(R.Used == ApproachKind::ExplicitCombined
+                                    ? "explicit"
+                                    : "symbolic"));
+    Wall.emplace_back("verdict", jsonQuote(outcomeName(R.Run.outcome())));
+    Wall.emplace_back("elapsed_ms", jsonMillis(R.Run.Millis));
+    Wall.emplace_back("workers", workersJson(Pool));
+    if (!Cli.Obs.write(Wall))
+      return 74;
   }
 
   switch (R.Run.outcome()) {
