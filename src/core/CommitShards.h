@@ -1,0 +1,78 @@
+//===-- core/CommitShards.h - commit-shard count policy ---------*- C++ -*-===//
+//
+// Part of the CUBA project, an implementation of the PLDI 2018 paper
+// "CUBA: Interprocedural Context-UnBounded Analysis of Concurrent Programs".
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The shard-count policy for the explicit engine's sharded dedup
+/// index.  The count is a fixed constant, never derived from `--jobs`:
+/// the serial and parallel commit paths must run over the *same* shard
+/// structure, because the index's logical `memoryBytes()` feeds the
+/// MaxBytes budget and ParallelDeterminismTest pins PeakBytes
+/// bit-identical across job counts.  A jobs-derived count would make
+/// byte accounting (and hence exhaustion rounds) depend on the pool
+/// size.
+///
+/// Tests can override the count (`ScopedCommitShardOverride`) to force
+/// degenerate distributions: one shard reproduces "every state lands in
+/// the same shard" (the fully serialized worst case), a high count
+/// forces maximal cross-shard traffic on tiny instances.  Either way
+/// the engine must stay bit-identical to jobs-1.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CUBA_CORE_COMMITSHARDS_H
+#define CUBA_CORE_COMMITSHARDS_H
+
+#include <cstdint>
+
+namespace cuba {
+namespace core {
+
+/// Fixed shard count for the explicit commit index.  16 keeps per-shard
+/// FlatMap load factors (and so the summed logical capacity) close to
+/// the unsharded table while giving 8 workers headroom to commit
+/// disjoint ranges without contention.
+constexpr unsigned DefaultCommitShards = 16;
+
+namespace detail {
+inline unsigned CommitShardOverride = 0; // 0 = use the default.
+}
+
+/// The shard count the engine should use right now.
+inline unsigned commitShardCount() {
+  return detail::CommitShardOverride ? detail::CommitShardOverride
+                                     : DefaultCommitShards;
+}
+
+/// Which shard a state hash belongs to.  Multiply-shift on the high
+/// half: uses the bits farthest from the FlatMap's probe sequence (which
+/// consumes the low bits via mask), so sharding does not correlate with
+/// in-shard clustering.
+inline unsigned shardOf(uint64_t Hash, unsigned NumShards) {
+  return static_cast<unsigned>(((Hash >> 32) * NumShards) >> 32);
+}
+
+/// RAII shard-count override for tests.  Not thread-safe: set it before
+/// constructing engines, from the test driver thread only.
+class ScopedCommitShardOverride {
+public:
+  explicit ScopedCommitShardOverride(unsigned N)
+      : Prev(detail::CommitShardOverride) {
+    detail::CommitShardOverride = N;
+  }
+  ~ScopedCommitShardOverride() { detail::CommitShardOverride = Prev; }
+  ScopedCommitShardOverride(const ScopedCommitShardOverride &) = delete;
+  ScopedCommitShardOverride &
+  operator=(const ScopedCommitShardOverride &) = delete;
+
+private:
+  unsigned Prev;
+};
+
+} // namespace core
+} // namespace cuba
+
+#endif // CUBA_CORE_COMMITSHARDS_H

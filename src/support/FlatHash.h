@@ -75,13 +75,28 @@ public:
   /// tryEmplace with the key's hash precomputed (\p H must equal
   /// HashFn()(Key)).  The engines' parallel derive phases hash their
   /// candidates on the workers so the serial commit only probes.
+  ///
+  /// Probes before growing: a duplicate probe must leave the capacity
+  /// untouched even at the load threshold, or memoryBytes() would
+  /// depend on the probe schedule (which differs between the engines'
+  /// serial and parallel paths) rather than on the insertion count.
   std::pair<V *, bool> tryEmplaceHashed(const K &Key, uint64_t H,
                                         V Value = V()) {
     assert(H == Hash(Key) && "prehashed insert with a stale hash");
+    if (!Ctrl.empty()) {
+      size_t I = findSlotHashed(Key, H);
+      if (Ctrl[I] == Occupied)
+        return {&Vals[I], false};
+      if (Size + 1 <= Ctrl.size() - Ctrl.size() / 4) {
+        Ctrl[I] = Occupied;
+        Keys[I] = Key;
+        Vals[I] = std::move(Value);
+        ++Size;
+        return {&Vals[I], true};
+      }
+    }
     growIfNeeded();
     size_t I = findSlotHashed(Key, H);
-    if (Ctrl[I] == Occupied)
-      return {&Vals[I], false};
     Ctrl[I] = Occupied;
     Keys[I] = Key;
     Vals[I] = std::move(Value);

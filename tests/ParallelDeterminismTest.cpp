@@ -22,6 +22,7 @@
 
 #include "core/Algorithms.h"
 #include "core/CbaEngine.h"
+#include "core/CommitShards.h"
 #include "core/SymbolicAlgorithms.h"
 #include "core/SymbolicEngine.h"
 #include "exec/ThreadPool.h"
@@ -301,6 +302,112 @@ TEST_F(ParallelDeterminismTest, EvictionScheduleMatchesAcrossJobCounts) {
     expectSameSymbolic(S1, runSymbolic(File.System, ModelEvict, &Pool8), 0,
                        "model-evict");
   }
+}
+
+TEST_F(ParallelDeterminismTest, ShardStressDegenerateShardCountsMatch) {
+  // The sharded-commit stress pin: under a forced shard count of 1 every
+  // state lands in the same shard (the fully serialized worst case for a
+  // sharded commit -- an adversarial hash distribution cannot do worse),
+  // and under 64 shards tiny instances scatter one state per shard
+  // (maximal cross-shard id-assignment traffic).  Both degenerate
+  // configurations must stay bit-identical to jobs-1, including budget
+  // accounting: the shard count feeds the index's logical memoryBytes().
+  for (unsigned Shards : {1u, 64u}) {
+    core::ScopedCommitShardOverride Override(Shards);
+    for (uint64_t Seed = 201; Seed <= 224; ++Seed) {
+      CpdsFile File = cuba::testing::generateRandomCpds(
+          Seed, cuba::testing::cornerShapeOptions(Seed));
+      for (const ResourceLimits &L : {FuzzLimits, TinyLimits}) {
+        const char *Tag =
+            L.MaxStates == TinyLimits.MaxStates ? "shard-tiny" : "shard-fuzz";
+        ExplicitTrace E1 = runExplicit(File.System, L, nullptr);
+        expectSameExplicit(E1, runExplicit(File.System, L, &Pool2), Seed, Tag);
+        expectSameExplicit(E1, runExplicit(File.System, L, &Pool8), Seed, Tag);
+      }
+      if (HasFailure())
+        break;
+    }
+  }
+}
+
+TEST_F(ParallelDeterminismTest, ShardStressMidCommitExhaustionMatches) {
+  // Budget exhaustion landing *inside* a commit, under both degenerate
+  // shard counts: the cross-shard id-assignment pass must stop at
+  // exactly the serial charge -- same exhaustion round, same Steps /
+  // States / PeakBytes -- whether the charge that trips the limit is a
+  // step, a state, or a memory charge.  The step/state budgets are
+  // deliberately awkward (prime-ish, mid-level) so the stop point falls
+  // mid-level rather than on a round boundary.
+  std::vector<ResourceLimits> Budgets;
+  for (uint64_t MaxStates : {23ull, 137ull}) {
+    ResourceLimits L = FuzzLimits;
+    L.MaxStates = MaxStates;
+    Budgets.push_back(L);
+  }
+  {
+    ResourceLimits L = FuzzLimits;
+    L.MaxSteps = 311;
+    Budgets.push_back(L);
+  }
+  for (uint64_t MaxBytes : {24ull * 1024, 48ull * 1024}) {
+    ResourceLimits L = FuzzLimits;
+    L.MaxBytes = MaxBytes;
+    Budgets.push_back(L);
+  }
+  for (unsigned Shards : {1u, 64u}) {
+    core::ScopedCommitShardOverride Override(Shards);
+    for (uint64_t Seed = 201; Seed <= 216; ++Seed) {
+      CpdsFile File = cuba::testing::generateRandomCpds(
+          Seed, cuba::testing::cornerShapeOptions(Seed));
+      for (const ResourceLimits &L : Budgets) {
+        ExplicitTrace E1 = runExplicit(File.System, L, nullptr);
+        expectSameExplicit(E1, runExplicit(File.System, L, &Pool2), Seed,
+                           "shard-exhaust");
+        expectSameExplicit(E1, runExplicit(File.System, L, &Pool8), Seed,
+                           "shard-exhaust");
+      }
+      if (HasFailure())
+        break;
+    }
+  }
+}
+
+TEST_F(ParallelDeterminismTest, EvictionOnPipelinedRoundMatches) {
+  // Eviction decisions stay at the serial round boundary even once
+  // rounds are pipelined (round r's extraction overlapping round r+1's
+  // saturation): a cache budget tight enough to evict at nearly every
+  // boundary, on instances deep enough that rounds >= 2 -- the rounds a
+  // pipelined engine saturates speculatively -- carry cache pressure.
+  // The per-round Saturations / CacheBytes trace pins both the eviction
+  // schedule and the rebuild-after-evict path; any speculative
+  // saturation that leaked a charge or an eviction taken off the serial
+  // boundary diverges here.
+  for (uint64_t CacheBytes : {1ull * 1024, 4ull * 1024}) {
+    ResourceLimits L = FuzzLimits;
+    L.MaxCacheBytes = CacheBytes;
+    for (uint64_t Seed = 201; Seed <= 220; ++Seed) {
+      CpdsFile File = cuba::testing::generateRandomCpds(
+          Seed, cuba::testing::cornerShapeOptions(Seed));
+      SymbolicTrace S1 = runSymbolic(File.System, L, nullptr);
+      expectSameSymbolic(S1, runSymbolic(File.System, L, &Pool2), Seed,
+                         "pipeline-evict");
+      expectSameSymbolic(S1, runSymbolic(File.System, L, &Pool8), Seed,
+                         "pipeline-evict");
+      if (HasFailure())
+        break;
+    }
+  }
+  // The wide Bluetooth model under simultaneous cache pressure and a
+  // step budget that exhausts mid-run: eviction, pipelining, and
+  // truncation interacting on one deep instance.
+  ResourceLimits Hard{200'000, 2'000'000, 8, 0};
+  Hard.MaxCacheBytes = 6 * 1024;
+  CpdsFile Wide = models::buildBluetooth(3, 2, 2);
+  SymbolicTrace S1 = runSymbolic(Wide.System, Hard, nullptr);
+  expectSameSymbolic(S1, runSymbolic(Wide.System, Hard, &Pool2), 0,
+                     "pipeline-evict-model");
+  expectSameSymbolic(S1, runSymbolic(Wide.System, Hard, &Pool8), 0,
+                     "pipeline-evict-model");
 }
 
 TEST_F(ParallelDeterminismTest, ExpandAllAblationMatches) {
