@@ -13,6 +13,7 @@
 #include "exec/ParallelRound.h"
 #include "obs/Trace.h"
 #include "support/Statistic.h"
+#include "support/Unreachable.h"
 
 using namespace cuba;
 
@@ -22,13 +23,19 @@ CbaEngine::CbaEngine(const Cpds &C, const ResourceLimits &Limits)
   TopsBuf.resize(C.numThreads());
   PerStateBytes = sizeof(PackedGlobalState) + sizeof(StateInfo) +
                   sizeof(uint32_t) /* LocalMark */;
+  NumShards = core::commitShardCount();
+  Index.resize(NumShards);
+  ShardCommitted.assign(NumShards, 0);
+  RoundStartCommitted = ShardCommitted;
   PackedGlobalState Init = packState(C.initialState(), Store);
   if (Init.Stacks.size() > Init.Stacks.inlineCapacity())
     PerStateBytes += Init.Stacks.size() * sizeof(StackId);
-  auto [Slot, New] = Index.tryEmplace(Init, 0);
+  uint64_t H = PackedGlobalStateHash{}(Init);
+  auto [Slot, New] = shardFor(H).tryEmplaceHashed(Init, H, 0);
   (void)Slot;
   assert(New && "fresh index already holds the initial state");
   (void)New;
+  noteCommitted(core::shardOf(H, NumShards));
   appendState(std::move(Init), 0, UINT32_MAX, 0, 0);
   this->Limits.chargeState();
   this->Limits.checkMemory(stateBytes() + Store.memoryBytes());
@@ -92,9 +99,13 @@ CbaEngine::closeUnderThread(unsigned I, const std::vector<uint32_t> &Seeds,
     if (!Limits.chargeStep(SuccsBuf.size() + 1))
       return RoundStatus::Exhausted;
     for (auto &[V, ActionIdx] : SuccsBuf) {
+      uint64_t H = PackedGlobalStateHash{}(V);
+      unsigned Shard = core::shardOf(H, NumShards);
       auto [Slot, New] =
-          Index.tryEmplace(V, static_cast<uint32_t>(States.size()));
+          Index[Shard].tryEmplaceHashed(V, H,
+                                        static_cast<uint32_t>(States.size()));
       if (New) {
+        noteCommitted(Shard);
         // Genuinely new: first reached with Bound+1 contexts.
         uint32_t NewId =
             appendState(std::move(V), Bound + 1, Id, I, ActionIdx);
@@ -156,7 +167,7 @@ void CbaEngine::deriveChunk(unsigned Worker, ChunkOut &Out, unsigned I,
       if (V.Stacks[I] < BaseSize) {
         Hash = PackedGlobalStateHash{}(V);
         HasHash = 1;
-        if (const uint32_t *Found = Index.findHashed(V, Hash)) {
+        if (const uint32_t *Found = shardFor(Hash).findHashed(V, Hash)) {
           uint32_t Id = *Found;
           // Marked in an earlier (committed) level: the serial BFS
           // skips it here too.  Old states (discovered in an earlier
@@ -239,68 +250,10 @@ CbaEngine::closeUnderThreadParallel(unsigned I,
                                          Begin, End);
                            });
     }
-    obs::ScopedSpan Commit("commit-level", obs::Trace::CatWall);
-    Commit.arg("level", Level.size());
-
-    // Serial ordered commit.
-    Next.clear();
-    for (size_t Chunk = 0; Chunk < NumChunks; ++Chunk) {
-      ChunkOut &CO = ChunksBuf[Chunk];
-      StackOverlay &OV = Scratch->get(CO.Worker).Overlay;
-      size_t CandBegin = 0;
-      for (size_t P = 0; P < CO.Parents.size(); ++P) {
-        auto [ParentId, SuccCount] = CO.Parents[P];
-        size_t CandEnd = CO.CandEnd[P];
-        if (!Limits.chargeStep(SuccCount + 1)) {
-          FlushVisible();
-          return RoundStatus::Exhausted;
-        }
-        for (size_t CI = CandBegin; CI < CandEnd; ++CI) {
-          Candidate &Cand = CO.Cands[CI];
-          if (Cand.KnownId != UINT32_MAX) {
-            uint32_t Id = Cand.KnownId;
-            if (LocalMark[Id] == Epoch)
-              continue;
-            LocalMark[Id] = Epoch;
-            // Derive only kept known candidates with Round > Bound.
-            Next.push_back(Id);
-            continue;
-          }
-          PackedGlobalState V = std::move(Cand.S);
-          V.Stacks[I] = OV.translate(V.Stacks[I], Store);
-          // All-base candidates carry their worker-computed hash
-          // (translate() was the identity for them).
-          auto [Slot, New] =
-              Cand.HasHash
-                  ? Index.tryEmplaceHashed(
-                        V, Cand.Hash, static_cast<uint32_t>(States.size()))
-                  : Index.tryEmplace(V,
-                                     static_cast<uint32_t>(States.size()));
-          if (New) {
-            uint32_t NewId =
-                Cand.HasVis
-                    ? appendStateBatched(std::move(V), Bound + 1, ParentId,
-                                         I, Cand.ActionIdx, Cand.VisWord)
-                    : appendState(std::move(V), Bound + 1, ParentId, I,
-                                  Cand.ActionIdx);
-            LocalMark[NewId] = Epoch;
-            NewFrontier.push_back(NewId);
-            Next.push_back(NewId);
-            if (!chargeNewState()) {
-              FlushVisible();
-              return RoundStatus::Exhausted;
-            }
-            continue;
-          }
-          uint32_t SeenId = *Slot;
-          if (LocalMark[SeenId] == Epoch)
-            continue;
-          LocalMark[SeenId] = Epoch;
-          if (Info[SeenId].Round > Bound)
-            Next.push_back(SeenId);
-        }
-        CandBegin = CandEnd;
-      }
+    if (commitLevel(I, NewFrontier, Next, NumChunks) ==
+        RoundStatus::Exhausted) {
+      FlushVisible();
+      return RoundStatus::Exhausted;
     }
     std::swap(Level, Next);
   }
@@ -308,12 +261,219 @@ CbaEngine::closeUnderThreadParallel(unsigned I,
   return RoundStatus::Ok;
 }
 
+/// Fresh-candidate count below which the shard passes run inline: at
+/// this size the fork-join handoff costs more than the probes it would
+/// spread.  A constant, not jobs-derived -- both code paths compute the
+/// same resolution, so the gate only affects scheduling.
+static constexpr size_t MinParallelFresh = 64;
+
+void CbaEngine::resolveShardCandidates(size_t FreshCount) {
+  auto Resolve = [&](unsigned S) {
+    StateIndexMap &M = Index[S];
+    for (uint32_t Seq : ShardSeqs[S]) {
+      Candidate &Cand = *SeqCands[Seq];
+      auto [Slot, New] =
+          M.tryEmplaceHashed(Cand.S, Cand.Hash, TentativeTag | Seq);
+      if (New) {
+        ResKind[Seq] = ResNewFirst;
+      } else if (*Slot & TentativeTag) {
+        // A lower seq in this shard already claimed the state this
+        // level; per-shard lists are in seq order, so first-wins here
+        // is exactly the serial dedup outcome.
+        ResKind[Seq] = ResDup;
+        ResVal[Seq] = *Slot & ~TentativeTag;
+      } else {
+        ResKind[Seq] = ResExisting;
+        ResVal[Seq] = *Slot;
+      }
+    }
+  };
+  if (FreshCount >= MinParallelFresh && NumShards > 1)
+    exec::parallelFor(*Pool, NumShards, 1,
+                      [&](unsigned, size_t S) {
+                        Resolve(static_cast<unsigned>(S));
+                      });
+  else
+    for (unsigned S = 0; S < NumShards; ++S)
+      Resolve(S);
+}
+
+void CbaEngine::fixupShardCandidates(size_t FreshCount) {
+  auto Fixup = [&](unsigned S) {
+    StateIndexMap &M = Index[S];
+    for (uint32_t Seq : ShardSeqs[S]) {
+      if (ResKind[Seq] != ResNewFirst)
+        continue;
+      uint32_t Id = FinalIds[Seq];
+      if (Id != UINT32_MAX) {
+        // Accepted: the key now lives in the state arena (the commit
+        // moved it), so re-probe with it.
+        uint32_t *Val = M.findHashed(States[Id], SeqCands[Seq]->Hash);
+        assert(Val && "accepted entry vanished from its shard");
+        *Val = Id;
+      } else {
+        // Past the budget stop: the tentative insert must leave no
+        // trace, or a later run of this engine would dedup against a
+        // state that was never committed.
+        bool Erased = M.erase(SeqCands[Seq]->S);
+        assert(Erased && "rejected entry vanished from its shard");
+        (void)Erased;
+      }
+    }
+  };
+  if (FreshCount >= MinParallelFresh && NumShards > 1)
+    exec::parallelFor(*Pool, NumShards, 1,
+                      [&](unsigned, size_t S) {
+                        Fixup(static_cast<unsigned>(S));
+                      });
+  else
+    for (unsigned S = 0; S < NumShards; ++S)
+      Fixup(S);
+}
+
+CbaEngine::RoundStatus CbaEngine::commitLevel(unsigned I,
+                                              std::vector<uint32_t> &NewFrontier,
+                                              std::vector<uint32_t> &Next,
+                                              size_t NumChunks) {
+  obs::ScopedSpan Commit("commit-level", obs::Trace::CatWall);
+
+  // Phase A (serial): flatten the chunks' candidates into one stream in
+  // serial order, translating each fresh candidate's thread stack out
+  // of its worker overlay -- StackId interning order is candidate order,
+  // i.e. exactly the serial schedule -- and hashing the candidates
+  // whose stacks were not all base ids (worker hashes only hold when
+  // translate() is the identity).
+  SeqCands.clear();
+  ResKind.clear();
+  if (ShardSeqs.size() != NumShards)
+    ShardSeqs.resize(NumShards);
+  for (std::vector<uint32_t> &SS : ShardSeqs)
+    SS.clear();
+  size_t FreshCount = 0;
+  for (size_t Chunk = 0; Chunk < NumChunks; ++Chunk) {
+    ChunkOut &CO = ChunksBuf[Chunk];
+    StackOverlay &OV = Scratch->get(CO.Worker).Overlay;
+    for (Candidate &Cand : CO.Cands) {
+      uint32_t Seq = static_cast<uint32_t>(SeqCands.size());
+      SeqCands.push_back(&Cand);
+      if (Cand.KnownId != UINT32_MAX) {
+        ResKind.push_back(ResKnown);
+        continue;
+      }
+      Cand.S.Stacks[I] = OV.translate(Cand.S.Stacks[I], Store);
+      if (!Cand.HasHash) {
+        Cand.Hash = PackedGlobalStateHash{}(Cand.S);
+        Cand.HasHash = 1;
+      }
+      ResKind.push_back(ResFresh);
+      ShardSeqs[core::shardOf(Cand.Hash, NumShards)].push_back(Seq);
+      ++FreshCount;
+    }
+  }
+  Commit.arg("cands", SeqCands.size());
+  Commit.arg("fresh", FreshCount);
+  ResVal.assign(SeqCands.size(), 0);
+  FinalIds.assign(SeqCands.size(), UINT32_MAX);
+  StopSeq = UINT32_MAX;
+  assert(States.size() + SeqCands.size() < TentativeTag &&
+         "state ids would collide with the tentative tag");
+
+  // Phase B (parallel): workers probe and tentatively insert disjoint
+  // shards.  Pure function of the frozen maps plus the per-shard seq
+  // lists, so the schedule cannot leak into the outcome.
+  resolveShardCandidates(FreshCount);
+
+  // Phase C (serial, no hashing or probing): replay charges, state id
+  // assignment and first-seen bookkeeping in exactly the serial order,
+  // stopping precisely where the serial run's budget would.
+  RoundStatus St = RoundStatus::Ok;
+  uint32_t Seq = 0;
+  Next.clear();
+  for (size_t Chunk = 0; Chunk < NumChunks && St == RoundStatus::Ok;
+       ++Chunk) {
+    ChunkOut &CO = ChunksBuf[Chunk];
+    size_t CandBegin = 0;
+    for (size_t P = 0; P < CO.Parents.size(); ++P) {
+      auto [ParentId, SuccCount] = CO.Parents[P];
+      size_t CandEnd = CO.CandEnd[P];
+      if (!Limits.chargeStep(SuccCount + 1)) {
+        StopSeq = Seq;
+        St = RoundStatus::Exhausted;
+        break;
+      }
+      for (size_t CI = CandBegin; CI < CandEnd && St == RoundStatus::Ok;
+           ++CI, ++Seq) {
+        Candidate &Cand = *SeqCands[Seq];
+        uint32_t Id;
+        switch (ResKind[Seq]) {
+        case ResKnown:
+          Id = Cand.KnownId;
+          break;
+        case ResExisting:
+          Id = ResVal[Seq];
+          break;
+        case ResDup:
+          Id = FinalIds[ResVal[Seq]];
+          assert(Id != UINT32_MAX &&
+                 "dup resolved to a candidate past the stop point");
+          break;
+        case ResNewFirst: {
+          uint32_t NewId =
+              Cand.HasVis
+                  ? appendStateBatched(std::move(Cand.S), Bound + 1, ParentId,
+                                       I, Cand.ActionIdx, Cand.VisWord)
+                  : appendState(std::move(Cand.S), Bound + 1, ParentId, I,
+                                Cand.ActionIdx);
+          FinalIds[Seq] = NewId;
+          noteCommitted(core::shardOf(Cand.Hash, NumShards));
+          LocalMark[NewId] = Epoch;
+          NewFrontier.push_back(NewId);
+          Next.push_back(NewId);
+          if (!chargeNewState()) {
+            StopSeq = Seq + 1;
+            St = RoundStatus::Exhausted;
+          }
+          continue;
+        }
+        default:
+          cuba_unreachable("unresolved candidate after the shard pass");
+        }
+        if (LocalMark[Id] == Epoch)
+          continue;
+        LocalMark[Id] = Epoch;
+        // ResKnown candidates were only kept with Round > Bound; the
+        // others re-check, since a fresh stack can still equal an old
+        // state's.
+        if (Info[Id].Round > Bound)
+          Next.push_back(Id);
+      }
+      if (St != RoundStatus::Ok)
+        break;
+      CandBegin = CandEnd;
+    }
+  }
+
+  // Phase D (parallel): finalize the tentative entries -- accepted ones
+  // get their final id, entries past the stop are rolled back.  Runs on
+  // every exit path so the maps only ever expose committed ids.
+  fixupShardCandidates(FreshCount);
+  return St;
+}
+
 CbaEngine::RoundStatus CbaEngine::advance() {
   static Statistic Rounds("cba.rounds");
   static obs::Histogram RoundMicros("cba.round_micros",
                                     /*Deterministic=*/false);
   static obs::Gauge BytesHwm("cba.bytes.hwm");
+  // How unevenly this round's new states spread over the commit shards:
+  // max-shard share as a percentage of a perfectly even spread (100 =
+  // balanced, NumShards*100 = everything in one shard).  A deterministic
+  // function of committed state, identical at any --jobs and on the
+  // serial path (both use the same sharded index).
+  static obs::Histogram ShardImbalance("cba.commit.shard_imbalance_pct",
+                                       /*Deterministic=*/true);
   ++Rounds;
+  RoundStartCommitted = ShardCommitted;
   auto T0 = std::chrono::steady_clock::now();
   obs::ScopedSpan Round("round", obs::Trace::CatDet);
   Round.arg("k", Bound);
@@ -338,6 +498,14 @@ CbaEngine::RoundStatus CbaEngine::advance() {
     Round.arg("states", Limits.states());
     Round.arg("peak_bytes", Limits.peakBytes());
     BytesHwm.recordMax(stateBytes() + CommittedArenaBytes);
+    uint64_t Total = 0, Max = 0;
+    for (unsigned S = 0; S < NumShards; ++S) {
+      uint64_t D = ShardCommitted[S] - RoundStartCommitted[S];
+      Total += D;
+      Max = std::max(Max, D);
+    }
+    if (Total > 0)
+      ShardImbalance.observe(Max * NumShards * 100 / Total);
     RoundMicros.observe(static_cast<uint64_t>(
         std::chrono::duration_cast<std::chrono::microseconds>(
             std::chrono::steady_clock::now() - T0)
@@ -390,7 +558,8 @@ bool CbaEngine::stateReached(const GlobalState &S) const {
       return false; // A never-interned stack cannot be part of any state.
     P.Stacks.push_back(Id);
   }
-  return Index.contains(P);
+  uint64_t H = PackedGlobalStateHash{}(P);
+  return shardFor(H).findHashed(P, H) != nullptr;
 }
 
 std::vector<TraceStep>

@@ -41,11 +41,16 @@
 /// each processed in the append order of the previous one -- so a round
 /// can fan a level's successor derivation out across workers (each with
 /// a StackOverlay over the frozen arena) and then commit the per-chunk
-/// candidate lists serially in level order.  The commit performs every
-/// order-sensitive effect (stack/state id assignment, dedup, budget
-/// charges, first-seen bookkeeping) in exactly the serial sequence, so
-/// results are bit-identical to a serial run for any job count; see
-/// ParallelDeterminismTest.
+/// candidate lists in level order.  The commit itself is sharded: the
+/// dedup index is partitioned by state-hash range (core/CommitShards.h,
+/// a fixed jobs-independent count), so after a cheap serial pass
+/// translates overlay stacks and hashes fresh candidates, workers probe
+/// and tentatively insert disjoint shards in parallel, and a serial
+/// id-assignment pass replays every order-sensitive effect (state id
+/// assignment, budget charges, first-seen bookkeeping) in exactly the
+/// serial sequence -- rolling tentative entries back if the budget
+/// stops it early.  Results are bit-identical to a serial run for any
+/// job count; see ParallelDeterminismTest and BUILDING.md.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -55,6 +60,7 @@
 #include <memory>
 #include <vector>
 
+#include "core/CommitShards.h"
 #include "exec/WorkerLocal.h"
 #include "pds/Cpds.h"
 #include "pds/StackStore.h"
@@ -219,17 +225,17 @@ private:
                        unsigned Thread, uint32_t ActionIdx);
 
   /// Byte footprint of the per-state stores alone: a pure function of
-  /// the committed state count (the dedup index's capacity depends only
-  /// on its insertion count), so it is safe to probe at every state
-  /// commit — unlike the stack arena and visible set, whose mid-closure
-  /// contents differ between the serial and parallel paths (the serial
-  /// BFS interns successor stacks per pop and inserts visible words
-  /// immediately; the parallel path translates per candidate and
-  /// batch-flushes).  Those are folded in through CommittedArenaBytes,
-  /// refreshed only at closure boundaries where the paths agree.
+  /// the per-shard committed counts (LogicalIndexBytes), so it is safe
+  /// to probe at every state commit — unlike the stack arena and
+  /// visible set, whose mid-closure contents differ between the serial
+  /// and parallel paths (the serial BFS interns successor stacks per
+  /// pop and inserts visible words immediately; the parallel path
+  /// translates per candidate and batch-flushes).  Those are folded in
+  /// through CommittedArenaBytes, refreshed only at closure boundaries
+  /// where the paths agree.
   uint64_t stateBytes() const {
     return static_cast<uint64_t>(States.size()) * PerStateBytes +
-           Index.memoryBytes();
+           LogicalIndexBytes;
   }
 
   /// Charges one new state against both the count and byte budgets.
@@ -270,13 +276,74 @@ private:
   /// Stack-arena + visible-set bytes as of the last closure boundary.
   uint64_t CommittedArenaBytes = 0;
 
+  using StateIndexMap =
+      FlatMap<PackedGlobalState, uint32_t, PackedGlobalStateHash>;
+
+  /// The shard holding hash \p H's entries.
+  StateIndexMap &shardFor(uint64_t H) {
+    return Index[core::shardOf(H, NumShards)];
+  }
+  const StateIndexMap &shardFor(uint64_t H) const {
+    return Index[core::shardOf(H, NumShards)];
+  }
+
+  /// Folds one serially accepted entry of shard \p S into the logical
+  /// index footprint.  Budget charges read LogicalIndexBytes, never the
+  /// shards' physical capacity: a parallel commit inserts tentative
+  /// entries for the whole level before the serial pass decides where
+  /// the budget stops, and that speculation must not be budget-visible.
+  void noteCommitted(unsigned S) {
+    LogicalIndexBytes -= StateIndexMap::logicalBytesFor(ShardCommitted[S]);
+    ++ShardCommitted[S];
+    LogicalIndexBytes += StateIndexMap::logicalBytesFor(ShardCommitted[S]);
+  }
+
+  /// Per-candidate resolution from the parallel shard pass.
+  enum ResolutionKind : uint8_t {
+    ResKnown,    ///< Dedup-resolved at derive time (KnownId).
+    ResFresh,    ///< Awaiting the shard pass.
+    ResNewFirst, ///< First occurrence of a new state (tentative insert).
+    ResDup,      ///< Later occurrence; ResVal is the first's seq.
+    ResExisting, ///< Matched a previously committed state; ResVal is id.
+  };
+
+  /// Tag bit marking a shard-map value as a tentative seq, not an id.
+  static constexpr uint32_t TentativeTag = 0x80000000u;
+
+  /// Phase B of the sharded commit: resolve every ResFresh candidate
+  /// against its shard, in seq order per shard (workers touch disjoint
+  /// shards, so the pass is race-free and its output independent of the
+  /// schedule).  \p FreshCount gates pool dispatch.
+  void resolveShardCandidates(size_t FreshCount);
+
+  /// Phase D of the sharded commit: rewrite accepted tentative entries
+  /// to their final ids and erase entries past the budget stop, again
+  /// per shard.
+  void fixupShardCandidates(size_t FreshCount);
+
+  RoundStatus commitLevel(unsigned I, std::vector<uint32_t> &NewFrontier,
+                          std::vector<uint32_t> &Next, size_t NumChunks);
+
   /// The interning arena all stack ids below refer to.
   StackStore Store;
   /// R_k as a dense arena: state id -> interned state / metadata.
   std::vector<PackedGlobalState> States;
   std::vector<StateInfo> Info;
-  /// state -> id dedup index.
-  FlatMap<PackedGlobalState, uint32_t, PackedGlobalStateHash> Index;
+  /// Dedup-index shard count, fixed at construction (never derived from
+  /// the job count; see core/CommitShards.h).
+  unsigned NumShards;
+  /// state -> id dedup index, sharded by state-hash range.  Both round
+  /// paths use the same sharded structure, so byte accounting cannot
+  /// depend on --jobs.
+  std::vector<StateIndexMap> Index;
+  /// Serially accepted entries per shard (drives LogicalIndexBytes and
+  /// the per-round imbalance histogram).
+  std::vector<uint32_t> ShardCommitted;
+  /// ShardCommitted at the start of the current round.
+  std::vector<uint32_t> RoundStartCommitted;
+  /// Sum over shards of logicalBytesFor(committed): the index footprint
+  /// the byte budget sees.
+  uint64_t LogicalIndexBytes = 0;
   /// Ids of the states first reached in the current round.
   std::vector<uint32_t> Frontier;
   /// T(R_k) with first-seen rounds, packed.
@@ -302,6 +369,17 @@ private:
   /// Visible words of states appended by the current parallel commit,
   /// flushed in one batch per closure.
   std::vector<uint64_t> VisBatch;
+
+  /// Sharded-commit scratch, rebuilt per level: the level's candidates
+  /// flattened in serial order (pointers into ChunksBuf), their
+  /// resolution, assigned final ids, the per-shard work lists, and the
+  /// first seq the budget rejected (UINT32_MAX when none).
+  std::vector<Candidate *> SeqCands;
+  std::vector<uint8_t> ResKind;
+  std::vector<uint32_t> ResVal;
+  std::vector<uint32_t> FinalIds;
+  std::vector<std::vector<uint32_t>> ShardSeqs;
+  uint32_t StopSeq = UINT32_MAX;
 };
 
 } // namespace cuba

@@ -180,6 +180,17 @@ public:
     return static_cast<uint64_t>(Ctrl.size()) * (1 + sizeof(K) + sizeof(V));
   }
 
+  /// The footprint memoryBytes() reports after \p N distinct insertions.
+  /// The capacity trajectory depends only on the insertion count, so
+  /// callers can account for entries they have accepted without
+  /// consulting the table -- the engines' sharded commits charge the
+  /// budget this way while tentative entries are still in flight.
+  static uint64_t logicalBytesFor(size_t N) {
+    return N == 0 ? 0
+                  : static_cast<uint64_t>(capacityFor(N)) *
+                        (1 + sizeof(K) + sizeof(V));
+  }
+
 private:
   enum : uint8_t { Empty = 0, Occupied = 1 };
 
