@@ -185,7 +185,7 @@ uint32_t SymbolicEngine::registerSaturation(unsigned I, DfaId Lang,
   }
   uint32_t Idx = static_cast<uint32_t>(SharedSats.size());
   SatBytes += Sat.memoryBytes();
-  SharedSats.push_back({std::move(Sat), BaseSteps, {}, I, Lang, Bound});
+  SharedSats.push_back({std::move(Sat), BaseSteps, {}, I, Lang, Bound, {}});
   SatCache[I].tryEmplace(Lang, Idx);
   // Registration is a serial commit point in both round paths; fold the
   // newly retained relation into the byte budget immediately.
@@ -193,18 +193,24 @@ uint32_t SymbolicEngine::registerSaturation(unsigned I, DfaId Lang,
   return Idx;
 }
 
-void SymbolicEngine::extractRootPending(const SharedSaturation &Sat,
-                                        QState Root,
-                                        PendingExtraction &P) const {
+void SymbolicEngine::extractRootPending(
+    const SharedSaturation &Sat,
+    const SharedSaturation::ExtractionCache *Committed,
+    SharedSaturation::ExtractionCache *Overlay, QState Root,
+    PendingExtraction &P) const {
   P.TsBegin = obs::Trace::nowNs();
+  Sat.extractRootCached(Root, Committed, Overlay, P.X);
   // The per-successor charge mirrors the pre-refactor pipeline's
   // rooted-NFA cost: the size of the automaton the canonicalization
-  // reads, identical for every target of one root.
+  // reads, identical for every target of one root.  Cache hits charge
+  // the same schedule a fresh extraction would -- only the wall time
+  // changes, never the budget.
   uint64_t Cost = Sat.numStates();
-  for (auto &[Q2, D] : Sat.extractRoot(Root)) {
-    uint64_t Hash = D.hash();
-    P.Succs.push_back({Q2, std::move(D), Hash, Cost});
-  }
+  for (size_t I = 0; I < P.X.Langs.size(); ++I)
+    P.Succs.push_back({P.X.Langs[I].first, std::move(P.X.Langs[I].second),
+                       P.X.Hashes[I], Cost});
+  if (Overlay)
+    Sat.commitExtraction(*Overlay, P.X);
   P.TsEnd = obs::Trace::nowNs();
 }
 
@@ -212,6 +218,7 @@ bool SymbolicEngine::commitRootExtraction(
     uint32_t SatIdx, PendingExtraction &P, const SymbolicState &S, unsigned I,
     std::vector<SymbolicState> &NewFrontier) {
   static obs::Histogram Fanout("symbolic.extraction_fanout");
+  static Statistic SkippedUnchanged("extract.skipped_unchanged");
   Fanout.observe(P.Succs.size());
   if (obs::Trace::enabled()) {
     obs::SpanArg Args[] = {{"thread", I},
@@ -221,6 +228,11 @@ bool SymbolicEngine::commitRootExtraction(
                      P.TsEnd, Args, 3);
   }
   SharedSat &SS = SharedSats[SatIdx];
+  // Fold the extraction into the saturation's interned cache and count
+  // the targets it already held.  A serial commit point: the cache's
+  // content, and with it this deterministic counter, replays the serial
+  // schedule at any job count.
+  SkippedUnchanged += SS.Sat.commitExtraction(SS.Extract, P.X);
   Transaction TR;
   TR.BaseSteps = SS.PendingBase; // First extracted root carries the base.
   SS.PendingBase = 0;
@@ -287,10 +299,12 @@ bool SymbolicEngine::expand(const SymbolicState &S, unsigned I,
                                 Limits.steps() - StepsBefore, Ts0, Ts1, 0);
   }
 
-  // Fresh root on a (now) saturated language: extract, then run the
-  // shared budget-charging commit.
+  // Fresh root on a (now) saturated language: extract against the
+  // saturation's live interned cache, then run the shared
+  // budget-charging commit.
   PendingExtraction P;
-  extractRootPending(SharedSats[SatIdx].Sat, S.Q, P);
+  extractRootPending(SharedSats[SatIdx].Sat, &SharedSats[SatIdx].Extract,
+                     /*Overlay=*/nullptr, S.Q, P);
   return commitRootExtraction(SatIdx, P, S, I, NewFrontier);
 }
 
@@ -352,9 +366,15 @@ void SymbolicEngine::computePendingSat(PendingSat &P,
     P.Sat = std::move(R.Sat);
     Sat = &P.Sat;
   }
+  // Extractions probe the saturation's committed cache (frozen for the
+  // round) plus a task-local overlay that accumulates this task's fresh
+  // targets in frontier order -- the same reuse the serial path gets
+  // from its live cache, without touching shared state.
+  const SharedSaturation::ExtractionCache *Committed =
+      P.CachedSat != UINT32_MAX ? &SharedSats[P.CachedSat].Extract : nullptr;
   P.Extr.resize(P.Roots.size());
   for (size_t R = 0; R < P.Roots.size(); ++R) {
-    extractRootPending(*Sat, P.Roots[R], P.Extr[R]);
+    extractRootPending(*Sat, Committed, &P.SpecCache, P.Roots[R], P.Extr[R]);
     P.Extr[R].Worker = Worker;
   }
 }

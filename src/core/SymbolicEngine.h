@@ -204,6 +204,13 @@ private:
     unsigned Thread = 0;
     DfaId InLang = 0;
     unsigned LastUsed = 0; // Round stamp, updated at serial touch points.
+    /// Interned per-root extraction state (root classes and per-target
+    /// canonical forms); read concurrently by speculative extractions,
+    /// mutated only at the serial commit (commitRootExtraction), so its
+    /// content -- and the skipped-target counter derived from it -- is
+    /// identical at any job count.  Evicted along with the saturation;
+    /// like TopsCache, a derived index outside the byte budgets.
+    SharedSaturation::ExtractionCache Extract;
   };
 
   /// A per-root extraction staged before budget charging and interning:
@@ -222,6 +229,10 @@ private:
       uint64_t StepCost;
     };
     std::vector<PSucc> Succs;
+    /// The cached-extraction payload: committed into the owning
+    /// SharedSat's ExtractionCache at the serial commit, where the
+    /// already-present targets are counted as extract.skipped_unchanged.
+    SharedSaturation::RootExtraction X;
     uint64_t TsBegin = 0;
     uint64_t TsEnd = 0;
     uint32_t Worker = 0;
@@ -246,6 +257,12 @@ private:
     std::vector<QState> Roots;
     FlatMap<uint32_t, uint32_t> RootIdx; // root -> Extr index
     std::vector<PendingExtraction> Extr;
+    /// Task-local extraction overlay: roots of one speculative task
+    /// extract in frontier order and accumulate their fresh targets
+    /// here, so later roots reuse earlier ones' canonical forms exactly
+    /// as the serial path's live cache would let them.  Discarded after
+    /// the round; the real cache is populated by the serial commit.
+    SharedSaturation::ExtractionCache SpecCache;
     /// Trace attribution of the speculative saturation (see
     /// PendingExtraction): emitted by the serial commit's
     /// registerSaturation.
@@ -269,10 +286,17 @@ private:
                               uint64_t EndNs, uint32_t Worker);
 
   /// Extracts root \p Root's canonical successor languages (with
-  /// structural hashes and charge schedule) from \p Sat.  Pure; shared
-  /// by the serial fresh path and the parallel speculative phase.
-  void extractRootPending(const SharedSaturation &Sat, QState Root,
-                          PendingExtraction &P) const;
+  /// structural hashes and charge schedule) from \p Sat, probing
+  /// \p Committed (the saturation's serially committed extraction
+  /// cache) and \p Overlay (a task-local accumulation cache, populated
+  /// here when non-null) read-only; only targets neither holds are
+  /// canonicalized.  Output is byte-identical to a cache-less
+  /// extraction.  Shared by the serial fresh path and the parallel
+  /// speculative phase.
+  void extractRootPending(const SharedSaturation &Sat,
+                          const SharedSaturation::ExtractionCache *Committed,
+                          SharedSaturation::ExtractionCache *Overlay,
+                          QState Root, PendingExtraction &P) const;
 
   /// The budget-charging tail of a fresh per-root extraction --
   /// per-successor charge -> intern -> register, then record it under

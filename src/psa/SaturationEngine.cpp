@@ -10,6 +10,7 @@
 #include "fa/Canonicalize.h"
 #include "psa/Semiring.h"
 #include "psa/WeightedPostStar.h"
+#include "support/Hashing.h"
 #include "support/Statistic.h"
 
 using namespace cuba;
@@ -50,6 +51,225 @@ SharedSaturation::extractRoot(QState Root) const {
   return Out;
 }
 
+void SharedSaturation::buildRootRows() {
+  RowStart.assign(NumShared + 1, 0);
+  size_t SharedSourced = 0;
+  for (size_t T = 0; T < TFrom.size(); ++T) {
+    if (TTo[T] < NumShared)
+      RootedReadsSound = false;
+    if (TFrom[T] < NumShared) {
+      ++RowStart[TFrom[T] + 1];
+      ++SharedSourced;
+    }
+  }
+  for (uint32_t Q = 0; Q < NumShared; ++Q)
+    RowStart[Q + 1] += RowStart[Q];
+  RowTrans.resize(SharedSourced);
+  std::vector<uint32_t> Fill(RowStart.begin(), RowStart.end() - 1);
+  for (size_t T = 0; T < TFrom.size(); ++T)
+    if (TFrom[T] < NumShared)
+      RowTrans[Fill[TFrom[T]]++] = static_cast<uint32_t>(T);
+}
+
+Nfa SharedSaturation::classView(const std::vector<uint64_t> &Bits) const {
+  Nfa View(NumSymbols);
+  View.reserveStates(NumStates);
+  for (uint32_t S = 0; S < NumStates; ++S)
+    View.addState();
+  for (uint32_t S = NumShared; S < NumStates; ++S)
+    if (AcceptBase[S])
+      View.setAccepting(S);
+  for (size_t T = 0; T < TFrom.size(); ++T)
+    if ((Bits[T / 64] >> (T % 64)) & 1)
+      View.addEdge(TFrom[T], TLabel[T], TTo[T]);
+  return View;
+}
+
+void SharedSaturation::extractRootCached(QState Root,
+                                         const ExtractionCache *Committed,
+                                         const ExtractionCache *Overlay,
+                                         RootExtraction &X) const {
+  static Statistic ExtractCounter("saturation.extractions",
+                                  /*Deterministic=*/false);
+  ++ExtractCounter;
+  if (!RootedReadsSound) {
+    // Invariant violated (never by this module's construction): fall
+    // back to the plain pipeline with an empty commit payload, which
+    // commitExtraction treats as a no-op.
+    for (auto &[Q2, D] : extractRoot(Root)) {
+      X.Hashes.push_back(D.hash());
+      X.Langs.emplace_back(Q2, std::move(D));
+    }
+    return;
+  }
+
+  // The root's class: the exact active bit set over non-shared-sourced
+  // transitions.
+  size_t NumT = TFrom.size();
+  X.ClassBits.assign((NumT + 63) / 64, 0);
+  for (size_t T = 0; T < NumT; ++T)
+    if (TFrom[T] >= NumShared && activeFor(T, Root))
+      X.ClassBits[T / 64] |= uint64_t{1} << (T % 64);
+  X.ClassDigest = hashCombine(
+      0xC1A5, hashRange(X.ClassBits.begin(), X.ClassBits.end()));
+
+  // Resolve the class in each probe cache; a digest collision with a
+  // different bit set is a miss.
+  uint32_t CommittedClass = UINT32_MAX, OverlayClass = UINT32_MAX;
+  const Nfa *Base = nullptr;
+  if (Committed)
+    if (const uint32_t *I = Committed->ClassIdx.find(X.ClassDigest))
+      if (Committed->Classes[*I].Bits == X.ClassBits) {
+        CommittedClass = *I;
+        Base = &Committed->Classes[*I].View;
+      }
+  if (Overlay)
+    if (const uint32_t *I = Overlay->ClassIdx.find(X.ClassDigest))
+      if (Overlay->Classes[*I].Bits == X.ClassBits) {
+        OverlayClass = *I;
+        if (!Base)
+          Base = &Overlay->Classes[*I].View;
+      }
+  Nfa Built(0);
+  if (!Base) {
+    Built = classView(X.ClassBits);
+    Base = &Built;
+  }
+
+  // Per-target pass: probe the committed cache, the overlay, then the
+  // targets this very extraction has already recorded; canonicalize
+  // only the misses, against a full root view built at most once.
+  Nfa Full(0);
+  bool FullBuilt = false;
+  FlatMap<uint64_t, uint32_t> Pending; // digest -> first X.Targets index
+  std::vector<uint32_t> TargetSet(1);
+  X.Targets.reserve(NumShared);
+  for (QState Q2 = 0; Q2 < NumShared; ++Q2) {
+    RootExtraction::Target Tg;
+    Tg.SelfAccept = StartAccepting && Q2 == Root;
+    for (uint32_t K = RowStart[Q2]; K < RowStart[Q2 + 1]; ++K)
+      if (activeFor(RowTrans[K], Root))
+        Tg.Row.push_back(RowTrans[K]);
+    Tg.Digest = hashCombine(hashCombine(X.ClassDigest, Tg.SelfAccept),
+                            hashRange(Tg.Row.begin(), Tg.Row.end()));
+
+    auto Probe = [&](const ExtractionCache *C,
+                     uint32_t Class) -> const ExtractionCache::Entry * {
+      if (!C || Class == UINT32_MAX)
+        return nullptr;
+      const uint32_t *E = C->EntryIdx.find(Tg.Digest);
+      if (!E)
+        return nullptr;
+      const ExtractionCache::Entry &En = C->Entries[*E];
+      if (En.Class != Class || En.SelfAccept != Tg.SelfAccept ||
+          En.Row != Tg.Row)
+        return nullptr;
+      return &En;
+    };
+    const ExtractionCache::Entry *Hit = Probe(Committed, CommittedClass);
+    if (!Hit)
+      Hit = Probe(Overlay, OverlayClass);
+    const uint32_t *Pend = Hit ? nullptr : Pending.find(Tg.Digest);
+    if (Pend && (X.Targets[*Pend].SelfAccept != Tg.SelfAccept ||
+                 X.Targets[*Pend].Row != Tg.Row))
+      Pend = nullptr;
+
+    if (Hit) {
+      // Served from a cache -- but copy the result into the record
+      // anyway: a commit must be able to intern this target even into
+      // a cache that never saw the hit's source (a speculative overlay
+      // is discarded when the serial replay drops its task, so "the
+      // source cache has it" holds for no cache a later commit sees).
+      Tg.Empty = Hit->Empty;
+      if (!Hit->Empty) {
+        Tg.Hash = Hit->Hash;
+        Tg.D = Hit->D;
+        X.Langs.emplace_back(Q2, Hit->D);
+        X.Hashes.push_back(Hit->Hash);
+      }
+    } else if (Pend) {
+      // An earlier target of this same extraction had the identical
+      // key (typically both rows empty): reuse its result.
+      const RootExtraction::Target &First = X.Targets[*Pend];
+      Tg.Empty = First.Empty;
+      if (!First.Empty) {
+        Tg.Hash = First.Hash;
+        Tg.D = First.D;
+        X.Langs.emplace_back(Q2, First.D);
+        X.Hashes.push_back(First.Hash);
+      }
+    } else {
+      if (!FullBuilt) {
+        // The full root view: the class adjacency plus every shared
+        // state's active row, per-state edge order identical to
+        // rootView's ascending-index order (shared and non-shared
+        // sources never mix within one adjacency list).
+        Full = *Base;
+        for (uint32_t Q = 0; Q < NumShared; ++Q)
+          for (uint32_t K = RowStart[Q]; K < RowStart[Q + 1]; ++K) {
+            uint32_t T = RowTrans[K];
+            if (activeFor(T, Root))
+              Full.addEdge(TFrom[T], TLabel[T], TTo[T]);
+          }
+        if (StartAccepting)
+          Full.setAccepting(Root);
+        FullBuilt = true;
+      }
+      TargetSet[0] = Q2;
+      CanonicalDfa D = canonicalizeNfa(Full, TargetSet);
+      if (D.Start == CanonicalDfa::NoState) {
+        Tg.Empty = 1;
+      } else {
+        Tg.Hash = D.hash();
+        Tg.D = D;
+        X.Langs.emplace_back(Q2, std::move(D));
+        X.Hashes.push_back(Tg.Hash);
+      }
+      Pending.tryEmplace(Tg.Digest,
+                         static_cast<uint32_t>(X.Targets.size()));
+    }
+    X.Targets.push_back(std::move(Tg));
+  }
+}
+
+uint64_t SharedSaturation::commitExtraction(ExtractionCache &Cache,
+                                            const RootExtraction &X) const {
+  if (X.Targets.empty())
+    return 0; // Fallback extraction: nothing to intern or count.
+
+  uint32_t Class = UINT32_MAX;
+  if (const uint32_t *I = Cache.ClassIdx.find(X.ClassDigest)) {
+    if (Cache.Classes[*I].Bits != X.ClassBits)
+      return 0; // Digest collision: this class is uncacheable here.
+    Class = *I;
+  } else {
+    // Rebuild the view from the exact bit set rather than carrying the
+    // extraction's copy: every payload is then self-contained, and the
+    // cache evolves as a pure function of the commit sequence no matter
+    // which probe cache (possibly one since discarded) served the
+    // extraction.
+    Class = static_cast<uint32_t>(Cache.Classes.size());
+    Cache.ClassIdx.tryEmplace(X.ClassDigest, Class);
+    Cache.Classes.push_back({X.ClassBits, classView(X.ClassBits)});
+  }
+
+  uint64_t Skipped = 0;
+  for (const RootExtraction::Target &Tg : X.Targets) {
+    if (const uint32_t *E = Cache.EntryIdx.find(Tg.Digest)) {
+      const ExtractionCache::Entry &En = Cache.Entries[*E];
+      if (En.Class == Class && En.SelfAccept == Tg.SelfAccept &&
+          En.Row == Tg.Row)
+        ++Skipped;
+      continue;
+    }
+    Cache.EntryIdx.tryEmplace(Tg.Digest,
+                              static_cast<uint32_t>(Cache.Entries.size()));
+    Cache.Entries.push_back(
+        {Tg.Row, Tg.D, Tg.Hash, Class, Tg.SelfAccept, Tg.Empty});
+  }
+  return Skipped;
+}
+
 SharedSaturationResult cuba::sharedPostStar(const Pds &P, uint32_t NumShared,
                                             const CanonicalDfa &Lang,
                                             LimitTracker *Limits) {
@@ -77,5 +297,6 @@ SharedSaturationResult cuba::sharedPostStar(const Pds &P, uint32_t NumShared,
   Sat.Masks = R.Rel.Dom.takeActive();
   Sat.AcceptBase = std::move(R.Rel.AcceptBase);
   Sat.StartAccepting = R.Rel.StartAccepting;
+  Sat.buildRootRows();
   return Out;
 }

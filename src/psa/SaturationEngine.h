@@ -58,6 +58,7 @@
 #include "fa/Dfa.h"
 #include "fa/Nfa.h"
 #include "pds/Pds.h"
+#include "support/FlatHash.h"
 #include "support/Limits.h"
 
 namespace cuba {
@@ -119,6 +120,123 @@ public:
   /// directly via canonicalizeNfa.
   std::vector<std::pair<QState, CanonicalDfa>> extractRoot(QState Root) const;
 
+  //===--------------------------------------------------------------------===//
+  // Incremental per-root extraction
+  //
+  // extractRoot recanonicalizes every shared target from scratch.
+  // Across the roots of one saturation most of that work repeats:
+  // shared states never gain incoming transitions (every derived
+  // transition targets a DFA-copy or helper state), so a target's
+  // language depends only on (a) the root-independent base acceptance,
+  // (b) the set of transitions sourced at non-shared states active for
+  // the root -- the "root class", identical for whole groups of roots
+  // because root-independent (full-mask) derivations dominate -- and
+  // (c) the target's own active out-row.  The cache interns both
+  // layers: the base adjacency per distinct class (verified against
+  // the stored exact bit set, never trusted to the digest alone) and
+  // the canonical DFA per (class, out-row, self-accept) key, so a
+  // repeated root skips the product rebuild entirely and a root whose
+  // mask rows partially changed re-extracts only the targets whose
+  // rows changed.
+  //
+  // Concurrency contract (the DfaStore pattern): extraction probes
+  // caches read-only, so any number of workers may extract against a
+  // cache concurrently between commits; commitExtraction is the only
+  // mutator and must run in the owner's serial commit order.  Cache
+  // content is then a pure function of the committed extraction
+  // sequence -- identical at any job count -- and so is the
+  // skipped-target count commitExtraction returns.
+  //===--------------------------------------------------------------------===//
+
+  /// The interned extraction state for one retained saturation; opaque
+  /// to callers, mutated only through commitExtraction.
+  class ExtractionCache {
+    friend class SharedSaturation;
+
+    /// One interned base adjacency: the exact active-transition bit set
+    /// (bits only on non-shared-sourced transitions) and the view
+    /// holding those transitions plus the base acceptance.
+    struct BaseClass {
+      std::vector<uint64_t> Bits;
+      Nfa View{0};
+    };
+
+    /// One cached per-target extraction.  Class/Row/SelfAccept are the
+    /// exact key; the digest is only the index key, so a colliding
+    /// probe degrades to a miss, never to a wrong answer.
+    struct Entry {
+      std::vector<uint32_t> Row;
+      CanonicalDfa D;    // Valid when !Empty.
+      uint64_t Hash = 0; // D.hash(), precomputed.
+      uint32_t Class = 0;
+      uint8_t SelfAccept = 0;
+      uint8_t Empty = 0;
+    };
+
+    FlatMap<uint64_t, uint32_t> ClassIdx; // class digest -> Classes index
+    std::vector<BaseClass> Classes;
+    FlatMap<uint64_t, uint32_t> EntryIdx; // entry digest -> Entries index
+    std::vector<Entry> Entries;
+  };
+
+  /// One cached extraction in flight: the result (byte-identical to
+  /// extractRoot) plus the commit payload commitExtraction folds into a
+  /// cache.  Langs/Hashes may be consumed by the caller between the
+  /// extraction and the commit; the payload carries its own copies --
+  /// every target record is self-contained (key AND result), whether it
+  /// was served from a cache or computed fresh, so a commit never
+  /// depends on which layer happened to serve the extraction.  That
+  /// self-containment is what makes the committed cache's content a
+  /// pure function of the commit sequence: a speculative overlay may
+  /// have served hits for work the serial replay later drops, and the
+  /// commit must not be able to tell.
+  struct RootExtraction {
+    /// The per-target successor languages, exactly extractRoot(Root),
+    /// with each language's structural hash (reused on cache hits).
+    std::vector<std::pair<QState, CanonicalDfa>> Langs;
+    std::vector<uint64_t> Hashes;
+
+    /// Commit payload: the root's exact class key and one
+    /// self-contained record per target.
+    uint64_t ClassDigest = 0;
+    std::vector<uint64_t> ClassBits;
+    struct Target {
+      std::vector<uint32_t> Row;
+      CanonicalDfa D; // Valid when !Empty.
+      uint64_t Digest = 0;
+      uint64_t Hash = 0;
+      uint8_t SelfAccept = 0;
+      uint8_t Empty = 0;
+    };
+    std::vector<Target> Targets;
+  };
+
+  /// extractRoot through the cache layers: probes \p Committed (the
+  /// serially committed cache, may be null) then \p Overlay (a
+  /// task-local accumulation cache, may be null) read-only, and
+  /// canonicalizes only the targets neither holds.  \p Out.Langs is
+  /// byte-identical to extractRoot(\p Root) -- the canonical form is
+  /// unique per language, and a hit's stored key proves language
+  /// equality exactly.
+  void extractRootCached(QState Root, const ExtractionCache *Committed,
+                         const ExtractionCache *Overlay,
+                         RootExtraction &Out) const;
+
+  /// Folds \p X's payload into \p Cache: interns the class view if new
+  /// (rebuilding it from the exact bit set, so the commit never depends
+  /// on which probe cache served the extraction) and inserts every
+  /// absent target entry, in call order.  Returns the
+  /// number of targets already present (the deterministic
+  /// "skipped_unchanged" figure: cache state at a serial commit is
+  /// jobs-independent, so re-probing here rather than reporting
+  /// extraction-time hits keeps the count identical at any job
+  /// count).  Must run in the cache owner's serial commit order; safe
+  /// to call any number of times per extraction (re-inserts are
+  /// idempotent), which is how a speculative task accumulates its
+  /// overlay before the real commit replays it.
+  uint64_t commitExtraction(ExtractionCache &Cache,
+                            const RootExtraction &X) const;
+
   /// Logical footprint of the retained relation: flat transition arrays,
   /// mask rows, and base acceptance — deterministic in the transition
   /// count.  This is what the symbolic engine's cache-retention budget
@@ -151,6 +269,27 @@ private:
   /// root itself then accepts in its own view).
   std::vector<uint8_t> AcceptBase;
   bool StartAccepting = false;
+
+  /// Per-shared-state transition rows (CSR over sources < NumShared,
+  /// ascending transition order), built once after saturation for the
+  /// cached extraction's row probes, and whether the
+  /// no-incoming-shared-state invariant its reachability argument rests
+  /// on holds.  It always does for saturations this module builds
+  /// (every derived transition targets a DFA-copy or helper state);
+  /// checked anyway so a future construction change degrades to
+  /// cache-off, never to a wrong answer.  Excluded from memoryBytes():
+  /// like the engine's top-set cache, it is a derived index, not part
+  /// of the retained relation the eviction budget governs.
+  std::vector<uint32_t> RowStart, RowTrans;
+  bool RootedReadsSound = true;
+  void buildRootRows();
+
+  /// Materializes one class's base view from its exact active bit set:
+  /// every state, the base acceptance, and the flagged transitions in
+  /// ascending index order (the per-state adjacency order rootView
+  /// produces, which the cached and fresh pipelines must share for
+  /// byte-identity).
+  Nfa classView(const std::vector<uint64_t> &Bits) const;
 };
 
 /// Result of one shared saturation run.

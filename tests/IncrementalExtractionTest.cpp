@@ -1,0 +1,245 @@
+//===-- tests/IncrementalExtractionTest.cpp - Cached extraction pins ------===//
+//
+// Part of the CUBA project, an implementation of the PLDI 2018 paper
+// "CUBA: Interprocedural Context-UnBounded Analysis of Concurrent Programs".
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Property suite for the incremental per-root extraction layer
+/// (SharedSaturation::extractRootCached / commitExtraction): on seeded
+/// (thread, language) instances drawn from the random CPDS corner
+/// shapes, the cached pipeline must be byte-identical to the plain
+/// extractRoot pipeline -- first extraction, repeated extraction, and
+/// the overlay-accumulation flow the parallel round uses -- and a
+/// repeated root must be served entirely from the cache (every target
+/// counted as skipped).  A final test pins the engine-level
+/// `extract.skipped_unchanged` counter above zero on real models.
+///
+/// Every failure message carries the instance seed; rerun one seed via
+/// CUBA_FUZZ_SEED to shift the base.
+///
+//===----------------------------------------------------------------------===//
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "core/SymbolicEngine.h"
+#include "fa/Canonicalize.h"
+#include "psa/BottomTransform.h"
+#include "psa/SaturationEngine.h"
+#include "support/Statistic.h"
+#include "support/StringUtils.h"
+#include "testing/RandomCpds.h"
+
+using namespace cuba;
+using cuba::testing::SplitMix64;
+
+namespace {
+
+uint64_t baseSeed() {
+  if (const char *Env = std::getenv("CUBA_FUZZ_SEED"))
+    if (auto V = parseUnsigned(Env))
+      return *V;
+  return 1;
+}
+
+/// The lifted initial stack language (bottom marker last in reading
+/// order) -- the engine-realistic input shape.
+CanonicalDfa liftedWordLanguage(const BottomedPds &B, const Stack &Init) {
+  Nfa A(B.P.numSymbols());
+  uint32_t Cur = A.addState();
+  A.setInitial(Cur);
+  for (auto It = Init.rbegin(); It != Init.rend(); ++It) {
+    uint32_t Next = A.addState();
+    A.addEdge(Cur, *It, Next);
+    Cur = Next;
+  }
+  uint32_t Next = A.addState();
+  A.addEdge(Cur, B.Bottom, Next);
+  A.setAccepting(Next);
+  return canonicalizeNfa(A);
+}
+
+/// A random non-empty canonical language over the bottomed alphabet
+/// (adversarial input shape, including empty-word acceptance so the
+/// self-accept key component is exercised).
+CanonicalDfa randomLanguage(SplitMix64 &Rng, const BottomedPds &B) {
+  uint32_t NSyms = B.P.numSymbols();
+  for (int Attempt = 0; Attempt < 16; ++Attempt) {
+    unsigned NStates = static_cast<unsigned>(Rng.range(1, 6));
+    Nfa A(NSyms);
+    for (unsigned S = 0; S < NStates; ++S)
+      A.addState();
+    A.setInitial(static_cast<uint32_t>(Rng.below(NStates)));
+    for (unsigned S = 0; S < NStates; ++S) {
+      if (Rng.chance(0.4))
+        A.setAccepting(S);
+      unsigned Degree = static_cast<unsigned>(Rng.below(4));
+      for (unsigned E = 0; E < Degree; ++E)
+        A.addEdge(S, static_cast<Sym>(Rng.range(1, NSyms)),
+                  static_cast<uint32_t>(Rng.below(NStates)));
+    }
+    CanonicalDfa D = canonicalizeNfa(A);
+    if (D.Start != CanonicalDfa::NoState)
+      return D;
+  }
+  return liftedWordLanguage(B, {});
+}
+
+struct Instance {
+  Pds P; // Bottomed thread PDS.
+  uint32_t NumShared = 0;
+  CanonicalDfa Lang;
+  uint64_t Seed = 0;
+};
+
+std::vector<Instance> makeInstances(uint64_t Base, unsigned Count) {
+  std::vector<Instance> Out;
+  for (uint64_t Seed = Base; Out.size() < Count; ++Seed) {
+    CpdsFile File = cuba::testing::generateRandomCpds(
+        Seed, cuba::testing::cornerShapeOptions(Seed));
+    const Cpds &C = File.System;
+    SplitMix64 Rng(Seed * 0x9e3779b97f4a7c15ull + 0x1e);
+    for (unsigned I = 0; I < C.numThreads() && Out.size() < Count; ++I) {
+      BottomedPds B =
+          eliminateEmptyStackRules(C.thread(I), C.numSharedStates());
+      Instance Inst;
+      Inst.NumShared = C.numSharedStates();
+      Inst.Seed = Seed;
+      Inst.Lang = (Out.size() % 2 == 0)
+                      ? liftedWordLanguage(B, C.initialState().Stacks[I])
+                      : randomLanguage(Rng, B);
+      Inst.P = std::move(B.P);
+      Out.push_back(std::move(Inst));
+    }
+  }
+  return Out;
+}
+
+/// Asserts X's result half matches the plain pipeline byte for byte.
+void expectMatchesPlain(const SharedSaturation &Sat, QState Root,
+                        const SharedSaturation::RootExtraction &X,
+                        uint64_t Seed, const char *Flow) {
+  auto Plain = Sat.extractRoot(Root);
+  ASSERT_EQ(X.Langs, Plain) << Flow << " diverged from extractRoot: seed "
+                            << Seed << ", root " << Root;
+  ASSERT_EQ(X.Hashes.size(), Plain.size());
+  for (size_t I = 0; I < Plain.size(); ++I)
+    EXPECT_EQ(X.Hashes[I], Plain[I].second.hash())
+        << Flow << " hash drift: seed " << Seed << ", root " << Root;
+}
+
+constexpr unsigned NumInstances = 120;
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// The headline property: the cached extraction is byte-identical to the
+// plain pipeline on the first pass, and a repeated root is served
+// entirely from the cache -- every one of its targets counted skipped.
+//===----------------------------------------------------------------------===//
+
+TEST(IncrementalExtraction, CachedMatchesPlainAndRepeatsSkipEverything) {
+  for (const Instance &Inst : makeInstances(baseSeed(), NumInstances)) {
+    SharedSaturationResult R =
+        sharedPostStar(Inst.P, Inst.NumShared, Inst.Lang);
+    ASSERT_TRUE(R.Complete);
+    const SharedSaturation &Sat = R.Sat;
+    SharedSaturation::ExtractionCache Cache;
+    for (QState Root = 0; Root < Inst.NumShared; ++Root) {
+      SharedSaturation::RootExtraction X;
+      Sat.extractRootCached(Root, &Cache, nullptr, X);
+      expectMatchesPlain(Sat, Root, X, Inst.Seed, "first pass");
+      Sat.commitExtraction(Cache, X);
+    }
+    for (QState Root = 0; Root < Inst.NumShared; ++Root) {
+      SharedSaturation::RootExtraction X;
+      Sat.extractRootCached(Root, &Cache, nullptr, X);
+      expectMatchesPlain(Sat, Root, X, Inst.Seed, "repeat pass");
+      EXPECT_EQ(Sat.commitExtraction(Cache, X), Inst.NumShared)
+          << "a repeated root left the cache partially cold: seed "
+          << Inst.Seed << ", root " << Root;
+    }
+    if (::testing::Test::HasFailure())
+      break; // One instance's divergence is enough diagnostics.
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// The parallel round's flow: extractions probe a frozen committed cache
+// plus a task-local overlay, and the real commits replay afterwards in
+// order.  Results and the committed skipped counts must equal the
+// serial flow's exactly.
+//===----------------------------------------------------------------------===//
+
+TEST(IncrementalExtraction, OverlayFlowMatchesSerialFlow) {
+  for (const Instance &Inst : makeInstances(baseSeed() + 5150, 40)) {
+    SharedSaturationResult R =
+        sharedPostStar(Inst.P, Inst.NumShared, Inst.Lang);
+    ASSERT_TRUE(R.Complete);
+    const SharedSaturation &Sat = R.Sat;
+
+    // Serial flow: live cache, extract-then-commit per root, twice over
+    // an interleaved root sequence (repeats included).
+    std::vector<QState> Sequence;
+    for (QState Root = 0; Root < Inst.NumShared; ++Root) {
+      Sequence.push_back(Root);
+      if (Root % 2 == 0)
+        Sequence.push_back(Root / 2); // A repeated earlier root.
+    }
+    SharedSaturation::ExtractionCache Serial;
+    std::vector<uint64_t> SerialSkipped;
+    std::vector<std::vector<std::pair<QState, CanonicalDfa>>> SerialLangs;
+    for (QState Root : Sequence) {
+      SharedSaturation::RootExtraction X;
+      Sat.extractRootCached(Root, &Serial, nullptr, X);
+      SerialSkipped.push_back(Sat.commitExtraction(Serial, X));
+      SerialLangs.push_back(std::move(X.Langs));
+    }
+
+    // Overlay flow: all extractions against (frozen empty committed,
+    // accumulating overlay), then the commits replay in order.
+    SharedSaturation::ExtractionCache Committed, Overlay;
+    std::vector<SharedSaturation::RootExtraction> Xs(Sequence.size());
+    for (size_t I = 0; I < Sequence.size(); ++I) {
+      Sat.extractRootCached(Sequence[I], &Committed, &Overlay, Xs[I]);
+      Sat.commitExtraction(Overlay, Xs[I]);
+    }
+    for (size_t I = 0; I < Sequence.size(); ++I) {
+      EXPECT_EQ(Xs[I].Langs, SerialLangs[I])
+          << "overlay flow diverged: seed " << Inst.Seed << ", root "
+          << Sequence[I] << " (position " << I << ")";
+      EXPECT_EQ(Sat.commitExtraction(Committed, Xs[I]), SerialSkipped[I])
+          << "overlay flow skipped-count drift: seed " << Inst.Seed
+          << ", position " << I;
+    }
+    if (::testing::Test::HasFailure())
+      break;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Engine-level wiring: running the symbolic engine on real models must
+// actually exercise the cache -- the deterministic
+// extract.skipped_unchanged counter ends above zero.
+//===----------------------------------------------------------------------===//
+
+TEST(IncrementalExtraction, EngineCountsSkippedTargets) {
+  uint64_t Before = Statistics::value("extract.skipped_unchanged");
+  ResourceLimits Limits;
+  Limits.MaxStates = 2000;
+  Limits.MaxSteps = 200000;
+  Limits.MaxContexts = 6;
+  for (uint64_t Seed = baseSeed(); Seed < baseSeed() + 10; ++Seed) {
+    CpdsFile File = cuba::testing::generateRandomCpds(
+        Seed, cuba::testing::cornerShapeOptions(Seed));
+    SymbolicEngine E(File.System, Limits);
+    for (unsigned K = 0; K < 6 && !E.frontierEmpty(); ++K)
+      if (E.advance() != SymbolicEngine::RoundStatus::Ok)
+        break;
+  }
+  EXPECT_GT(Statistics::value("extract.skipped_unchanged"), Before)
+      << "ten seeded models never hit the extraction cache";
+}
