@@ -35,7 +35,7 @@ static CanonicalDfa singleWordLanguage(uint32_t NumSymbols,
 
 SymbolicEngine::SymbolicEngine(const Cpds &C, const ResourceLimits &Limits)
     : C(C), Limits(Limits), VisibleSeen(C), TopsCache(C.numThreads()),
-      SatCache(C.numThreads()) {
+      SatCache(C.numThreads()), PrefetchIdx(C.numThreads()) {
   assert(C.frozen() && "SymbolicEngine requires a frozen CPDS");
   if (C.numThreads() > SymbolicState{}.Langs.inlineCapacity())
     PerStateExtraBytes = C.numThreads() * sizeof(DfaId);
@@ -345,6 +345,11 @@ void SymbolicEngine::computePendingSat(PendingSat &P,
   const SharedSaturation *Sat;
   if (P.CachedSat != UINT32_MAX) {
     Sat = &SharedSats[P.CachedSat].Sat;
+  } else if (P.Prefilled) {
+    // The previous round's prefetch already saturated this key; the
+    // recorder figures rode along at adoption, so only the per-root
+    // extractions remain.
+    Sat = &P.Sat;
   } else {
     // Unlimited except for MaxBytes: the saturation's footprint check is
     // a pure function of its pops, so carrying the engine's byte budget
@@ -379,10 +384,42 @@ void SymbolicEngine::computePendingSat(PendingSat &P,
   }
 }
 
+void SymbolicEngine::computePrefetch(PrefetchedSat &P,
+                                     uint32_t Worker) const {
+  // The saturation half of computePendingSat's fresh path, one round
+  // early: frozen inputs, an uncharged recorder (MaxBytes carried so a
+  // byte-truncated speculation truncates at the identical pop), and
+  // recorder figures the consuming round's serial commit will charge.
+  P.Worker = Worker;
+  ResourceLimits RL = ResourceLimits::unlimited();
+  RL.MaxBytes = Limits.limits().MaxBytes;
+  LimitTracker Recorder(RL);
+  P.TsBegin = obs::Trace::nowNs();
+  SharedSaturationResult R = sharedPostStar(
+      Bottomed[P.Thread].P, C.numSharedStates(), Store.get(P.InLang),
+      &Recorder);
+  P.TsEnd = obs::Trace::nowNs();
+  P.BaseSteps = Recorder.steps();
+  P.PeakSatBytes = Recorder.peakBytes();
+  P.Complete = R.Complete;
+  P.Sat = std::move(R.Sat);
+}
+
 SymbolicEngine::RoundStatus
 SymbolicEngine::advanceRoundParallel(std::vector<SymbolicState> &NewFrontier) {
   static Statistic TransCounter("symbolic.transactions");
   static Statistic HitCounter("symbolic.transactions.cached");
+  // Pipeline figures are wall-side: the prefetch path only exists on
+  // parallel rounds, so none of these may join the cross-jobs det
+  // contract.  HiddenUs is the overlap gauge -- saturation time the
+  // consuming round never had to spend because a previous round's
+  // workers absorbed it.
+  static Statistic PrefetchHits("symbolic.prefetch.hits",
+                                /*Deterministic=*/false);
+  static Statistic PrefetchDropped("symbolic.prefetch.dropped",
+                                   /*Deterministic=*/false);
+  static obs::Histogram PrefetchHiddenUs("symbolic.prefetch.hidden_us",
+                                         /*Deterministic=*/false);
 
   // Phase 1 (serial): group the round's uncovered work by (thread,
   // input language) -- each distinct key becomes ONE speculative task
@@ -394,6 +431,7 @@ SymbolicEngine::advanceRoundParallel(std::vector<SymbolicState> &NewFrontier) {
   // is what decides.
   std::vector<PendingSat> Pending;
   std::vector<FlatMap<DfaId, uint32_t>> FreshIdx(C.numThreads());
+  uint64_t AdoptedNow = 0;
   for (const SymbolicState &S : Frontier) {
     uint32_t Produced = *States.find(S);
     for (unsigned I = 0; I < C.numThreads(); ++I) {
@@ -412,9 +450,28 @@ SymbolicEngine::advanceRoundParallel(std::vector<SymbolicState> &NewFrontier) {
           Lang, static_cast<uint32_t>(Pending.size()));
       if (New) {
         Pending.emplace_back();
-        Pending.back().Thread = I;
-        Pending.back().InLang = Lang;
-        Pending.back().CachedSat = SatIdx;
+        PendingSat &NP = Pending.back();
+        NP.Thread = I;
+        NP.InLang = Lang;
+        NP.CachedSat = SatIdx;
+        if (SatIdx == UINT32_MAX)
+          if (const uint32_t *F = PrefetchIdx[I].find(Lang)) {
+            // Adopt the previous round's prefetched saturation; keys
+            // are unique per round (FreshIdx), so each prefetch is
+            // adopted at most once.
+            PrefetchedSat &PF = Prefetch[*F];
+            NP.Prefilled = true;
+            NP.BaseSteps = PF.BaseSteps;
+            NP.PeakSatBytes = PF.PeakSatBytes;
+            NP.Complete = PF.Complete;
+            NP.Sat = std::move(PF.Sat);
+            NP.TsBegin = PF.TsBegin;
+            NP.TsEnd = PF.TsEnd;
+            NP.Worker = PF.Worker;
+            ++PrefetchHits;
+            ++AdoptedNow;
+            PrefetchHiddenUs.observe((PF.TsEnd - PF.TsBegin) / 1000);
+          }
       }
       PendingSat &PS = Pending[*Slot];
       auto [RSlot, RNew] = PS.RootIdx.tryEmplace(
@@ -425,19 +482,63 @@ SymbolicEngine::advanceRoundParallel(std::vector<SymbolicState> &NewFrontier) {
     }
   }
 
+  // Pipeline selection: the saturation keys the next round's
+  // successors will inherit but this round won't produce -- masked-out
+  // expansions (P, S.Langs[P]) for P in S's producer mask -- ride
+  // along with this round's speculative batch as prefetch tasks.  Keys
+  // already retained, already in this batch, or with an empty language
+  // are excluded; the rest is a deterministic function of committed
+  // state, so what gets adopted next round is too.
+  std::vector<PrefetchedSat> NextPrefetch;
+  std::vector<FlatMap<DfaId, uint32_t>> NextIdx(C.numThreads());
+  for (const SymbolicState &S : Frontier) {
+    uint32_t Produced = *States.find(S);
+    for (unsigned P = 0; P < C.numThreads(); ++P) {
+      if (!(Produced & (1u << P)))
+        continue;
+      DfaId Lang = S.Langs[P];
+      if (Store.get(Lang).Start == CanonicalDfa::NoState)
+        continue;
+      if (SatCache[P].find(Lang) || FreshIdx[P].find(Lang))
+        continue;
+      auto [Slot, New] = NextIdx[P].tryEmplace(
+          Lang, static_cast<uint32_t>(NextPrefetch.size()));
+      (void)Slot;
+      if (!New)
+        continue;
+      NextPrefetch.emplace_back();
+      NextPrefetch.back().Thread = P;
+      NextPrefetch.back().InLang = Lang;
+    }
+  }
+
   // Phase 2 (parallel): speculative saturations + extractions, one task
-  // per (thread, language) key.  Tasks the serial run would never reach
-  // (it exhausted earlier) are computed and discarded; the budget
-  // replay below is what decides.  The span is wall-category: it only
-  // exists on the parallel path, so it is exempt from the cross-jobs
-  // trace contract.
+  // per (thread, language) key, plus the next round's prefetch
+  // saturations filling the batch's tail.  Tasks the serial run would
+  // never reach (it exhausted earlier) are computed and discarded; the
+  // budget replay below is what decides.  The span is wall-category: it
+  // only exists on the parallel path, so it is exempt from the
+  // cross-jobs trace contract.
+  size_t NumSpec = Pending.size();
   {
     obs::ScopedSpan Spec("speculate", obs::Trace::CatWall);
-    Spec.arg("tasks", Pending.size());
-    exec::parallelFor(*Pool, Pending.size(), 1, [&](unsigned W, size_t T) {
-      computePendingSat(Pending[T], W);
-    });
+    Spec.arg("tasks", NumSpec);
+    Spec.arg("prefetch_tasks", NextPrefetch.size());
+    exec::parallelFor(*Pool, NumSpec + NextPrefetch.size(), 1,
+                      [&](unsigned W, size_t T) {
+                        if (T < NumSpec)
+                          computePendingSat(Pending[T], W);
+                        else
+                          computePrefetch(NextPrefetch[T - NumSpec], W);
+                      });
   }
+
+  // Swap the pipeline buffer: this round consumed (moved out) whatever
+  // it adopted at phase 1; the remainder is dropped with the old
+  // buffer, and the freshly prefetched batch waits for the next round.
+  PrefetchDropped += Prefetch.size() - AdoptedNow;
+  Prefetch = std::move(NextPrefetch);
+  PrefetchIdx = std::move(NextIdx);
 
   // Phase 3 (serial): replay the round's expansion sequence in serial
   // order against the real budget -- live producer masks, the empty

@@ -61,6 +61,21 @@
 /// (thread, root, DfaId) makes the speculative tasks fewer and larger --
 /// better scaling for the same serial commit.
 ///
+/// Round pipelining: a successor produced by thread P inherits every
+/// other thread's language, so the saturation keys round k+1 will need
+/// beyond round k's own are (P, S.Langs[P]) for P in S's producer mask
+/// -- exactly the expansions the mask rules out this round, known
+/// before any of round k+1 exists.  Parallel rounds append those keys
+/// to round k's speculative batch as uncharged prefetch tasks
+/// (saturation only, no roots yet); round k+1's phase 1 adopts a
+/// prefetched saturation instead of recomputing it, and unconsumed
+/// prefetches are dropped after one round.  Budgets are only ever
+/// charged at the serial commit of the round that actually consumes
+/// the work, and a saturation's pop count, byte peak and content are
+/// deterministic per (thread, language), so pipelining shifts wall
+/// time only -- every committed figure stays bit-identical to the
+/// serial path.  The serial path never prefetches.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef CUBA_CORE_SYMBOLICENGINE_H
@@ -245,6 +260,11 @@ private:
     unsigned Thread = 0;
     DfaId InLang = 0;
     uint32_t CachedSat = UINT32_MAX; // SharedSats index when pre-cached.
+    /// True when a prior round's prefetch already saturated this key:
+    /// Sat / BaseSteps / PeakSatBytes / Complete and the trace
+    /// attribution were adopted at phase 1, and the speculative phase
+    /// runs only the per-root extractions.
+    bool Prefilled = false;
     uint64_t BaseSteps = 0;
     /// Peak in-flight footprint the speculative saturation sampled, and
     /// whether it ran to fixpoint under the MaxBytes budget.  The serial
@@ -266,6 +286,23 @@ private:
     /// Trace attribution of the speculative saturation (see
     /// PendingExtraction): emitted by the serial commit's
     /// registerSaturation.
+    uint64_t TsBegin = 0;
+    uint64_t TsEnd = 0;
+    uint32_t Worker = 0;
+  };
+
+  /// One saturation computed a round ahead of need (see the round
+  /// -pipelining model above): the same uncharged recorder figures a
+  /// speculative task produces, without any roots -- those arrive with
+  /// the round that consumes it.  Held outside every budget and cache
+  /// until adopted by a PendingSat (Prefilled) or dropped.
+  struct PrefetchedSat {
+    unsigned Thread = 0;
+    DfaId InLang = 0;
+    uint64_t BaseSteps = 0;
+    uint64_t PeakSatBytes = 0;
+    bool Complete = true;
+    SharedSaturation Sat;
     uint64_t TsBegin = 0;
     uint64_t TsEnd = 0;
     uint32_t Worker = 0;
@@ -322,6 +359,11 @@ private:
   /// touch engine state).  \p Worker is recorded for trace attribution
   /// only.
   void computePendingSat(PendingSat &P, uint32_t Worker) const;
+
+  /// Saturates \p P's key against the frozen arena with an uncharged
+  /// recorder (parallel phase; must not touch engine state).  The
+  /// saturation half of computePendingSat, run one round early.
+  void computePrefetch(PrefetchedSat &P, uint32_t Worker) const;
 
   /// Registers \p S (if new) at round \p Round, recording its visible
   /// projections; \p Producer is the expanding thread (UINT32_MAX for
@@ -398,6 +440,13 @@ private:
   std::vector<FlatMap<DfaId, uint32_t>> SatCache;
   std::vector<SharedSat> SharedSats;
   std::vector<Transaction> Transactions;
+
+  /// The pipeline buffer: saturations prefetched by the previous
+  /// parallel round for this round's phase 1 to adopt, with a per
+  /// -thread key index.  Replaced wholesale each parallel round
+  /// (unconsumed entries are dropped); always empty on the serial path.
+  std::vector<PrefetchedSat> Prefetch;
+  std::vector<FlatMap<DfaId, uint32_t>> PrefetchIdx;
 
   /// Logical bytes per packed visible entry (word + first-seen round).
   static constexpr uint64_t VisibleEntryBytes = 16;

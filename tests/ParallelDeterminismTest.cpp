@@ -27,6 +27,7 @@
 #include "core/SymbolicEngine.h"
 #include "exec/ThreadPool.h"
 #include "models/Models.h"
+#include "support/Statistic.h"
 #include "testing/RandomCpds.h"
 
 using namespace cuba;
@@ -427,6 +428,22 @@ TEST_F(ParallelDeterminismTest, ExpandAllAblationMatches) {
   auto Serial = Run(nullptr);
   EXPECT_EQ(Serial == Run(&Pool2), true);
   EXPECT_EQ(Serial == Run(&Pool8), true);
+}
+
+TEST_F(ParallelDeterminismTest, SymbolicRoundsConsumePrefetchedSaturations) {
+  // The round pipeline's wiring: across a sweep of parallel symbolic
+  // runs, some next-round saturations must actually be served from the
+  // previous round's prefetch batch (the counters are wall-side, so
+  // only this liveness -- not a count -- is pinned; bit-identity of the
+  // results is what the suites above pin).
+  uint64_t Before = Statistics::value("symbolic.prefetch.hits");
+  for (uint64_t Seed = 1; Seed <= 20; ++Seed) {
+    CpdsFile File = cuba::testing::generateRandomCpds(
+        Seed, cuba::testing::cornerShapeOptions(Seed));
+    runSymbolic(File.System, FuzzLimits, &Pool2);
+  }
+  EXPECT_GT(Statistics::value("symbolic.prefetch.hits"), Before)
+      << "twenty parallel symbolic sweeps never adopted a prefetch";
 }
 
 } // namespace
